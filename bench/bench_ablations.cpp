@@ -1,0 +1,156 @@
+// Experiment ABL: ablations over the design choices DESIGN.md calls out.
+//
+//  A1. Capacity factor: how small can the O(log n) constant be before the
+//      network starts dropping primitive traffic?
+//  A2. MST sketch trials: FindMin robustness/cost as the packed trial count
+//      shrinks (the paper's O(log n) repetitions vs fewer).
+//  A3. Identification constant c: step-1 failure rate and total orientation
+//      rounds (the paper asks c > 6 asymptotically; smaller works at
+//      simulable sizes because failures are retried).
+//  A4. Coloring palette slack eps: palette size vs Color-Random repetitions.
+#include "bench_util.hpp"
+#include "baselines/sequential.hpp"
+#include "core/coloring.hpp"
+#include "core/mst.hpp"
+#include "primitives/aggregation.hpp"
+
+using namespace ncc;
+using namespace ncc::bench;
+
+static void ablate_capacity(bool quick) {
+  std::printf("-- A1: capacity factor vs drops (aggregation under load) --\n");
+  const NodeId n = quick ? 128 : 512;
+  Table t({"cap factor", "cap", "rounds", "drops", "max recv load"});
+  for (uint32_t f : {1u, 2u, 3u, 4u, 6u, 8u, 16u}) {
+    NetConfig cfg;
+    cfg.n = n;
+    cfg.capacity_factor = f;
+    cfg.strict_send = false;  // measuring overload, not asserting on it
+    cfg.seed = f;
+    Network net(cfg);
+    Shared shared(n, f);
+    Rng rng(f);
+    AggregationProblem prob;
+    prob.combine = agg::sum;
+    prob.target = [n](uint64_t g) { return static_cast<NodeId>(g % n); };
+    prob.ell2_hat = 8;
+    for (NodeId u = 0; u < n; ++u)
+      for (uint32_t j = 0; j < 8; ++j)
+        prob.items.push_back({u, rng.next_below(n / 4), Val{1, 0}});
+    auto res = run_aggregation(shared, net, prob, f);
+    t.add_row({Table::num(uint64_t{f}), Table::num(uint64_t{net.cap()}),
+               Table::num(res.rounds), Table::num(net.stats().messages_dropped),
+               Table::num(uint64_t{net.stats().max_recv_load})});
+  }
+  t.print();
+  std::printf("Expected: drops hit zero once the factor covers the butterfly\n"
+              "emulation constant; rounds are insensitive above that point.\n\n");
+}
+
+static void ablate_mst_trials(bool quick) {
+  std::printf("-- A2: MST FindMin sketch trials --\n");
+  const NodeId n = quick ? 64 : 128;
+  Rng rng(5);
+  Graph g = with_random_weights(random_forest_union(n, 4, rng), 1u << 12, rng);
+  uint64_t kruskal_w = kruskal_msf(g).total_weight;
+  Table t({"trials", "rounds", "phases", "weight ok"});
+  for (uint32_t trials : {4u, 8u, 16u, 40u}) {
+    Network net = make_net(n, trials);
+    Shared shared(n, 1000 + trials);
+    MstParams params;
+    params.trials = trials;
+    auto res = run_mst(shared, net, g, params, trials);
+    t.add_row({Table::num(uint64_t{trials}), Table::num(res.rounds),
+               Table::num(uint64_t{res.phases}),
+               res.total_weight == kruskal_w ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("Expected: rounds independent of trials (packed into one word);\n"
+              "correctness already solid at moderate trial counts (failure 2^-T\n"
+              "per comparison).\n\n");
+}
+
+static void ablate_identification_c(bool quick) {
+  std::printf("-- A3: identification constant c (Section 4.2) --\n");
+  const NodeId n = quick ? 128 : 512;
+  Rng rng(6);
+  Graph g = random_forest_union(n, 8, rng);
+  Table t({"c", "orient rounds", "unsucc 1st", "fallbacks", "max outdeg"});
+  for (uint32_t c : {2u, 3u, 4u, 6u, 8u}) {
+    Network net = make_net(n, c);
+    Shared shared(n, 2000 + c);
+    OrientationAlgoParams params;
+    params.c = c;
+    auto res = run_orientation(shared, net, g, params);
+    t.add_row({Table::num(uint64_t{c}), Table::num(res.rounds),
+               Table::num(res.unsuccessful_first), Table::num(res.direct_fallbacks),
+               Table::num(uint64_t{res.orientation.max_outdegree()})});
+  }
+  t.print();
+  std::printf("Expected: larger c lowers step-1 failures but raises the trial-space\n"
+              "cost q = 4ec d* log n; the paper's c > 6 is conservative here.\n\n");
+}
+
+static void ablate_coloring_eps(bool quick) {
+  std::printf("-- A4: coloring palette slack eps --\n");
+  const NodeId n = quick ? 128 : 256;
+  Rng rng(7);
+  Graph g = random_forest_union(n, 6, rng);
+  Network net0 = make_net(n, 1);
+  Shared shared0(n, 1);
+  auto ori = run_orientation(shared0, net0, g);
+  Table t({"eps", "palette", "repetitions", "rounds", "proper"});
+  for (double eps : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+    Network net = make_net(n, static_cast<uint64_t>(eps * 100));
+    Shared shared(n, 3000 + static_cast<uint64_t>(eps * 100));
+    // Re-run orientation inside this network so the rounds are self-contained.
+    auto o = run_orientation(shared, net, g);
+    ColoringParams params;
+    params.eps = eps;
+    auto col = run_coloring(shared, net, g, o, params, 17);
+    t.add_row({Table::num(eps, 2), Table::num(uint64_t{col.palette_size}),
+               Table::num(uint64_t{col.repetitions}), Table::num(col.rounds),
+               is_proper_coloring(g, col.color) ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("Expected: smaller eps = fewer colors but more Color-Random\n"
+              "repetitions; the paper's constant-eps choice is the knee.\n\n");
+}
+
+static void ablate_mst_arity(bool quick) {
+  std::printf("-- A5: FindMin search arity (footnote 3: binary vs Theta(log n)-ary) --\n");
+  const NodeId n = quick ? 64 : 128;
+  Rng rng(8);
+  Graph g = with_random_weights(random_forest_union(n, 4, rng), 1u << 16, rng);
+  uint64_t kruskal_w = kruskal_msf(g).total_weight;
+  Table t({"arity", "bits/subrange", "rounds", "phases", "weight ok"});
+  for (uint32_t arity : {2u, 3u, 4u, 6u, 8u}) {
+    Network net = make_net(n, 4000);
+    Shared shared(n, 4000);
+    MstParams params;
+    params.search_arity = arity;
+    auto res = run_mst(shared, net, g, params, 9);
+    t.add_row({Table::num(uint64_t{arity}), Table::num(uint64_t{64 / arity}),
+               Table::num(res.rounds), Table::num(uint64_t{res.phases}),
+               res.total_weight == kruskal_w ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("Expected: rounds fall ~log(arity)-fold (fewer FindMin iterations)\n"
+              "while per-subrange sketch bits shrink (64/arity). The correctness\n"
+              "column deliberately shows the cliff: at ~8-10 bits per subrange the\n"
+              "2^-bits false-equal probability times ~10^3 comparisons produces\n"
+              "missed minimum edges (spanning but non-minimum trees) — exactly why\n"
+              "the paper repeats each sketch Theta(log n) times. Arity <= 4 keeps\n"
+              ">= 16 bits and is safe at these scales.\n\n");
+}
+
+int main(int argc, char** argv) {
+  bool quick = quick_mode(argc, argv);
+  std::printf("== ABL: design-choice ablations ==\n\n");
+  ablate_capacity(quick);
+  ablate_mst_trials(quick);
+  ablate_mst_arity(quick);
+  ablate_identification_c(quick);
+  ablate_coloring_eps(quick);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Experiments P-AB / P-AGG / P-MC (Theorems 2.2-2.6): round costs of the
+// communication primitives.
+//
+//  * Aggregate-and-Broadcast: O(log n) — n sweep.
+//  * Aggregation: O(L/n + (l1+l2)/log n + log n) — L sweep at fixed n.
+//  * Multicast Tree Setup: same cost; tree congestion O(L/n + log n).
+//  * Multicast / Multi-Aggregation: O(C + l/log n + log n).
+#include "bench_util.hpp"
+#include "primitives/aggregate_broadcast.hpp"
+#include "primitives/aggregation.hpp"
+#include "primitives/multi_aggregation.hpp"
+#include "primitives/multicast.hpp"
+
+using namespace ncc;
+using namespace ncc::bench;
+
+static void bench_ab(bool quick) {
+  std::printf("-- P-AB: Aggregate-and-Broadcast rounds vs O(log n) (Thm 2.2) --\n");
+  Table t({"n", "rounds", "log n", "ratio"});
+  std::vector<double> measured, predicted;
+  std::vector<NodeId> sizes = quick ? std::vector<NodeId>{64, 512}
+                                    : std::vector<NodeId>{16, 64, 256, 1024, 4096};
+  for (NodeId n : sizes) {
+    Network net = make_net(n, n);
+    ButterflyTopo topo(n);
+    std::vector<std::optional<Val>> inputs(n, Val{1, 0});
+    auto res = aggregate_and_broadcast(topo, net, inputs, agg::sum);
+    NCC_ASSERT(res.value && (*res.value)[0] == n);
+    t.add_row({Table::num(uint64_t{n}), Table::num(res.rounds), Table::num(lg(n), 0),
+               Table::num(res.rounds / lg(n), 2)});
+    measured.push_back(static_cast<double>(res.rounds));
+    predicted.push_back(lg(n));
+  }
+  t.print();
+  print_fit("A&B vs log n", measured, predicted);
+  std::printf("\n");
+}
+
+static void bench_aggregation(bool quick) {
+  std::printf("-- P-AGG: Aggregation rounds vs O(L/n + l/log n + log n) (Thm 2.3) --\n");
+  const NodeId n = quick ? 128 : 512;
+  Table t({"L", "groups", "rounds", "congestion", "pred L/n+l1/logn+logn", "ratio"});
+  std::vector<double> measured, predicted;
+  for (uint32_t mult : quick ? std::vector<uint32_t>{1, 4} :
+                               std::vector<uint32_t>{1, 2, 4, 8, 16, 32}) {
+    uint64_t L = static_cast<uint64_t>(mult) * n;
+    Network net = make_net(n, 5 + mult);
+    Shared shared(n, 5 + mult);
+    Rng rng(99 + mult);
+    AggregationProblem prob;
+    prob.combine = agg::sum;
+    prob.target = [n](uint64_t g) { return static_cast<NodeId>(g % n); };
+    prob.ell2_hat = 4 * mult;
+    uint64_t groups = std::max<uint64_t>(1, n / 4);
+    // Every node holds `mult` items addressed to random groups: l1 = mult.
+    for (NodeId u = 0; u < n; ++u)
+      for (uint32_t j = 0; j < mult; ++j)
+        prob.items.push_back({u, rng.next_below(groups), Val{1, 0}});
+    auto res = run_aggregation(shared, net, prob, mult);
+    uint64_t sum = 0;
+    for (auto& [g, v] : res.at_target) sum += v[0];
+    NCC_ASSERT(sum == L);  // no value lost
+    double pred = static_cast<double>(L) / n + (mult + prob.ell2_hat) / lg(n) + lg(n);
+    t.add_row({Table::num(L), Table::num(groups), Table::num(res.rounds),
+               Table::num(uint64_t{res.route.congestion}), Table::num(pred, 1),
+               Table::num(res.rounds / pred, 2)});
+    measured.push_back(static_cast<double>(res.rounds));
+    predicted.push_back(pred);
+  }
+  t.print();
+  print_fit("Aggregation vs L/n+l/logn+logn", measured, predicted);
+  std::printf("\n");
+}
+
+static void bench_multicast(bool quick) {
+  std::printf("-- P-MC: Multicast tree setup / multicast / multi-aggregation "
+              "(Thms 2.4-2.6) --\n");
+  const NodeId n = quick ? 128 : 512;
+  Table t({"|A_i| (each)", "L", "setup rounds", "congestion", "pred C=L/n+logn",
+           "mcast rounds", "multi-agg rounds"});
+  for (uint32_t gsz : quick ? std::vector<uint32_t>{4, 16} :
+                              std::vector<uint32_t>{2, 4, 8, 16, 32, 64}) {
+    Network net = make_net(n, 11 + gsz);
+    Shared shared(n, 11 + gsz);
+    Rng rng(7 + gsz);
+    // n/8 groups of size gsz with random members; sources 0..n/8-1.
+    uint64_t num_groups = n / 8;
+    std::vector<MulticastMembership> members;
+    std::vector<MulticastSend> sends;
+    for (uint64_t gi = 0; gi < num_groups; ++gi) {
+      uint64_t group = 100000 + gi;
+      for (uint64_t m : rng.sample_without_replacement(n, gsz))
+        members.push_back({static_cast<NodeId>(m), group});
+      sends.push_back({group, static_cast<NodeId>(gi), Val{gi, 0}});
+    }
+    auto setup = setup_multicast_trees(shared, net, members, gsz);
+    auto mc = run_multicast(shared, net, setup.trees, sends, gsz, gsz);
+    auto ma = run_multi_aggregation(shared, net, setup.trees, sends, agg::min_by_first,
+                                    gsz);
+    uint64_t L = num_groups * gsz;
+    double predC = static_cast<double>(L) / n + lg(n);
+    t.add_row({Table::num(uint64_t{gsz}), Table::num(L), Table::num(setup.rounds),
+               Table::num(uint64_t{setup.trees.congestion}), Table::num(predC, 1),
+               Table::num(mc.rounds), Table::num(ma.rounds)});
+  }
+  t.print();
+  std::printf("Expected shape: congestion tracks L/n + log n; multicast and\n"
+              "multi-aggregation rounds track the congestion column.\n\n");
+}
+
+int main(int argc, char** argv) {
+  bool quick = quick_mode(argc, argv);
+  std::printf("== Primitive costs (Theorems 2.2-2.6) ==\n\n");
+  bench_ab(quick);
+  bench_aggregation(quick);
+  bench_multicast(quick);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Experiment T1-BFS (Table 1, row 2): BFS tree in O((a + D + log n) log n).
+//
+// Two sweeps: grids (large diameter, a <= 2) scale the D term; forest unions
+// at fixed n scale the a term. Measured rounds include the orientation and
+// broadcast-tree setup, as the paper's bound does.
+#include "bench_util.hpp"
+#include "core/bfs.hpp"
+
+using namespace ncc;
+using namespace ncc::bench;
+
+int main(int argc, char** argv) {
+  bool quick = quick_mode(argc, argv);
+
+  std::printf("== T1-BFS: BFS rounds vs O((a + D + log n) log n) (Section 5.1) ==\n\n");
+  Table t({"graph", "n", "a<=", "D", "bfs rounds", "setup rounds", "total",
+           "pred (a+D+logn)logn", "ratio"});
+  std::vector<double> measured, predicted;
+
+  auto record = [&](const char* name, const Graph& g, uint32_t a_bound, uint64_t seed) {
+    uint32_t D = exact_diameter(g);
+    Pipeline p(g, seed);
+    auto bfs = run_bfs(p.shared, p.net, g, p.bt, 0, seed);
+    double pred = (a_bound + D + lg(g.n())) * lg(g.n());
+    uint64_t total = bfs.rounds + p.setup_rounds();
+    t.add_row({name, Table::num(uint64_t{g.n()}), Table::num(uint64_t{a_bound}),
+               Table::num(uint64_t{D}), Table::num(bfs.rounds),
+               Table::num(p.setup_rounds()), Table::num(total), Table::num(pred, 0),
+               Table::num(total / pred, 1)});
+    measured.push_back(static_cast<double>(total));
+    predicted.push_back(pred);
+  };
+
+  std::vector<NodeId> grid_sides = quick ? std::vector<NodeId>{6, 10}
+                                         : std::vector<NodeId>{6, 10, 14, 20, 28};
+  for (NodeId s : grid_sides) record("grid (D sweep)", grid_graph(s, s), 2, 100 + s);
+
+  std::vector<uint32_t> arbs = quick ? std::vector<uint32_t>{1, 4}
+                                     : std::vector<uint32_t>{1, 2, 4, 8, 16};
+  for (uint32_t a : arbs) {
+    Rng rng(500 + a);
+    Graph g = connectify(random_forest_union(quick ? 128 : 256, a, rng), rng);
+    record("forest-union (a sweep)", g, a, 200 + a);
+  }
+  t.print();
+  print_fit("total vs (a+D+logn)logn", measured, predicted);
+  std::printf("\nExpected shape: grid rows grow ~linearly in D; forest rows grow\n"
+              "~linearly in a; the ratio column stays within a small constant band.\n");
+  return 0;
+}

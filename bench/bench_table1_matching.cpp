@@ -1,0 +1,48 @@
+// Experiment T1-MM (Table 1, row 4): Maximal Matching in O((a + log n) log n).
+#include "bench_util.hpp"
+#include "baselines/sequential.hpp"
+#include "core/matching.hpp"
+
+using namespace ncc;
+using namespace ncc::bench;
+
+int main(int argc, char** argv) {
+  bool quick = quick_mode(argc, argv);
+
+  std::printf(
+      "== T1-MM: Maximal Matching rounds vs O((a + log n) log n) (Section 5.3) ==\n\n");
+  Table t({"sweep", "n", "a<=", "phases", "match rounds", "setup", "total",
+           "pred (a+logn)logn", "ratio", "valid"});
+  std::vector<double> measured, predicted;
+
+  auto record = [&](const char* name, const Graph& g, uint32_t a_bound, uint64_t seed) {
+    Pipeline p(g, seed);
+    auto m = run_matching(p.shared, p.net, g, p.bt, seed);
+    bool ok = is_maximal_matching(g, m.mate);
+    double pred = (a_bound + lg(g.n())) * lg(g.n());
+    uint64_t total = m.rounds + p.setup_rounds();
+    t.add_row({name, Table::num(uint64_t{g.n()}), Table::num(uint64_t{a_bound}),
+               Table::num(uint64_t{m.phases}), Table::num(m.rounds),
+               Table::num(p.setup_rounds()), Table::num(total), Table::num(pred, 0),
+               Table::num(total / pred, 1), ok ? "yes" : "NO"});
+    measured.push_back(static_cast<double>(total));
+    predicted.push_back(pred);
+  };
+
+  std::vector<NodeId> sizes = quick ? std::vector<NodeId>{64, 128}
+                                    : std::vector<NodeId>{64, 128, 256, 512, 1024};
+  for (NodeId n : sizes) {
+    Rng rng(n);
+    record("n sweep (a=4)", random_forest_union(n, 4, rng), 4, 500 + n);
+  }
+  std::vector<uint32_t> arbs = quick ? std::vector<uint32_t>{1, 4}
+                                     : std::vector<uint32_t>{1, 2, 4, 8, 16, 32};
+  for (uint32_t a : arbs) {
+    Rng rng(900 + a);
+    record("a sweep (n=256)", random_forest_union(quick ? 128 : 256, a, rng), a,
+           600 + a);
+  }
+  t.print();
+  print_fit("total vs (a+logn)logn", measured, predicted);
+  return 0;
+}

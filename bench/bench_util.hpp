@@ -1,0 +1,63 @@
+// Shared helpers for the benchmark harness. Every bench binary prints the
+// rows/series of one paper table/theorem (see DESIGN.md experiment index) and
+// a ratio-fit line showing how flat measured/predicted is across the sweep.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/broadcast_trees.hpp"
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc::bench {
+
+inline Network make_net(NodeId n, uint64_t seed) {
+  NetConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  return Network(cfg);
+}
+
+inline double lg(double x) { return std::log2(std::max(2.0, x)); }
+
+/// Prints the ratio-fit summary for a measured-vs-predicted series.
+inline void print_fit(const std::string& label, const std::vector<double>& measured,
+                      const std::vector<double>& predicted) {
+  RatioFit fit = fit_ratio(measured, predicted);
+  std::printf("fit[%s]: mean ratio %.2f, min %.2f, max %.2f, spread %.2fx\n",
+              label.c_str(), fit.mean_ratio, fit.min_ratio, fit.max_ratio, fit.spread);
+}
+
+/// Orientation + broadcast-tree pipeline used by the Section 5 benches.
+struct Pipeline {
+  Network net;
+  Shared shared;
+  OrientationRunResult orient;
+  BroadcastTrees bt;
+
+  Pipeline(const Graph& g, uint64_t seed)
+      : net(make_net(g.n(), seed)),
+        shared(g.n(), seed),
+        orient(run_orientation(shared, net, g)),
+        bt(build_broadcast_trees(shared, net, g, orient.orientation, seed)) {}
+
+  /// Rounds spent building the pipeline (orientation + trees).
+  uint64_t setup_rounds() const { return orient.rounds + bt.rounds; }
+};
+
+/// True when the binary should shrink its sweeps (CI smoke runs).
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--quick") return true;
+  return false;
+}
+
+}  // namespace ncc::bench

@@ -1,0 +1,63 @@
+// Hybrid-network scenario (Section 1): cell phones with free short-range
+// ad-hoc links (a planar roadmap-like graph, the "input graph" G) plus a paid
+// cellular overlay that behaves like a Node-Capacitated Clique.
+//
+// The devices use the NCC overlay to compute a BFS tree of the ad-hoc graph
+// from a roadside unit in far fewer rounds than the D-hop flooding the ad-hoc
+// links alone would need — exactly the hybrid-network win the paper sketches.
+//
+//   ./example_hybrid_roadmap [side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bfs.hpp"
+#include "core/broadcast_trees.hpp"
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+using namespace ncc;
+
+int main(int argc, char** argv) {
+  NodeId side = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 20;
+  Graph g = triangulated_grid_graph(side, side);  // planar, arboricity <= 3
+  uint32_t D = exact_diameter(g);
+  std::printf("ad-hoc roadmap: %ux%u triangulated grid, n=%u, m=%lu, diameter %u\n",
+              side, side, g.n(), g.m(), D);
+
+  NetConfig cfg;
+  cfg.n = g.n();
+  cfg.seed = 9;
+  Network net(cfg);
+  Shared shared(g.n(), 9);
+
+  auto orient = run_orientation(shared, net, g);
+  auto bt = build_broadcast_trees(shared, net, g, orient.orientation, 2);
+  auto bfs = run_bfs(shared, net, g, bt, /*source=*/0, 4);
+
+  // Validate against the sequential reference and summarize.
+  auto expect = bfs_distances(g, 0);
+  bool ok = true;
+  uint32_t max_d = 0;
+  for (NodeId u = 0; u < g.n(); ++u) {
+    ok = ok && bfs.dist[u] == expect[u];
+    max_d = std::max(max_d, bfs.dist[u]);
+  }
+  std::printf("BFS tree: %u phases, %lu rounds (setup %lu), correct=%s\n", bfs.phases,
+              bfs.rounds, orient.rounds + bt.rounds, ok ? "yes" : "NO");
+  std::printf("eccentricity of source: %u (graph diameter %u)\n", max_d, D);
+
+  // Distance histogram: how the roadside unit's reachability spreads.
+  std::printf("\nhop histogram (hops: #devices)\n");
+  std::vector<uint32_t> hist(max_d + 1, 0);
+  for (NodeId u = 0; u < g.n(); ++u) ++hist[bfs.dist[u]];
+  for (uint32_t d = 0; d <= max_d; d += std::max(1u, max_d / 12)) {
+    std::printf("  %3u: ", d);
+    for (uint32_t j = 0; j < hist[d]; j += 4) std::printf("#");
+    std::printf(" (%u)\n", hist[d]);
+  }
+  std::printf("\nNCC rounds total: %lu — compare to %u rounds of pure ad-hoc\n"
+              "flooding per broadcast wave on the cheap links alone.\n",
+              net.rounds(), D);
+  return 0;
+}

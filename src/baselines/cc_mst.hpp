@@ -1,0 +1,30 @@
+// Boruvka MST in the Congested Clique — the comparison baseline for the
+// model-gap experiment. With Theta(n) messages receivable per node per round,
+// each Boruvka phase costs O(1) rounds (neighbors exchange component labels,
+// members report their min outgoing edge straight to the leader, the leader
+// resolves the merge), so the whole MST takes O(log n) CC rounds — versus
+// the O(log^4 n) NCC rounds of Section 3. (The literature goes further —
+// O(log log n) [Lotker et al.] and O(1) [Jurdzinski-Nowicki] — but plain
+// Boruvka already demonstrates the capacity gap concretely and message-level.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/congested_clique.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+struct CcMstResult {
+  std::vector<Edge> edges;
+  uint64_t total_weight = 0;
+  uint32_t phases = 0;
+  uint64_t rounds = 0;    // CC rounds
+  uint64_t messages = 0;  // CC messages
+};
+
+CcMstResult run_cc_mst(CongestedClique& cc, const Graph& g, uint64_t seed = 1);
+
+}  // namespace ncc

@@ -1,0 +1,73 @@
+// A minimal Congested Clique comparator (Section 1's model-gap discussion).
+//
+// In the Congested Clique every node may exchange one O(log n)-bit message
+// with *every* other node per round — Theta(n^2 log n) bits per round versus
+// the NCC's Theta(n log^2 n). We provide (a) a tiny round simulator
+// sufficient to realize gossip/broadcast in one round, demonstrating the gap
+// concretely, and (b) analytic round counts from the literature for
+// comparison columns in bench_model_gap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+/// Per-round, per-ordered-pair, single-message Congested Clique simulator.
+class CongestedClique {
+ public:
+  explicit CongestedClique(NodeId n) : n_(n), inboxes_(n) {}
+
+  NodeId n() const { return n_; }
+
+  /// Queue one word for (src -> dst); at most one per ordered pair per round.
+  void send(NodeId src, NodeId dst, uint64_t word);
+  void end_round();
+  /// Inbox of u: (src, word) pairs delivered at the start of this round.
+  const std::vector<std::pair<NodeId, uint64_t>>& inbox(NodeId u) const {
+    return inboxes_[u];
+  }
+  uint64_t rounds() const { return rounds_; }
+  uint64_t messages() const { return messages_; }
+
+  /// Observer invoked per delivered message (k-machine accounting,
+  /// Theorem A.1): (src, dst, round).
+  using DeliveryHook = std::function<void(NodeId, NodeId, uint64_t)>;
+  void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
+
+  /// Max messages any node sent in a single round so far — the paper's
+  /// communication degree complexity Delta' of Theorem A.1.
+  uint32_t comm_degree() const { return comm_degree_; }
+
+ private:
+  struct Pending {
+    NodeId src, dst;
+    uint64_t word;
+  };
+  NodeId n_;
+  uint64_t rounds_ = 0;
+  uint64_t messages_ = 0;
+  uint32_t comm_degree_ = 0;
+  std::vector<Pending> pending_;
+  std::unordered_set<uint64_t> used_pairs_;  // per-round (src, dst) guard
+  std::vector<std::vector<std::pair<NodeId, uint64_t>>> inboxes_;
+  DeliveryHook hook_;
+};
+
+/// Gossip (all-to-all tokens) in the Congested Clique: exactly 1 round.
+uint64_t cc_gossip_rounds(CongestedClique& cc);
+
+/// Broadcast in the Congested Clique: exactly 1 round.
+uint64_t cc_broadcast_rounds(CongestedClique& cc);
+
+/// Analytic comparison rounds from the literature (constants set to 1):
+/// MST in O(1) rounds [Jurdzinski-Nowicki SODA'18].
+uint64_t cc_mst_rounds_bound();
+/// Routing/sorting in O(1) rounds [Lenzen PODC'13].
+uint64_t cc_routing_rounds_bound();
+
+}  // namespace ncc

@@ -1,0 +1,156 @@
+#include "baselines/sequential.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace ncc {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(NodeId a, NodeId b) {
+    NodeId ra = find(a), rb = find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+KruskalResult kruskal_msf(const Graph& g) {
+  std::vector<Edge> sorted = g.edges();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Edge& a, const Edge& b) { return a.w < b.w; });
+  UnionFind uf(g.n());
+  KruskalResult res;
+  for (const Edge& e : sorted) {
+    if (uf.unite(e.u, e.v)) {
+      res.edges.push_back(e);
+      res.total_weight += e.w;
+    }
+  }
+  return res;
+}
+
+bool is_spanning_forest(const Graph& g, const std::vector<Edge>& edges) {
+  UnionFind uf(g.n());
+  for (const Edge& e : edges) {
+    if (!g.has_edge(e.u, e.v)) return false;
+    if (!uf.unite(e.u, e.v)) return false;  // cycle
+  }
+  // Must connect exactly as much as g does.
+  UnionFind gf(g.n());
+  for (const Edge& e : g.edges()) gf.unite(e.u, e.v);
+  for (const Edge& e : g.edges())
+    if (uf.find(e.u) != uf.find(e.v)) return false;
+  return true;
+}
+
+std::vector<bool> greedy_mis(const Graph& g, const std::vector<NodeId>& order) {
+  std::vector<NodeId> ord = order;
+  if (ord.empty()) {
+    ord.resize(g.n());
+    std::iota(ord.begin(), ord.end(), 0);
+  }
+  std::vector<bool> in_set(g.n(), false), blocked(g.n(), false);
+  for (NodeId u : ord) {
+    if (blocked[u]) continue;
+    in_set[u] = true;
+    blocked[u] = true;
+    for (NodeId v : g.neighbors(u)) blocked[v] = true;
+  }
+  return in_set;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<bool>& in_set) {
+  for (const Edge& e : g.edges())
+    if (in_set[e.u] && in_set[e.v]) return false;
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g, const std::vector<bool>& in_set) {
+  if (!is_independent_set(g, in_set)) return false;
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (in_set[u]) continue;
+    bool dominated = false;
+    for (NodeId v : g.neighbors(u))
+      if (in_set[v]) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> greedy_maximal_matching(const Graph& g) {
+  std::vector<NodeId> mate(g.n(), UINT32_MAX);
+  for (const Edge& e : g.edges()) {
+    if (mate[e.u] == UINT32_MAX && mate[e.v] == UINT32_MAX) {
+      mate[e.u] = e.v;
+      mate[e.v] = e.u;
+    }
+  }
+  return mate;
+}
+
+bool is_matching(const Graph& g, const std::vector<NodeId>& mate) {
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (mate[u] == UINT32_MAX) continue;
+    NodeId v = mate[u];
+    if (v >= g.n() || mate[v] != u || !g.has_edge(u, v)) return false;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, const std::vector<NodeId>& mate) {
+  if (!is_matching(g, mate)) return false;
+  for (const Edge& e : g.edges())
+    if (mate[e.u] == UINT32_MAX && mate[e.v] == UINT32_MAX) return false;
+  return true;
+}
+
+std::vector<uint32_t> greedy_coloring(const Graph& g) {
+  DegeneracyResult d = degeneracy(g);
+  std::vector<uint32_t> color(g.n(), UINT32_MAX);
+  // Color in reverse peeling order; each node sees <= degeneracy colored
+  // neighbors when its turn comes.
+  for (auto it = d.order.rbegin(); it != d.order.rend(); ++it) {
+    NodeId u = *it;
+    std::vector<bool> used(g.degree(u) + 2, false);
+    for (NodeId v : g.neighbors(u))
+      if (color[v] != UINT32_MAX && color[v] < used.size()) used[color[v]] = true;
+    uint32_t c = 0;
+    while (used[c]) ++c;
+    color[u] = c;
+  }
+  return color;
+}
+
+bool is_proper_coloring(const Graph& g, const std::vector<uint32_t>& color) {
+  for (NodeId u = 0; u < g.n(); ++u)
+    if (color[u] == UINT32_MAX) return false;
+  for (const Edge& e : g.edges())
+    if (color[e.u] == color[e.v]) return false;
+  return true;
+}
+
+}  // namespace ncc

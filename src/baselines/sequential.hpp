@@ -1,0 +1,40 @@
+// Sequential baselines and validity checkers. The distributed algorithms'
+// outputs are verified against these: Kruskal for MST weight, BFS distances,
+// greedy algorithms for MIS / matching / coloring existence, and predicate
+// checkers for every solution concept.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+struct KruskalResult {
+  std::vector<Edge> edges;
+  uint64_t total_weight = 0;
+};
+
+/// Minimum spanning forest via Kruskal (union-find).
+KruskalResult kruskal_msf(const Graph& g);
+
+/// True iff `edges` forms a spanning forest of g: acyclic, contained in g,
+/// and connecting every connected component of g.
+bool is_spanning_forest(const Graph& g, const std::vector<Edge>& edges);
+
+/// Greedy MIS in the given order (or by id if empty).
+std::vector<bool> greedy_mis(const Graph& g, const std::vector<NodeId>& order = {});
+bool is_independent_set(const Graph& g, const std::vector<bool>& in_set);
+bool is_maximal_independent_set(const Graph& g, const std::vector<bool>& in_set);
+
+/// Greedy maximal matching by edge order. mate[u] = UINT32_MAX if unmatched.
+std::vector<NodeId> greedy_maximal_matching(const Graph& g);
+bool is_matching(const Graph& g, const std::vector<NodeId>& mate);
+bool is_maximal_matching(const Graph& g, const std::vector<NodeId>& mate);
+
+/// Greedy coloring along the degeneracy order: uses <= degeneracy+1 colors.
+std::vector<uint32_t> greedy_coloring(const Graph& g);
+bool is_proper_coloring(const Graph& g, const std::vector<uint32_t>& color);
+
+}  // namespace ncc

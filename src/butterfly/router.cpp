@@ -1,0 +1,428 @@
+#include "butterfly/router.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace ncc {
+
+namespace agg {
+Val sum(const Val& a, const Val& b) { return {a[0] + b[0], a[1] + b[1]}; }
+Val min_by_first(const Val& a, const Val& b) {
+  if (a[0] != b[0]) return a[0] < b[0] ? a : b;
+  return a[1] <= b[1] ? a : b;  // deterministic tie-break on second word
+}
+Val max_by_first(const Val& a, const Val& b) {
+  if (a[0] != b[0]) return a[0] > b[0] ? a : b;
+  return a[1] >= b[1] ? a : b;
+}
+Val xor_count(const Val& a, const Val& b) { return {a[0] ^ b[0], a[1] + b[1]}; }
+Val xor_xor(const Val& a, const Val& b) { return {a[0] ^ b[0], a[1] ^ b[1]}; }
+}  // namespace agg
+
+namespace {
+
+// Message tags (low byte carries the destination butterfly level).
+constexpr uint32_t kTagDownPacket = 0x0100;
+constexpr uint32_t kTagDownToken = 0x0200;
+constexpr uint32_t kTagUpPacket = 0x0300;
+constexpr uint32_t kTagUpToken = 0x0400;
+
+constexpr uint32_t tag_kind(uint32_t tag) { return tag & 0xff00u; }
+constexpr uint32_t tag_level(uint32_t tag) { return tag & 0x00ffu; }
+
+/// Priority of a group under the contention rule: smallest rank first, ties
+/// broken by smallest group id (Appendix B.2).
+struct Prio {
+  uint64_t rank;
+  uint64_t group;
+  bool operator<(const Prio& o) const {
+    return rank != o.rank ? rank < o.rank : group < o.group;
+  }
+};
+
+/// Tracks the max number of distinct groups observed at any butterfly node.
+class CongestionTracker {
+ public:
+  explicit CongestionTracker(uint64_t node_count) : seen_(node_count) {}
+
+  void visit(uint64_t node_index, uint64_t group) {
+    auto& s = seen_[node_index];
+    if (s.insert(group).second)
+      max_ = std::max<uint32_t>(max_, static_cast<uint32_t>(s.size()));
+  }
+  uint32_t max() const { return max_; }
+
+ private:
+  std::vector<std::unordered_set<uint64_t>> seen_;
+  uint32_t max_ = 0;
+};
+
+/// Deduplicated worklist of butterfly-node indices; only nodes with work are
+/// visited each round, which keeps a round's cost proportional to the traffic
+/// rather than to the butterfly size.
+class ActiveSet {
+ public:
+  explicit ActiveSet(uint64_t node_count) : flag_(node_count, false) {}
+
+  void add(uint64_t idx) {
+    if (!flag_[idx]) {
+      flag_[idx] = true;
+      items_.push_back(idx);
+    }
+  }
+  /// Sorted snapshot for deterministic iteration; clears membership flags so
+  /// nodes re-add themselves if they still have work.
+  std::vector<uint64_t> take() {
+    std::sort(items_.begin(), items_.end());
+    for (uint64_t i : items_) flag_[i] = false;
+    return std::exchange(items_, {});
+  }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  std::vector<bool> flag_;
+  std::vector<uint64_t> items_;
+};
+
+}  // namespace
+
+uint32_t MulticastTrees::max_leaf_load() const {
+  uint32_t best = 0;
+  for (const auto& v : leaf_members)
+    best = std::max<uint32_t>(best, static_cast<uint32_t>(v.size()));
+  return best;
+}
+
+DownResult route_down(const ButterflyTopo& topo, Network& net,
+                      std::vector<std::vector<AggPacket>> at_col,
+                      const std::function<NodeId(uint64_t)>& dest_col,
+                      const std::function<uint64_t(uint64_t)>& rank,
+                      const CombineFn& combine, MulticastTrees* record) {
+  const uint32_t d = topo.dims();
+  const NodeId cols = topo.columns();
+  NCC_ASSERT(at_col.size() == cols);
+
+  DownResult result;
+  CongestionTracker congestion(topo.node_count());
+
+  // Cached group metadata (dest column and rank are hash evaluations that
+  // every node can compute from the shared randomness).
+  std::unordered_map<uint64_t, std::pair<NodeId, uint64_t>> meta;
+  auto group_meta = [&](uint64_t g) -> const std::pair<NodeId, uint64_t>& {
+    auto it = meta.find(g);
+    if (it == meta.end()) {
+      NodeId dc = dest_col(g);
+      NCC_ASSERT(dc < cols);
+      it = meta.emplace(g, std::make_pair(dc, rank(g))).first;
+    }
+    return it->second;
+  };
+
+  // Per butterfly node: combined pending packet per group.
+  std::vector<std::unordered_map<uint64_t, Val>> pending(topo.node_count());
+  uint64_t pending_total = 0;
+  ActiveSet active(topo.node_count());
+
+  auto deposit = [&](uint32_t level, NodeId col, uint64_t group, const Val& v) {
+    uint64_t idx = topo.index(level, col);
+    congestion.visit(idx, group);
+    if (level == d) {
+      NCC_ASSERT(group_meta(group).first == col);
+      auto [it, fresh] = result.root_values.emplace(group, v);
+      if (!fresh) {
+        it->second = combine(it->second, v);
+        ++result.stats.combines;
+      }
+      result.root_col[group] = col;
+      if (record) record->root_col[group] = col;
+      return;
+    }
+    auto [it, fresh] = pending[idx].emplace(group, v);
+    if (fresh) {
+      ++pending_total;
+    } else {
+      it->second = combine(it->second, v);
+      ++result.stats.combines;
+    }
+    active.add(idx);
+  };
+
+  for (NodeId c = 0; c < cols; ++c)
+    for (const AggPacket& p : at_col[c]) deposit(0, c, p.group, p.val);
+  at_col.clear();
+
+  if (record) {
+    record->dims = d;
+    record->children.assign(topo.node_count(), {});
+  }
+
+  // Token state: tokens flow 0 -> d behind the packets. tokens_recv counts
+  // in-edge tokens; level-0 nodes start ready. token_sent bit 0 = straight
+  // out-edge, bit 1 = cross out-edge.
+  std::vector<uint8_t> tokens_recv(topo.node_count(), 0);
+  std::vector<uint8_t> token_sent(topo.node_count(), 0);
+  auto token_ready = [&](uint64_t idx) {
+    return idx < cols /* level 0 */ || tokens_recv[idx] >= 2;
+  };
+  uint64_t tokens_pending = 2ull * d * cols;
+  for (NodeId c = 0; c < cols; ++c) active.add(topo.index(0, c));
+
+  struct LocalMove {
+    uint32_t level;  // destination level
+    NodeId col;
+    uint64_t group;
+    Val val;
+    bool is_token;
+  };
+  std::vector<LocalMove> local;
+
+  while (pending_total > 0 || tokens_pending > 0) {
+    local.clear();
+    for (uint64_t idx : active.take()) {
+      uint32_t level = static_cast<uint32_t>(idx / cols);
+      NodeId col = static_cast<NodeId>(idx % cols);
+      NCC_ASSERT(level < d);  // level-d nodes never enqueue work
+      auto& pq = pending[idx];
+      bool edge_used[2] = {false, false};
+      bool edge_wanted[2] = {false, false};
+      for (int e = 0; e < 2; ++e) {
+        bool found = false;
+        Prio best{};
+        uint64_t best_group = 0;
+        for (const auto& [g, v] : pq) {
+          (void)v;
+          bool cross = topo.step_is_cross(level, col, group_meta(g).first);
+          if (static_cast<int>(cross) != e) continue;
+          edge_wanted[e] = true;
+          Prio p{group_meta(g).second, g};
+          if (!found || p < best) {
+            found = true;
+            best = p;
+            best_group = g;
+          }
+        }
+        if (!found) continue;
+        edge_used[e] = true;
+        Val v = pq[best_group];
+        pq.erase(best_group);
+        --pending_total;
+        ++result.stats.packets_moved;
+        NodeId ncol = topo.down_column(level, col, e == 1);
+        if (record) {
+          // Record the reverse (up) edge at the child for the multicast tree.
+          uint64_t cidx = topo.index(level + 1, ncol);
+          uint8_t up_edge_bit = (ncol == col) ? 1 : 2;  // straight : cross
+          record->children[cidx][best_group] |= up_edge_bit;
+        }
+        if (e == 0) {
+          local.push_back({level + 1, ncol, best_group, v, false});
+        } else {
+          net.send(topo.host(col), topo.host(ncol), kTagDownPacket | (level + 1),
+                   {best_group, v[0], v[1]});
+        }
+      }
+      // A packet remaining at the node means another packet of its group may
+      // still arrive and combine; the token waits for the edge to clear.
+      if (token_ready(idx)) {
+        for (int e = 0; e < 2; ++e) {
+          if (edge_used[e] || edge_wanted[e] || ((token_sent[idx] >> e) & 1)) continue;
+          token_sent[idx] |= static_cast<uint8_t>(1 << e);
+          --tokens_pending;
+          NodeId ncol = topo.down_column(level, col, e == 1);
+          if (e == 0) {
+            local.push_back({level + 1, ncol, 0, {}, true});
+          } else {
+            net.send(topo.host(col), topo.host(ncol), kTagDownToken | (level + 1), {1});
+          }
+        }
+      }
+      if (!pq.empty() || (token_ready(idx) && token_sent[idx] != 3)) active.add(idx);
+    }
+
+    net.end_round();
+    ++result.stats.rounds;
+
+    auto arrive_token = [&](uint32_t level, NodeId col) {
+      if (level == d) return;  // level-d tokens terminate here
+      uint64_t idx = topo.index(level, col);
+      ++tokens_recv[idx];
+      if (token_ready(idx) && token_sent[idx] != 3) active.add(idx);
+    };
+    for (const LocalMove& mv : local) {
+      if (mv.is_token) {
+        arrive_token(mv.level, mv.col);
+      } else {
+        deposit(mv.level, mv.col, mv.group, mv.val);
+      }
+    }
+    for (NodeId u = 0; u < cols; ++u) {
+      for (const Message& m : net.inbox(u)) {
+        if (tag_kind(m.tag) == kTagDownPacket) {
+          deposit(tag_level(m.tag), u, m.word(0), Val{m.word(1), m.word(2)});
+        } else if (tag_kind(m.tag) == kTagDownToken) {
+          arrive_token(tag_level(m.tag), u);
+        }
+      }
+    }
+  }
+
+  result.stats.congestion = congestion.max();
+  if (record) record->congestion = congestion.max();
+  return result;
+}
+
+UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees& trees,
+                  const std::unordered_map<uint64_t, Val>& payloads,
+                  const std::function<uint64_t(uint64_t)>& rank) {
+  const uint32_t d = topo.dims();
+  const NodeId cols = topo.columns();
+  NCC_ASSERT(trees.children.size() == topo.node_count());
+
+  UpResult result;
+  result.at_col.assign(cols, {});
+
+  std::unordered_map<uint64_t, uint64_t> rank_cache;
+  auto group_rank = [&](uint64_t g) {
+    auto it = rank_cache.find(g);
+    if (it == rank_cache.end()) it = rank_cache.emplace(g, rank(g)).first;
+    return it->second;
+  };
+
+  // Per butterfly node: groups being served and the mask of remaining
+  // recorded up-edges (bit 0 straight, bit 1 cross).
+  struct Serving {
+    Val val;
+    uint8_t mask;
+  };
+  std::vector<std::unordered_map<uint64_t, Serving>> serving(topo.node_count());
+  uint64_t edges_remaining = 0;
+  ActiveSet active(topo.node_count());
+
+  auto arrive = [&](uint32_t level, NodeId col, uint64_t group, const Val& v) {
+    uint64_t idx = topo.index(level, col);
+    if (level == 0) {
+      result.at_col[col].push_back({group, v});
+      return;
+    }
+    auto it = trees.children[idx].find(group);
+    NCC_ASSERT_MSG(it != trees.children[idx].end() && it->second != 0,
+                   "multicast packet strayed off its recorded tree");
+    bool fresh = serving[idx].emplace(group, Serving{v, it->second}).second;
+    NCC_ASSERT_MSG(fresh, "duplicate multicast arrival for a group");
+    edges_remaining += std::popcount(static_cast<unsigned>(it->second));
+    active.add(idx);
+  };
+
+  for (const auto& [group, val] : payloads) {
+    auto rit = trees.root_col.find(group);
+    NCC_ASSERT_MSG(rit != trees.root_col.end(), "multicast for a group without a tree");
+    arrive(d, rit->second, group, val);
+  }
+
+  // Tokens flow d -> 0; level-d nodes are ready immediately.
+  std::vector<uint8_t> tokens_recv(topo.node_count(), 0);
+  std::vector<uint8_t> token_sent(topo.node_count(), 0);
+  auto token_ready = [&](uint32_t level, uint64_t idx) {
+    return level == d || tokens_recv[idx] >= 2;
+  };
+  uint64_t tokens_pending = 2ull * d * cols;
+  for (NodeId c = 0; c < cols; ++c) active.add(topo.index(d, c));
+
+  struct LocalMove {
+    uint32_t level;  // destination level
+    NodeId col;
+    uint64_t group;
+    Val val;
+    bool is_token;
+  };
+  std::vector<LocalMove> local;
+
+  while (edges_remaining > 0 || tokens_pending > 0) {
+    local.clear();
+    for (uint64_t idx : active.take()) {
+      uint32_t level = static_cast<uint32_t>(idx / cols);
+      NodeId col = static_cast<NodeId>(idx % cols);
+      NCC_ASSERT(level >= 1);  // level-0 nodes never enqueue up-work
+      auto& sv = serving[idx];
+      bool edge_used[2] = {false, false};
+      bool edge_wanted[2] = {false, false};
+      for (int e = 0; e < 2; ++e) {
+        bool found = false;
+        Prio best{};
+        uint64_t best_group = 0;
+        for (const auto& [g, s] : sv) {
+          if (!((s.mask >> e) & 1)) continue;
+          edge_wanted[e] = true;
+          Prio p{group_rank(g), g};
+          if (!found || p < best) {
+            found = true;
+            best = p;
+            best_group = g;
+          }
+        }
+        if (!found) continue;
+        edge_used[e] = true;
+        auto sit = sv.find(best_group);
+        Val v = sit->second.val;
+        sit->second.mask &= static_cast<uint8_t>(~(1 << e));
+        if (sit->second.mask == 0) sv.erase(sit);
+        --edges_remaining;
+        ++result.stats.packets_moved;
+        NodeId ncol = topo.up_column(level, col, e == 1);
+        if (e == 0) {
+          local.push_back({level - 1, ncol, best_group, v, false});
+        } else {
+          net.send(topo.host(col), topo.host(ncol), kTagUpPacket | (level - 1),
+                   {best_group, v[0], v[1]});
+        }
+      }
+      if (token_ready(level, idx)) {
+        for (int e = 0; e < 2; ++e) {
+          if (edge_used[e] || edge_wanted[e] || ((token_sent[idx] >> e) & 1)) continue;
+          token_sent[idx] |= static_cast<uint8_t>(1 << e);
+          --tokens_pending;
+          NodeId ncol = topo.up_column(level, col, e == 1);
+          if (e == 0) {
+            local.push_back({level - 1, ncol, 0, {}, true});
+          } else {
+            net.send(topo.host(col), topo.host(ncol), kTagUpToken | (level - 1), {1});
+          }
+        }
+      }
+      if (!sv.empty() || (token_ready(level, idx) && token_sent[idx] != 3)) active.add(idx);
+    }
+
+    net.end_round();
+    ++result.stats.rounds;
+
+    auto arrive_token = [&](uint32_t level, NodeId col) {
+      if (level == 0) return;  // level-0 tokens terminate here
+      uint64_t idx = topo.index(level, col);
+      ++tokens_recv[idx];
+      if (token_ready(level, idx) && token_sent[idx] != 3) active.add(idx);
+    };
+    for (const LocalMove& mv : local) {
+      if (mv.is_token) {
+        arrive_token(mv.level, mv.col);
+      } else {
+        arrive(mv.level, mv.col, mv.group, mv.val);
+      }
+    }
+    for (NodeId u = 0; u < cols; ++u) {
+      for (const Message& m : net.inbox(u)) {
+        if (tag_kind(m.tag) == kTagUpPacket) {
+          arrive(tag_level(m.tag), u, m.word(0), Val{m.word(1), m.word(2)});
+        } else if (tag_kind(m.tag) == kTagUpToken) {
+          arrive_token(tag_level(m.tag), u);
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace ncc

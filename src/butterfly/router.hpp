@@ -1,0 +1,112 @@
+// Combining random-rank routing on the emulated butterfly (Appendix B).
+//
+// Two engines:
+//  * `route_down` — the Combining Phase of the Aggregation Algorithm: packets
+//    labeled with an aggregation-group id start at level-0 butterfly nodes and
+//    follow the unique butterfly path to the group's intermediate target
+//    h(group) at level d. Per directed edge one packet moves per round; when
+//    packets of different groups contend for an edge, the one with the
+//    smallest rank rho(group) wins (ties by group id); packets of the same
+//    group meeting at a butterfly node are combined with the aggregate
+//    function. Optionally records the traversed edges as multicast trees
+//    (Theorem 2.4) and tracks per-butterfly-node congestion.
+//  * `route_up` — the Spreading Phase of the Multicast Algorithm: packets
+//    start at tree roots (level d) and are copied upward along the recorded
+//    tree edges under the same per-edge/rank contention rule.
+//
+// Termination detection is simulated faithfully with the paper's token
+// scheme: tokens trail the packets down (or up) the butterfly and a node
+// forwards its token on an edge only once it can never send another packet
+// on that edge; the engines run until the tokens drain, so the reported round
+// counts include the detection overhead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "butterfly/topology.hpp"
+#include "net/network.hpp"
+
+namespace ncc {
+
+/// Aggregate value carried by a packet: two 64-bit words (an edge identifier
+/// plus a counter/weight — the widest aggregate the paper's algorithms use).
+using Val = std::array<uint64_t, 2>;
+
+using CombineFn = std::function<Val(const Val&, const Val&)>;
+
+/// Standard distributive aggregate functions (Section 2.1).
+namespace agg {
+Val sum(const Val& a, const Val& b);
+Val min_by_first(const Val& a, const Val& b);
+Val max_by_first(const Val& a, const Val& b);
+/// XOR first word, sum second — the Identification Algorithm's sketch.
+Val xor_count(const Val& a, const Val& b);
+/// (XOR, XOR) of both words mod nothing — FindMin's mod-2 sketches pack here.
+Val xor_xor(const Val& a, const Val& b);
+}  // namespace agg
+
+struct AggPacket {
+  uint64_t group = 0;
+  Val val{};
+};
+
+/// Multicast trees produced by route_down with recording enabled
+/// (Theorem 2.4). `children[index(level, col)]` maps a group id to the
+/// bitmask of up-edges (bit 0 straight, bit 1 cross) that lead toward its
+/// recorded leaves; `leaf_members[col]` lists (group, member) pairs whose
+/// leaf l(group, member) is the level-0 node of column `col`.
+struct MulticastTrees {
+  uint32_t dims = 0;
+  std::vector<std::unordered_map<uint64_t, uint8_t>> children;
+  std::unordered_map<uint64_t, NodeId> root_col;  // group -> level-d column
+  std::vector<std::vector<std::pair<uint64_t, NodeId>>> leaf_members;
+  uint32_t congestion = 0;  // max #groups sharing one butterfly node
+
+  /// Max number of leaf deliveries any single level-0 column performs.
+  uint32_t max_leaf_load() const;
+};
+
+struct RouteStats {
+  uint64_t rounds = 0;       // NCC rounds consumed by this engine run
+  uint32_t congestion = 0;   // max distinct groups visiting one butterfly node
+  uint64_t packets_moved = 0;
+  uint64_t combines = 0;
+};
+
+struct DownResult {
+  /// Final aggregate per group, held by the level-d node of column
+  /// root_col[group] (host = that column's real node).
+  std::unordered_map<uint64_t, Val> root_values;
+  std::unordered_map<uint64_t, NodeId> root_col;
+  RouteStats stats;
+};
+
+/// Route packets from level 0 to their groups' level-d targets, combining.
+/// `at_col[c]` holds the packets already injected at level-0 column c.
+/// `dest_col(group)` gives h(group) in [0, 2^d); `rank(group)` the random
+/// rank rho(group). If `record` is non-null, tree edges and congestion are
+/// recorded into it (leaf_members must be pre-filled by the caller).
+DownResult route_down(const ButterflyTopo& topo, Network& net,
+                      std::vector<std::vector<AggPacket>> at_col,
+                      const std::function<NodeId(uint64_t)>& dest_col,
+                      const std::function<uint64_t(uint64_t)>& rank,
+                      const CombineFn& combine, MulticastTrees* record = nullptr);
+
+struct UpResult {
+  /// Packets delivered to level-0 leaf nodes: per column, (group, value).
+  std::vector<std::vector<AggPacket>> at_col;
+  RouteStats stats;
+};
+
+/// Multicast payloads from the tree roots (level d) up to the recorded
+/// leaves. `payloads` maps group -> packet value; every group must have a
+/// root recorded in `trees`.
+UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees& trees,
+                  const std::unordered_map<uint64_t, Val>& payloads,
+                  const std::function<uint64_t(uint64_t)>& rank);
+
+}  // namespace ncc

@@ -1,0 +1,80 @@
+// The d-dimensional butterfly emulated on the NCC nodes (Section 2.2).
+//
+// For d = floor(log2 n) the butterfly has node set [d+1] x [2^d]; level-i node
+// (i, a) connects to (i+1, a) (straight edge) and (i+1, b) where b flips bit i
+// (cross edge). Real node j < 2^d emulates the whole column j; real nodes with
+// id >= 2^d do not emulate butterfly nodes and attach to level-0 node
+// (0, id - 2^d) for input/output. Straight edges stay inside one column (free
+// local state); cross edges cross columns and cost real NCC messages — a
+// butterfly communication round therefore maps to exactly one NCC round.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+class ButterflyTopo {
+ public:
+  explicit ButterflyTopo(NodeId n)
+      : n_(n), dims_(floor_log2(n)), columns_(NodeId{1} << dims_) {
+    NCC_ASSERT(n >= 2);
+  }
+
+  NodeId n() const { return n_; }
+  uint32_t dims() const { return dims_; }          // d
+  NodeId columns() const { return columns_; }      // 2^d
+  uint32_t levels() const { return dims_ + 1; }    // d + 1
+
+  /// Real node hosting column `col`.
+  NodeId host(NodeId col) const {
+    NCC_ASSERT(col < columns_);
+    return col;
+  }
+
+  /// True if real node `u` emulates a butterfly column.
+  bool emulates(NodeId u) const { return u < columns_; }
+
+  /// Level-0 attachment column for a non-emulating real node (id >= 2^d).
+  NodeId attach_column(NodeId u) const {
+    NCC_ASSERT(!emulates(u));
+    return u - columns_;
+  }
+
+  /// Column reached from (level, col) following the down-edge; `cross` selects
+  /// the bit-i-flipping edge.
+  NodeId down_column(uint32_t level, NodeId col, bool cross) const {
+    NCC_ASSERT(level < dims_);
+    return cross ? (col ^ (NodeId{1} << level)) : col;
+  }
+
+  /// Column reached from (level, col) following the up-edge.
+  NodeId up_column(uint32_t level, NodeId col, bool cross) const {
+    NCC_ASSERT(level >= 1 && level <= dims_);
+    return cross ? (col ^ (NodeId{1} << (level - 1))) : col;
+  }
+
+  /// On the unique level-0 -> level-d path from `col` to destination column
+  /// `dest`, the step at `level` is a cross edge iff bit `level` differs.
+  bool step_is_cross(uint32_t level, NodeId col, NodeId dest) const {
+    NCC_ASSERT(level < dims_);
+    return ((col ^ dest) >> level) & 1u;
+  }
+
+  /// Flat index of butterfly node (level, col) for state arrays.
+  uint64_t index(uint32_t level, NodeId col) const {
+    NCC_ASSERT(level <= dims_ && col < columns_);
+    return static_cast<uint64_t>(level) * columns_ + col;
+  }
+  uint64_t node_count() const { return static_cast<uint64_t>(levels()) * columns_; }
+
+ private:
+  NodeId n_;
+  uint32_t dims_;
+  NodeId columns_;
+};
+
+}  // namespace ncc

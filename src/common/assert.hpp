@@ -1,0 +1,30 @@
+// Lightweight assertion macros used throughout the library.
+//
+// NCC_ASSERT is active in all build types: the simulator's correctness
+// guarantees (capacity bounds, routing invariants) are part of the model
+// semantics, not just debugging aids, so we never compile them out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ncc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "NCC_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ncc
+
+#define NCC_ASSERT(expr)                                             \
+  do {                                                               \
+    if (!(expr)) ::ncc::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define NCC_ASSERT_MSG(expr, msg)                                 \
+  do {                                                            \
+    if (!(expr)) ::ncc::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace ncc {
+
+namespace {
+constexpr uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  NCC_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+Rng Rng::fork(uint64_t tag) const {
+  // Mix the current state with the tag; does not advance this generator.
+  uint64_t seed = mix64(s_[0] ^ mix64(tag ^ 0xabcdef0123456789ULL) ^ rotl(s_[3], 13));
+  return Rng(seed);
+}
+
+std::vector<uint64_t> Rng::sample_without_replacement(uint64_t n, uint64_t k) {
+  NCC_ASSERT(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over [0, n).
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + next_below(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    std::unordered_set<uint64_t> seen;
+    while (out.size() < k) {
+      uint64_t v = next_below(n);
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace ncc

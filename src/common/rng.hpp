@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through `Rng` (xoshiro256** seeded by
+// splitmix64) so that every simulation is reproducible from a single seed.
+// `Rng::fork(tag)` derives independent streams for sub-components, which keeps
+// results stable when unrelated code draws extra numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ncc {
+
+/// splitmix64 step; also used as a cheap 64-bit finalizer/mixer.
+constexpr uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a value (splitmix64 finalizer).
+constexpr uint64_t mix64(uint64_t x) {
+  uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  uint64_t next();
+
+  /// Uniform in [0, bound) via Lemire's multiply-shift (bound > 0).
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+  /// Derive an independent generator for a tagged sub-component.
+  Rng fork(uint64_t tag) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values from [0, n) (k <= n), in random order.
+  std::vector<uint64_t> sample_without_replacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ncc

@@ -1,0 +1,29 @@
+// BFS tree construction (Section 5.1): O((a + D + log n) log n) rounds, w.h.p.
+//
+// Phase i activates the nodes first reached in phase i-1; active nodes send
+// their identifier to all neighbors through the broadcast trees (Corollary 1,
+// MIN aggregate), and newly reached nodes adopt the minimum received
+// identifier as their BFS parent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/broadcast_trees.hpp"
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc {
+
+struct BfsResult {
+  std::vector<uint32_t> dist;   // delta(u); UINT32_MAX if unreachable
+  std::vector<NodeId> parent;   // pi(u); = u for the source and unreachable nodes
+  uint32_t phases = 0;
+  uint64_t rounds = 0;  // NCC rounds of the BFS itself (trees built separately)
+};
+
+BfsResult run_bfs(const Shared& shared, Network& net, const Graph& g,
+                  const BroadcastTrees& bt, NodeId source, uint64_t rng_tag = 0);
+
+}  // namespace ncc

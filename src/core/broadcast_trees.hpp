@@ -1,0 +1,40 @@
+// Broadcast trees (Section 5 preamble, Lemma 5.1): one multicast tree per
+// node u for the group A_{id(u)} = N(u), letting every node talk to all of
+// its neighbors. Built on top of an O(a)-orientation so that the injection
+// load per node is O(a) instead of Delta: for every oriented edge u -> v, u
+// injects both membership packets (u joining A_{id(v)} and v joining
+// A_{id(u)}).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+#include "primitives/multi_aggregation.hpp"
+#include "primitives/multicast.hpp"
+
+namespace ncc {
+
+struct BroadcastTrees {
+  MulticastTrees trees;
+  uint64_t rounds = 0;      // setup cost (Lemma 5.1: O(a + log n))
+  uint32_t congestion = 0;  // tree congestion (Lemma 5.1: O(a + log n))
+};
+
+/// Group ids are the node ids: tree of A_{id(u)} has group id u.
+BroadcastTrees build_broadcast_trees(const Shared& shared, Network& net, const Graph& g,
+                                     const Orientation& orientation,
+                                     uint64_t rng_tag = 0);
+
+/// Corollary 1: a neighborhood exchange over the broadcast trees. Every node
+/// u in `senders` multicasts payload[u] to N(u); every node receives the
+/// f-aggregate over the payloads of its sending neighbors. Cost
+/// O(sum of degrees of senders / n + log n) rounds, w.h.p.
+MultiAggregationResult neighborhood_exchange(const Shared& shared, Network& net,
+                                             const BroadcastTrees& bt,
+                                             const std::vector<NodeId>& senders,
+                                             const std::vector<Val>& payload_by_node,
+                                             const CombineFn& combine, uint64_t rng_tag,
+                                             const LeafAnnotateFn& annotate = nullptr);
+
+}  // namespace ncc

@@ -1,0 +1,41 @@
+// O(a)-Coloring (Section 5.4): O((a + log n) log^{3/2} n) rounds, w.h.p.
+//
+// Uses the level partition L_1..L_T produced by the Orientation Algorithm and
+// colors the levels from highest to lowest with the Color-Random step of
+// Kothapalli et al.: every uncolored node of the current level picks a random
+// color from its palette, learns the picks of its same-level out-neighbors
+// through multicast trees over the in-neighborhoods A_{id(u)} = N_in(u), and
+// keeps its color unless an out-neighbor picked the same one. Permanent
+// choices are announced to in-neighbors (Multicast) and out-neighbors
+// (Aggregation with per-color groups) and removed from all palettes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/orientation_algo.hpp"
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc {
+
+struct ColoringParams {
+  /// Palette slack epsilon: palette size = ceil(2 (1 + eps) a_hat).
+  double eps = 0.5;
+};
+
+struct ColoringResult {
+  std::vector<uint32_t> color;
+  uint32_t palette_size = 0;  // 2(1+eps) a_hat = O(a)
+  uint32_t a_hat = 0;         // max(d_L(u), d_out(u)) over all u
+  uint32_t phases = 0;        // number of levels processed
+  uint32_t repetitions = 0;   // total Color-Random repetitions across phases
+  uint64_t rounds = 0;
+};
+
+ColoringResult run_coloring(const Shared& shared, Network& net, const Graph& g,
+                            const OrientationRunResult& orient,
+                            const ColoringParams& params = {}, uint64_t rng_tag = 0);
+
+}  // namespace ncc

@@ -1,0 +1,28 @@
+#include "core/components.hpp"
+
+#include <unordered_set>
+
+#include "core/mst.hpp"
+
+namespace ncc {
+
+ComponentsResult run_components(const Shared& shared, Network& net, const Graph& g,
+                                uint64_t rng_tag) {
+  // Unit-weight copy: the MST of an unweighted graph is a spanning forest and
+  // the Boruvka leaders are component labels.
+  std::vector<Edge> unit_edges = g.edges();
+  for (Edge& e : unit_edges) e.w = 1;
+  Graph unit(g.n(), std::move(unit_edges));
+
+  MstResult mst = run_mst(shared, net, unit, {}, mix64(rng_tag ^ 0xcc));
+  ComponentsResult res;
+  res.leader = std::move(mst.leader);
+  res.forest = std::move(mst.edges);
+  res.phases = mst.phases;
+  res.rounds = mst.rounds;
+  std::unordered_set<NodeId> distinct(res.leader.begin(), res.leader.end());
+  res.count = static_cast<uint32_t>(distinct.size());
+  return res;
+}
+
+}  // namespace ncc

@@ -1,0 +1,32 @@
+// Connected components in the NCC model.
+//
+// A direct corollary of Section 3: running the MST algorithm on unit weights
+// is Boruvka connectivity — when it terminates, every node knows its
+// component's leader identifier, giving a consistent component labeling in
+// O(log^4 n) rounds (typically far fewer: unit weights shrink the FindMin
+// key space to the endpoint bits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc {
+
+struct ComponentsResult {
+  /// Component label per node (the final Boruvka leader id).
+  std::vector<NodeId> leader;
+  uint32_t count = 0;
+  /// A spanning forest of the components (each edge known to one endpoint).
+  std::vector<Edge> forest;
+  uint32_t phases = 0;
+  uint64_t rounds = 0;
+};
+
+ComponentsResult run_components(const Shared& shared, Network& net, const Graph& g,
+                                uint64_t rng_tag = 0);
+
+}  // namespace ncc

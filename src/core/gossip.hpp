@@ -1,0 +1,31 @@
+// Naive gossip and broadcast in the NCC model, used by the model-gap bench
+// (Section 1): gossip — one token from every node to every other node —
+// requires Omega(n / log n) rounds because only ~n log n messages fit through
+// the network per round; broadcast — one token from node 0 to everyone —
+// takes Theta(log n / log log n) rounds via capacity-log_n fan-out (we realize
+// the O(log n)-fanout doubling variant).
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+
+namespace ncc {
+
+struct GossipResult {
+  uint64_t rounds = 0;
+  bool complete = false;  // every node received every other node's token
+};
+
+/// Round-robin all-to-all token dissemination at full node capacity.
+GossipResult run_gossip(Network& net);
+
+struct BroadcastResult {
+  uint64_t rounds = 0;
+  bool complete = false;
+};
+
+/// Node 0's token to everyone with (cap+1)-ary fan-out per round.
+BroadcastResult run_broadcast(Network& net);
+
+}  // namespace ncc

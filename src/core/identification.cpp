@@ -1,0 +1,143 @@
+#include "core/identification.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/hash.hpp"
+#include "primitives/aggregation.hpp"
+
+namespace ncc {
+
+namespace {
+
+// Group id encoding: (learning node id << kTrialBits) | trial.
+constexpr uint32_t kTrialBits = 26;
+
+/// Distinct trials an arc participates in under the family.
+std::vector<uint32_t> arc_trials(const HashFamily& fam, uint64_t arc, uint32_t q) {
+  std::vector<uint32_t> trials;
+  trials.reserve(fam.size());
+  for (uint32_t j = 0; j < fam.size(); ++j)
+    trials.push_back(static_cast<uint32_t>(fam.fn(j).to_range(arc, q)));
+  std::sort(trials.begin(), trials.end());
+  trials.erase(std::unique(trials.begin(), trials.end()), trials.end());
+  return trials;
+}
+
+}  // namespace
+
+IdentificationResult run_identification(const Shared& shared, Network& net,
+                                        const IdentificationInput& input,
+                                        const IdentificationParams& params,
+                                        uint64_t rng_tag) {
+  NCC_ASSERT(input.candidates.size() == input.learning.size());
+  NCC_ASSERT(input.potential.size() == input.playing.size());
+  NCC_ASSERT_MSG(params.q < (1u << kTrialBits), "trial count exceeds group encoding");
+  uint64_t start_rounds = net.rounds();
+
+  // Shared hash functions h_1..h_s (their seeds cost a charged broadcast).
+  HashFamily fam = shared.make_family(net, mix64(0x1de9f1 ^ rng_tag), params.s,
+                                      2 * cap_log(shared.topo().n()));
+
+  // Playing nodes contribute (XOR of arc id, count) per (neighbor, trial).
+  AggregationProblem prob;
+  prob.combine = agg::xor_count;
+  prob.target = [](uint64_t g) { return static_cast<NodeId>(g >> kTrialBits); };
+  prob.ell2_hat = params.q;
+  for (size_t pi = 0; pi < input.playing.size(); ++pi) {
+    NodeId v = input.playing[pi];
+    for (NodeId w : input.potential[pi]) {
+      uint64_t arc = arc_id(w, v);
+      for (uint32_t t : arc_trials(fam, arc, params.q)) {
+        uint64_t group = (static_cast<uint64_t>(w) << kTrialBits) | t;
+        prob.items.push_back({v, group, Val{arc, 1}});
+      }
+    }
+  }
+  AggregationResult aggregated = run_aggregation(shared, net, prob, rng_tag);
+
+  // Decode phase (pure local computation at each learning node).
+  IdentificationResult res;
+  res.red.resize(input.learning.size());
+  res.success.assign(input.learning.size(), false);
+  for (size_t li = 0; li < input.learning.size(); ++li) {
+    NodeId u = input.learning[li];
+    const auto& cand = input.candidates[li];
+
+    // Local sketch over all candidate arcs.
+    struct TrialState {
+      uint64_t x_xor = 0;       // XOR of candidate arc ids in this trial
+      uint32_t x_cnt = 0;       // number of candidate arcs in this trial
+      uint64_t blue_xor = 0;    // aggregated XOR from playing neighbors
+      uint32_t blue_cnt = 0;    // aggregated count from playing neighbors
+    };
+    std::unordered_map<uint32_t, TrialState> trials;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> arc_to_trials;
+    std::unordered_set<uint64_t> remaining;  // candidate arcs not yet decoded
+    for (NodeId v : cand) {
+      uint64_t arc = arc_id(u, v);
+      auto ts = arc_trials(fam, arc, params.q);
+      for (uint32_t t : ts) {
+        auto& st = trials[t];
+        st.x_xor ^= arc;
+        st.x_cnt += 1;
+      }
+      arc_to_trials.emplace(arc, std::move(ts));
+      remaining.insert(arc);
+    }
+    for (auto& [t, st] : trials) {
+      uint64_t group = (static_cast<uint64_t>(u) << kTrialBits) | t;
+      auto it = aggregated.at_target.find(group);
+      if (it != aggregated.at_target.end()) {
+        st.blue_xor = it->second[0];
+        st.blue_cnt = static_cast<uint32_t>(it->second[1]);
+      }
+    }
+
+    // Peel trials holding exactly one red arc.
+    bool corrupt = false;
+    bool progress = true;
+    while (progress && !corrupt) {
+      progress = false;
+      for (auto& [t, st] : trials) {
+        if (st.x_cnt != st.blue_cnt + 1) continue;
+        uint64_t arc = st.x_xor ^ st.blue_xor;
+        auto ait = arc_to_trials.find(arc);
+        if (ait == arc_to_trials.end() || !remaining.count(arc)) {
+          // A hash collision pattern produced garbage (probability bounded by
+          // Lemma 4.2); abort decoding and report failure.
+          corrupt = true;
+          break;
+        }
+        remaining.erase(arc);
+        res.red[li].push_back(static_cast<NodeId>(arc & 0xffffffffu));
+        for (uint32_t t2 : ait->second) {
+          auto& st2 = trials[t2];
+          st2.x_xor ^= arc;
+          st2.x_cnt -= 1;
+        }
+        progress = true;
+        break;  // restart scan: trial states changed
+      }
+    }
+
+    if (!corrupt) {
+      bool all_blue = true;
+      for (const auto& [t, st] : trials) {
+        if (st.x_cnt != st.blue_cnt) {
+          all_blue = false;
+          break;
+        }
+      }
+      res.success[li] = all_blue;
+    }
+    std::sort(res.red[li].begin(), res.red[li].end());
+  }
+
+  res.rounds = net.rounds() - start_rounds;
+  return res;
+}
+
+}  // namespace ncc

@@ -1,0 +1,33 @@
+// Maximal Matching (Section 5.3): O((a + log n) log n) rounds, w.h.p.
+//
+// Israeli–Itai over the broadcast trees. Each phase: every unmatched node
+// picks a uniformly random unmatched neighbor (implemented with the
+// leaf-annotation variant of Multi-Aggregation: each leaf l(i, u) tags the
+// multicast packet with a random priority and the MIN aggregate delivers a
+// uniform choice); chosen nodes accept their minimum-id chooser (Aggregation);
+// the resulting paths/cycles pick random incident edges, and edges picked
+// from both sides join the matching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/broadcast_trees.hpp"
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc {
+
+inline constexpr NodeId kUnmatched = UINT32_MAX;
+
+struct MatchingResult {
+  std::vector<NodeId> mate;  // kUnmatched if the node is unmatched
+  uint32_t phases = 0;
+  uint64_t rounds = 0;
+};
+
+MatchingResult run_matching(const Shared& shared, Network& net, const Graph& g,
+                            const BroadcastTrees& bt, uint64_t rng_tag = 0);
+
+}  // namespace ncc

@@ -1,0 +1,28 @@
+// Maximal Independent Set (Section 5.2): O((a + log n) log n) rounds, w.h.p.
+//
+// The algorithm of Métivier et al. run over the broadcast trees: each phase,
+// every active node draws a random value and joins the MIS iff its value is
+// a strict minimum among its active neighbors; MIS joiners then knock out
+// their neighbors, and an Aggregate-and-Broadcast detects termination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/broadcast_trees.hpp"
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc {
+
+struct MisResult {
+  std::vector<bool> in_mis;
+  uint32_t phases = 0;
+  uint64_t rounds = 0;
+};
+
+MisResult run_mis(const Shared& shared, Network& net, const Graph& g,
+                  const BroadcastTrees& bt, uint64_t rng_tag = 0);
+
+}  // namespace ncc

@@ -1,0 +1,66 @@
+// The Orientation Algorithm (Section 4): computes an O(a)-orientation of the
+// input graph in O((a + log n) log n) rounds, w.h.p.
+//
+// Nash-Williams-style peeling: in each phase the nodes whose remaining degree
+// is at most twice the average remaining degree become *active*, direct all
+// their not-yet-directed edges away from themselves (toward waiting
+// neighbors, by id between two active nodes) and become *inactive*. A phase
+// runs in three stages:
+//   1. every non-inactive node computes its remaining degree d_i(u) via an
+//      Aggregation from its inactive neighbors, and the average via
+//      Aggregate-and-Broadcast;
+//   2. every active node identifies its inactive neighbors with the
+//      Identification Algorithm (constant s first; unsuccessful high-degree
+//      nodes resolved by a global id broadcast, unsuccessful low-degree nodes
+//      by a second Identification run with s = Theta(log n));
+//   3. every active node distinguishes active from waiting red neighbors by
+//      hashing each edge to a random (node, round) rendezvous.
+//
+// The run also returns the level partition L_1..L_T and the per-node local
+// knowledge (same/lower/higher-level neighbor classification) that the
+// O(a)-coloring algorithm of Section 5.4 consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc {
+
+struct OrientationAlgoParams {
+  /// The constant c of Section 4.2 (paper asks c > 6 for the w.h.p. bounds at
+  /// asymptotic n; smaller constants work at simulable sizes because failed
+  /// identifications are detected and retried).
+  uint32_t c = 4;
+  /// Retries of the second Identification step before falling back to the
+  /// direct (high-degree style) resolution.
+  uint32_t max_retries = 2;
+};
+
+struct OrientationRunResult {
+  Orientation orientation;
+  /// level[u] = phase in which u became active (1-based).
+  std::vector<uint32_t> level;
+  /// Per node: neighbors in the same level (the d_L(u) set used by coloring).
+  std::vector<std::vector<NodeId>> same_level;
+  uint32_t phases = 0;
+  uint64_t rounds = 0;  // total NCC rounds (simulated + charged)
+  /// d* = max over phases of the max active remaining degree; the O(a) bound
+  /// every node knows at the end (used as the palette scale by coloring).
+  uint32_t d_star = 0;
+  /// Diagnostics: how many nodes needed the second identification step / the
+  /// direct fallback, summed over phases.
+  uint64_t unsuccessful_first = 0;
+  uint64_t direct_fallbacks = 0;
+
+  OrientationRunResult(const Graph& g) : orientation(g) {}
+};
+
+OrientationRunResult run_orientation(const Shared& shared, Network& net, const Graph& g,
+                                     const OrientationAlgoParams& params = {});
+
+}  // namespace ncc

@@ -1,0 +1,184 @@
+#include "core/overlay_join.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace ncc {
+
+namespace {
+
+constexpr uint32_t kTagRequest = 0x6000;  // {origin, target, hops}
+constexpr uint32_t kTagReply = 0x6100;    // {target(=sender), hops}
+
+/// Circular identifier distance on [0, n).
+uint64_t ring_dist(NodeId a, NodeId b, NodeId n) {
+  uint32_t d = a > b ? a - b : b - a;
+  return std::min<uint32_t>(d, n - d);
+}
+
+/// The id in `known` closest to `target` (ties toward the numerically
+/// smaller id, deterministic).
+NodeId closest_known(const std::set<NodeId>& known, NodeId target, NodeId n) {
+  NCC_ASSERT(!known.empty());
+  auto it = known.lower_bound(target);
+  NodeId best = *known.begin();
+  uint64_t best_d = ring_dist(best, target, n);
+  auto consider = [&](NodeId cand) {
+    uint64_t d = ring_dist(cand, target, n);
+    if (d < best_d || (d == best_d && cand < best)) {
+      best = cand;
+      best_d = d;
+    }
+  };
+  if (it != known.end()) consider(*it);
+  if (it != known.begin()) consider(*std::prev(it));
+  // Wrap-around candidates.
+  consider(*known.begin());
+  consider(*std::prev(known.end()));
+  return best;
+}
+
+}  // namespace
+
+OverlayJoinResult build_butterfly_overlay(Network& net, const ButterflyTopo& topo,
+                                          const OverlayJoinParams& params,
+                                          uint64_t seed) {
+  const NodeId n = net.n();
+  NCC_ASSERT(topo.n() == n);
+  const uint32_t logn = cap_log(n);
+  OverlayJoinResult res;
+
+  // Initial knowledge: ring neighbors (the sorted base overlay a join layer
+  // like Spartan maintains) plus contacts_factor * log n random contacts.
+  Rng rng(mix64(seed ^ 0x07e1a4ULL));
+  std::vector<std::set<NodeId>> known(n);
+  for (NodeId u = 0; u < n; ++u) {
+    known[u].insert((u + 1) % n);
+    known[u].insert((u + n - 1) % n);
+    for (uint32_t j = 0; j < params.contacts_factor * logn; ++j) {
+      NodeId c = static_cast<NodeId>(rng.next_below(n));
+      if (c != u) known[u].insert(c);
+    }
+  }
+
+  // Targets: the butterfly cross-neighbor hosts of the node's column (all
+  // levels flip one column bit), plus the attachment link for non-emulating
+  // nodes.
+  std::vector<std::deque<NodeId>> wanted(n);
+  uint64_t satisfied_needed = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (topo.emulates(u)) {
+      for (uint32_t j = 0; j < topo.dims(); ++j) {
+        NodeId t = topo.host(u ^ (NodeId{1} << j));
+        if (t != u && !known[u].count(t)) wanted[u].push_back(t);
+      }
+    } else {
+      NodeId t = topo.host(topo.attach_column(u));
+      if (t != u && !known[u].count(t)) wanted[u].push_back(t);
+    }
+    satisfied_needed += wanted[u].size();
+  }
+  res.requests = satisfied_needed;
+
+  // In-flight forwarding queues: per node, the requests it must forward in
+  // upcoming rounds (FIFO, paced by the send capacity).
+  struct Req {
+    NodeId origin;
+    NodeId target;
+    uint32_t hops;
+  };
+  std::vector<std::deque<Req>> forward(n);
+  std::vector<std::deque<NodeId>> replies(n);  // targets owing origin a reply
+
+  uint64_t satisfied = 0;
+  uint64_t in_flight = 0;
+  const uint32_t budget = net.cap();
+
+  while (satisfied < satisfied_needed || in_flight > 0) {
+    NCC_ASSERT_MSG(res.rounds < 64ull * logn * logn + 64,
+                   "overlay join failed to converge");
+    // Send phase: replies first (they complete introductions), then
+    // forwards, then fresh launches — all within the capacity budget.
+    for (NodeId u = 0; u < n; ++u) {
+      uint32_t sent = 0;
+      while (!replies[u].empty() && sent < budget) {
+        NodeId origin = replies[u].front();
+        replies[u].pop_front();
+        net.send(u, origin, kTagReply, {u});
+        ++sent;
+      }
+      while (!forward[u].empty() && sent < budget) {
+        Req r = forward[u].front();
+        forward[u].pop_front();
+        NodeId next = closest_known(known[u], r.target, n);
+        NCC_ASSERT_MSG(next != u && ring_dist(next, r.target, n) <
+                                        ring_dist(u, r.target, n),
+                       "greedy routing made no progress");
+        net.send(u, next, kTagRequest, {r.origin, r.target, r.hops + 1});
+        ++sent;
+      }
+      uint32_t launched = 0;
+      while (!wanted[u].empty() && sent < budget && launched < params.launch_batch) {
+        NodeId target = wanted[u].front();
+        wanted[u].pop_front();
+        NodeId next = closest_known(known[u], target, n);
+        NCC_ASSERT(next != u);
+        net.send(u, next, kTagRequest, {u, target, 1});
+        ++in_flight;
+        ++sent;
+        ++launched;
+      }
+    }
+    net.end_round();
+    ++res.rounds;
+    // Receive phase.
+    for (NodeId u = 0; u < n; ++u) {
+      for (const Message& m : net.inbox(u)) {
+        if (m.tag == kTagRequest) {
+          NodeId origin = static_cast<NodeId>(m.word(0));
+          NodeId target = static_cast<NodeId>(m.word(1));
+          uint32_t hops = static_cast<uint32_t>(m.word(2));
+          if (u == target) {
+            known[u].insert(origin);  // introduced by the request itself
+            replies[u].push_back(origin);
+            res.total_hops += hops;
+            res.max_hops = std::max(res.max_hops, hops);
+          } else {
+            forward[u].push_back({origin, target, hops});
+          }
+        } else if (m.tag == kTagReply) {
+          known[u].insert(static_cast<NodeId>(m.word(0)));
+          ++satisfied;
+          --in_flight;
+        }
+      }
+    }
+    NCC_ASSERT_MSG(net.stats().messages_dropped == 0,
+                   "overlay join overloaded the network");
+  }
+
+  // Verify: every node now knows all of its butterfly neighbor hosts.
+  res.complete = true;
+  res.min_knowledge = UINT32_MAX;
+  for (NodeId u = 0; u < n; ++u) {
+    if (topo.emulates(u)) {
+      for (uint32_t j = 0; j < topo.dims(); ++j) {
+        NodeId t = topo.host(u ^ (NodeId{1} << j));
+        if (t != u && !known[u].count(t)) res.complete = false;
+      }
+    } else if (!known[u].count(topo.host(topo.attach_column(u)))) {
+      res.complete = false;
+    }
+    res.min_knowledge =
+        std::min<uint32_t>(res.min_knowledge, static_cast<uint32_t>(known[u].size()));
+    res.max_knowledge =
+        std::max<uint32_t>(res.max_knowledge, static_cast<uint32_t>(known[u].size()));
+  }
+  return res;
+}
+
+}  // namespace ncc

@@ -1,0 +1,60 @@
+// Butterfly overlay construction under restricted initial knowledge
+// (Section 6 / footnote 4 of the paper).
+//
+// The paper observes that none of its algorithms actually needs the full
+// clique knowledge: it suffices that every node initially knows Theta(log n)
+// uniformly random node identifiers, because the butterfly overlay that all
+// communication runs over can be built from such random contacts (citing
+// Spartan [2] for the general construction). We implement the concrete
+// special case the paper needs:
+//
+//   * every node must *learn* (i.e., be introduced to) the hosts of its
+//     butterfly cross-neighbors — O(log n) specific identifiers;
+//   * a node may only send messages to identifiers it has already learned
+//     (the knowledge-restricted variant of the NCC);
+//   * introductions are routed greedily through the random-contact graph:
+//     a request for target t is forwarded to the known id closest to t in
+//     circular id distance, which halves the expected distance per hop
+//     (O(log n) hops w.h.p., as in Chord-style routing with random fingers).
+//
+// The run returns the simulated rounds and verifies the knowledge discipline
+// internally: any send to a not-yet-learned id aborts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "butterfly/topology.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace ncc {
+
+struct OverlayJoinParams {
+  /// Initial random contacts per node: contacts_factor * ceil(log2 n).
+  uint32_t contacts_factor = 2;
+  /// Requests a node launches per round (stays within the send capacity
+  /// together with the forwarded traffic).
+  uint32_t launch_batch = 2;
+};
+
+struct OverlayJoinResult {
+  uint64_t rounds = 0;
+  uint64_t requests = 0;        // introduction requests routed
+  uint64_t total_hops = 0;      // over all requests
+  uint32_t max_hops = 0;        // worst single request
+  bool complete = false;        // every node knows all its butterfly neighbors
+  /// Final knowledge-set sizes (min/max over nodes), for the O(log n) claim.
+  uint32_t min_knowledge = 0;
+  uint32_t max_knowledge = 0;
+};
+
+/// Builds the butterfly overlay from random contacts on `net` and reports the
+/// cost. After success, the standard primitives can run unchanged (they only
+/// ever message butterfly neighbors, attach nodes, and ids learned through
+/// the protocols themselves).
+OverlayJoinResult build_butterfly_overlay(Network& net, const ButterflyTopo& topo,
+                                          const OverlayJoinParams& params = {},
+                                          uint64_t seed = 1);
+
+}  // namespace ncc

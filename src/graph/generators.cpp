@@ -1,0 +1,238 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace ncc {
+
+Graph path_graph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph(n, std::move(edges));
+}
+
+Graph cycle_graph(NodeId n) {
+  NCC_ASSERT(n >= 3);
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  edges.emplace_back(n - 1, 0);
+  return Graph(n, std::move(edges));
+}
+
+Graph star_graph(NodeId n) {
+  NCC_ASSERT(n >= 1);
+  std::vector<Edge> edges;
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return Graph(n, std::move(edges));
+}
+
+Graph complete_graph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return Graph(n, std::move(edges));
+}
+
+Graph grid_graph(NodeId rows, NodeId cols) {
+  NCC_ASSERT(rows >= 1 && cols >= 1);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph triangulated_grid_graph(NodeId rows, NodeId cols) {
+  NCC_ASSERT(rows >= 1 && cols >= 1);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols) edges.emplace_back(id(r, c), id(r + 1, c + 1));
+    }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph hypercube_graph(uint32_t d) {
+  NCC_ASSERT(d < 31);
+  NodeId n = NodeId{1} << d;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (uint32_t b = 0; b < d; ++b) {
+      NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) edges.emplace_back(u, v);
+    }
+  return Graph(n, std::move(edges));
+}
+
+Graph random_tree(NodeId n, Rng& rng) {
+  if (n <= 1) return Graph(n, {});
+  if (n == 2) return Graph(2, {Edge(0, 1)});
+  // Prüfer sequence decode.
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& p : prufer) p = static_cast<NodeId>(rng.next_below(n));
+  std::vector<uint32_t> deg(n, 1);
+  for (NodeId p : prufer) ++deg[p];
+  std::set<NodeId> leaves;
+  for (NodeId i = 0; i < n; ++i)
+    if (deg[i] == 1) leaves.insert(i);
+  std::vector<Edge> edges;
+  for (NodeId p : prufer) {
+    NodeId leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    edges.emplace_back(leaf, p);
+    if (--deg[p] == 1) leaves.insert(p);
+  }
+  NodeId a = *leaves.begin();
+  NodeId b = *std::next(leaves.begin());
+  edges.emplace_back(a, b);
+  return Graph(n, std::move(edges));
+}
+
+Graph random_forest_union(NodeId n, uint32_t a, Rng& rng) {
+  NCC_ASSERT(a >= 1);
+  std::set<Edge> edge_set;
+  for (uint32_t f = 0; f < a; ++f) {
+    Rng sub = rng.fork(0xf0f0 + f);
+    Graph t = random_tree(n, sub);
+    for (const Edge& e : t.edges()) edge_set.insert(e);
+  }
+  return Graph(n, std::vector<Edge>(edge_set.begin(), edge_set.end()));
+}
+
+Graph gnm_graph(NodeId n, uint64_t m, Rng& rng) {
+  uint64_t max_m = static_cast<uint64_t>(n) * (n - 1) / 2;
+  NCC_ASSERT_MSG(m <= max_m, "too many edges requested");
+  std::set<Edge> edge_set;
+  while (edge_set.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.next_below(n));
+    NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u != v) edge_set.insert(Edge(u, v));
+  }
+  return Graph(n, std::vector<Edge>(edge_set.begin(), edge_set.end()));
+}
+
+Graph gnp_graph(NodeId n, double p, Rng& rng) {
+  NCC_ASSERT(p >= 0.0 && p <= 1.0);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) edges.emplace_back(u, v);
+  return Graph(n, std::move(edges));
+}
+
+Graph power_law_graph(NodeId n, double beta, uint32_t max_deg, Rng& rng) {
+  NCC_ASSERT(beta > 1.0);
+  // Chung-Lu: expected degree w_i ~ i^{-1/(beta-1)}, capped.
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    double base = std::min<double>(max_deg, static_cast<double>(n) /
+                                                std::pow(static_cast<double>(i + 1),
+                                                         1.0 / (beta - 1.0)));
+    w[i] = base;
+    sum += base;
+  }
+  std::set<Edge> edge_set;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) {
+      double p = std::min(1.0, w[u] * w[v] / sum);
+      if (rng.next_bool(p)) edge_set.insert(Edge(u, v));
+    }
+  // Cap realized degrees to max_deg by dropping excess edges (highest v first)
+  std::vector<uint32_t> deg(n, 0);
+  std::vector<Edge> kept;
+  for (const Edge& e : edge_set) {
+    if (deg[e.u] < max_deg && deg[e.v] < max_deg) {
+      kept.push_back(e);
+      ++deg[e.u];
+      ++deg[e.v];
+    }
+  }
+  return Graph(n, std::move(kept));
+}
+
+Graph barabasi_albert_graph(NodeId n, uint32_t k, Rng& rng) {
+  NCC_ASSERT(k >= 1);
+  NCC_ASSERT(n > k);
+  std::set<Edge> edge_set;
+  // Endpoint pool: each edge contributes both endpoints, giving the
+  // degree-proportional sampling of preferential attachment.
+  std::vector<NodeId> pool;
+  // Seed: a (k+1)-clique.
+  for (NodeId u = 0; u <= k; ++u)
+    for (NodeId v = u + 1; v <= k; ++v) {
+      edge_set.insert(Edge(u, v));
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  for (NodeId u = k + 1; u < n; ++u) {
+    std::set<NodeId> targets;
+    while (targets.size() < k) {
+      NodeId t = pool[rng.next_below(pool.size())];
+      if (t != u) targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      edge_set.insert(Edge(u, t));
+      pool.push_back(u);
+      pool.push_back(t);
+    }
+  }
+  return Graph(n, std::vector<Edge>(edge_set.begin(), edge_set.end()));
+}
+
+Graph connectify(const Graph& g, Rng& rng) {
+  NodeId n = g.n();
+  if (n == 0) return g;
+  // Union-find over existing edges.
+  std::vector<NodeId> parent(n);
+  for (NodeId i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : g.edges()) {
+    NodeId ru = find(e.u), rv = find(e.v);
+    if (ru != rv) parent[ru] = rv;
+  }
+  std::vector<Edge> edges = g.edges();
+  std::vector<NodeId> roots;
+  for (NodeId i = 0; i < n; ++i)
+    if (find(i) == i) roots.push_back(i);
+  rng.shuffle(roots);
+  for (size_t i = 1; i < roots.size(); ++i) {
+    NodeId u = roots[i - 1], v = roots[i];
+    edges.emplace_back(u, v, 1);
+    parent[find(u)] = find(v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph with_random_weights(const Graph& g, Weight w_max, Rng& rng) {
+  NCC_ASSERT(w_max >= 1);
+  std::vector<Edge> edges = g.edges();
+  for (Edge& e : edges) e.w = 1 + rng.next_below(w_max);
+  return Graph(g.n(), std::move(edges));
+}
+
+Graph with_distinct_weights(const Graph& g, Rng& rng) {
+  std::vector<Edge> edges = g.edges();
+  std::vector<Weight> perm(edges.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i + 1;
+  rng.shuffle(perm);
+  for (size_t i = 0; i < edges.size(); ++i) edges[i].w = perm[i];
+  return Graph(g.n(), std::move(edges));
+}
+
+}  // namespace ncc

@@ -1,0 +1,72 @@
+// Graph generators for the workloads the paper's claims are parameterized by:
+// arboricity `a`, diameter `D`, and size `n`. The key generator is
+// `random_forest_union`, which produces graphs whose arboricity is at most `a`
+// *by construction* (a union of a forests), so arboricity sweeps in the bench
+// harness use exact parameters rather than estimates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+/// Path 0-1-2-...-(n-1). Arboricity 1, diameter n-1.
+Graph path_graph(NodeId n);
+
+/// Cycle on n >= 3 nodes. Arboricity 2 (barely), diameter floor(n/2).
+Graph cycle_graph(NodeId n);
+
+/// Star with center 0. Arboricity 1, diameter 2, max degree n-1 — the paper's
+/// canonical hard case for naive neighborhood communication.
+Graph star_graph(NodeId n);
+
+/// Complete graph K_n. Arboricity ceil(n/2).
+Graph complete_graph(NodeId n);
+
+/// rows x cols grid. Arboricity <= 2 (planar bipartite), diameter rows+cols-2.
+Graph grid_graph(NodeId rows, NodeId cols);
+
+/// Triangulated grid (adds one diagonal per cell): planar, arboricity <= 3.
+Graph triangulated_grid_graph(NodeId rows, NodeId cols);
+
+/// d-dimensional hypercube on 2^d nodes. Arboricity O(d).
+Graph hypercube_graph(uint32_t d);
+
+/// Uniform random spanning tree on n nodes (random Prüfer sequence).
+Graph random_tree(NodeId n, Rng& rng);
+
+/// Union of `a` independent uniform random forests, each forest a random tree
+/// minus nothing (duplicate edges between forests are dropped, so m <=
+/// a*(n-1)). Arboricity <= a by construction; for a << n it is ~a.
+Graph random_forest_union(NodeId n, uint32_t a, Rng& rng);
+
+/// Erdos-Renyi G(n, m): m distinct uniform edges.
+Graph gnm_graph(NodeId n, uint64_t m, Rng& rng);
+
+/// G(n, p).
+Graph gnp_graph(NodeId n, double p, Rng& rng);
+
+/// Chung-Lu style power-law-ish graph with exponent `beta` and max degree cap;
+/// models the social-network motivation of the introduction.
+Graph power_law_graph(NodeId n, double beta, uint32_t max_deg, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to `k`
+/// existing nodes weighted by degree. Arboricity <= k by construction (every
+/// node has outdegree k toward earlier nodes).
+Graph barabasi_albert_graph(NodeId n, uint32_t k, Rng& rng);
+
+/// Connected version: if `g` is disconnected, adds the cheapest set of random
+/// inter-component edges (weight 1) to connect it.
+Graph connectify(const Graph& g, Rng& rng);
+
+/// Assign integral weights uniform in {1, ..., w_max} to all edges.
+Graph with_random_weights(const Graph& g, Weight w_max, Rng& rng);
+
+/// Assign *distinct* weights (a random permutation of 1..m), making the MST
+/// unique — convenient for exact MST edge-set comparisons in tests.
+Graph with_distinct_weights(const Graph& g, Rng& rng);
+
+}  // namespace ncc

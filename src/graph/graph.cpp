@@ -1,0 +1,79 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ncc {
+
+Graph::Graph(NodeId n, std::vector<Edge> edges) : n_(n), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    NCC_ASSERT_MSG(e.u < n_ && e.v < n_, "edge endpoint out of range");
+    NCC_ASSERT_MSG(e.u != e.v, "self-loops are not allowed");
+    NCC_ASSERT_MSG(e.w >= 1, "weights must be >= 1");
+  }
+  std::sort(edges_.begin(), edges_.end());
+  for (size_t i = 1; i < edges_.size(); ++i)
+    NCC_ASSERT_MSG(!(edges_[i] == edges_[i - 1]), "duplicate edge");
+
+  std::vector<uint32_t> deg(n_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  offsets_.assign(n_ + 1, 0);
+  for (NodeId u = 0; u < n_; ++u) offsets_[u + 1] = offsets_[u] + deg[u];
+  adjacency_.resize(2 * edges_.size());
+  adj_weight_.resize(2 * edges_.size());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency_[cursor[e.u]] = e.v;
+    adj_weight_[cursor[e.u]++] = e.w;
+    adjacency_[cursor[e.v]] = e.u;
+    adj_weight_[cursor[e.v]++] = e.w;
+  }
+  // Sort each adjacency slice (weights move with their neighbor).
+  for (NodeId u = 0; u < n_; ++u) {
+    uint64_t lo = offsets_[u], hi = offsets_[u + 1];
+    std::vector<std::pair<NodeId, Weight>> tmp;
+    tmp.reserve(hi - lo);
+    for (uint64_t i = lo; i < hi; ++i) tmp.emplace_back(adjacency_[i], adj_weight_[i]);
+    std::sort(tmp.begin(), tmp.end());
+    for (uint64_t i = lo; i < hi; ++i) {
+      adjacency_[i] = tmp[i - lo].first;
+      adj_weight_[i] = tmp[i - lo].second;
+    }
+    max_degree_ = std::max<uint32_t>(max_degree_, static_cast<uint32_t>(hi - lo));
+  }
+  for (const Edge& e : edges_) max_weight_ = std::max(max_weight_, e.w);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  NCC_ASSERT(u < n_);
+  return {adjacency_.data() + offsets_[u],
+          static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
+}
+
+uint32_t Graph::degree(NodeId u) const {
+  NCC_ASSERT(u < n_);
+  return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+}
+
+double Graph::average_degree() const {
+  if (n_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(m()) / static_cast<double>(n_);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+Weight Graph::weight(NodeId u, NodeId v) const {
+  auto nb = neighbors(u);
+  auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  NCC_ASSERT_MSG(it != nb.end() && *it == v, "weight() on a non-edge");
+  return adj_weight_[offsets_[u] + static_cast<uint64_t>(it - nb.begin())];
+}
+
+}  // namespace ncc

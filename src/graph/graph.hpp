@@ -1,0 +1,82 @@
+// Undirected input graph G = (V, E) living on the same node set as the
+// Node-Capacitated Clique. Nodes are 0..n-1; each node locally knows its
+// neighbor list (this is exactly the input assumption of the paper).
+//
+// The representation is CSR-like: a flat adjacency array plus offsets, with
+// optional integral edge weights in {1, ..., W}, W = poly(n) (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ncc {
+
+using NodeId = uint32_t;
+using Weight = uint64_t;
+
+/// An undirected edge; canonical form has u < v.
+struct Edge {
+  NodeId u;
+  NodeId v;
+  Weight w = 1;
+
+  Edge() = default;
+  Edge(NodeId a, NodeId b, Weight weight = 1)
+      : u(a < b ? a : b), v(a < b ? b : a), w(weight) {}
+
+  bool operator==(const Edge& o) const { return u == o.u && v == o.v; }
+  bool operator<(const Edge& o) const {
+    return u != o.u ? u < o.u : v < o.v;
+  }
+};
+
+/// 64-bit identifier id(u) ∘ id(v) used by the paper's sketches; order matters
+/// (directed arc identifier).
+constexpr uint64_t arc_id(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+/// Undirected edge identifier with the smaller endpoint first (Stage 3,
+/// Section 4.2).
+constexpr uint64_t edge_id(NodeId u, NodeId v) {
+  return u < v ? arc_id(u, v) : arc_id(v, u);
+}
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list; duplicate and self-loop edges are rejected.
+  Graph(NodeId n, std::vector<Edge> edges);
+
+  NodeId n() const { return n_; }
+  uint64_t m() const { return edges_.size(); }
+
+  /// Neighbors of u, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId u) const;
+  uint32_t degree(NodeId u) const;
+  uint32_t max_degree() const { return max_degree_; }
+  double average_degree() const;
+
+  bool has_edge(NodeId u, NodeId v) const;
+  /// Weight of edge {u, v}; asserts the edge exists.
+  Weight weight(NodeId u, NodeId v) const;
+
+  /// All edges in canonical (u < v) order, sorted.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Maximum edge weight W.
+  Weight max_weight() const { return max_weight_; }
+
+ private:
+  NodeId n_ = 0;
+  uint32_t max_degree_ = 0;
+  Weight max_weight_ = 1;
+  std::vector<Edge> edges_;
+  std::vector<uint64_t> offsets_;   // size n_+1
+  std::vector<NodeId> adjacency_;   // size 2m
+  std::vector<Weight> adj_weight_;  // parallel to adjacency_
+};
+
+}  // namespace ncc

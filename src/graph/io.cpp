@@ -1,0 +1,71 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ncc {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# nccl edge list\n";
+  os << "n " << g.n() << "\n";
+  for (const Edge& e : g.edges()) {
+    os << "e " << e.u << " " << e.v;
+    if (e.w != 1) os << " " << e.w;
+    os << "\n";
+  }
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(os, g);
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  uint64_t n = 0;
+  bool have_n = false;
+  std::vector<Edge> edges;
+  size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    auto fail = [&](const std::string& why) {
+      throw std::runtime_error("edge list line " + std::to_string(lineno) + ": " + why);
+    };
+    if (kind == "n") {
+      if (have_n) fail("duplicate n record");
+      if (!(ls >> n)) fail("malformed n record");
+      if (n > UINT32_MAX) fail("node count too large");
+      have_n = true;
+    } else if (kind == "e") {
+      uint64_t u, v;
+      uint64_t w = 1;
+      if (!(ls >> u >> v)) fail("malformed e record");
+      ls >> w;  // optional
+      if (!have_n) fail("e record before n record");
+      if (u >= n || v >= n) fail("endpoint out of range");
+      if (u == v) fail("self-loop");
+      if (w < 1) fail("weight must be >= 1");
+      edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    } else {
+      fail("unknown record kind '" + kind + "'");
+    }
+  }
+  if (!have_n) throw std::runtime_error("edge list: missing n record");
+  return Graph(static_cast<NodeId>(n), std::move(edges));
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace ncc

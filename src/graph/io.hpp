@@ -1,0 +1,25 @@
+// Graph serialization: a simple weighted edge-list text format compatible
+// with common tooling, so users can run the NCC algorithms on their own
+// graphs and export generated workloads.
+//
+// Format (one record per line, '#' comments allowed):
+//   n <num_nodes>
+//   e <u> <v> [weight]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+/// Writes the edge-list representation of g.
+void write_edge_list(std::ostream& os, const Graph& g);
+void save_edge_list(const std::string& path, const Graph& g);
+
+/// Parses an edge list; throws std::runtime_error on malformed input.
+Graph read_edge_list(std::istream& is);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace ncc

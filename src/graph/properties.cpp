@@ -1,0 +1,164 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace ncc {
+
+std::vector<uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  NCC_ASSERT(source < g.n());
+  std::vector<uint32_t> dist(g.n(), kUnreachable);
+  std::deque<NodeId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.n() == 0) return true;
+  auto dist = bfs_distances(g, 0);
+  return std::find(dist.begin(), dist.end(), kUnreachable) == dist.end();
+}
+
+uint32_t exact_diameter(const Graph& g) {
+  uint32_t diam = 0;
+  for (NodeId s = 0; s < g.n(); ++s) {
+    auto dist = bfs_distances(g, s);
+    for (uint32_t d : dist) {
+      NCC_ASSERT_MSG(d != kUnreachable, "exact_diameter requires a connected graph");
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+uint32_t diameter_lower_bound(const Graph& g, NodeId start) {
+  if (g.n() == 0) return 0;
+  auto d1 = bfs_distances(g, start);
+  NodeId far = start;
+  uint32_t best = 0;
+  for (NodeId v = 0; v < g.n(); ++v)
+    if (d1[v] != kUnreachable && d1[v] > best) {
+      best = d1[v];
+      far = v;
+    }
+  auto d2 = bfs_distances(g, far);
+  uint32_t ecc = 0;
+  for (uint32_t d : d2)
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+DegeneracyResult degeneracy(const Graph& g) {
+  NodeId n = g.n();
+  DegeneracyResult res;
+  res.order.reserve(n);
+  std::vector<uint32_t> deg(n);
+  uint32_t max_deg = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    deg[u] = g.degree(u);
+    max_deg = std::max(max_deg, deg[u]);
+  }
+  // Bucket queue over remaining degrees.
+  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
+  std::vector<uint32_t> pos_bucket(n);
+  for (NodeId u = 0; u < n; ++u) {
+    buckets[deg[u]].push_back(u);
+    pos_bucket[u] = deg[u];
+  }
+  std::vector<bool> removed(n, false);
+  uint32_t cur = 0;
+  for (NodeId iter = 0; iter < n; ++iter) {
+    // Find lowest non-empty bucket (amortized fine with the lazy scheme below).
+    uint32_t b = 0;
+    NodeId u = n;
+    for (b = 0; b <= max_deg; ++b) {
+      auto& bucket = buckets[b];
+      while (!bucket.empty()) {
+        NodeId cand = bucket.back();
+        if (removed[cand] || pos_bucket[cand] != b) {
+          bucket.pop_back();  // stale entry
+          continue;
+        }
+        u = cand;
+        bucket.pop_back();
+        break;
+      }
+      if (u != n) break;
+    }
+    NCC_ASSERT(u != n);
+    removed[u] = true;
+    cur = std::max(cur, b);
+    res.order.push_back(u);
+    for (NodeId v : g.neighbors(u)) {
+      if (!removed[v]) {
+        --deg[v];
+        pos_bucket[v] = deg[v];
+        buckets[deg[v]].push_back(v);
+      }
+    }
+  }
+  res.degeneracy = cur;
+  return res;
+}
+
+uint32_t arboricity_lower_bound(const Graph& g) {
+  if (g.n() <= 1 || g.m() == 0) return g.m() > 0 ? 1 : 0;
+  // Evaluate the density m_H/(n_H - 1) over the suffixes of the degeneracy
+  // order (the k-cores), which contain the densest subgraphs' signatures.
+  DegeneracyResult d = degeneracy(g);
+  std::vector<uint32_t> rank(g.n());
+  for (uint32_t i = 0; i < d.order.size(); ++i) rank[d.order[i]] = i;
+  // edges_into_suffix[i] = number of edges with both endpoints of rank >= i.
+  std::vector<uint64_t> suffix_edges(g.n() + 1, 0);
+  for (const Edge& e : g.edges()) {
+    uint32_t r = std::min(rank[e.u], rank[e.v]);
+    suffix_edges[r] += 1;  // edge "enters" at the min rank; count via suffix sum
+  }
+  uint64_t acc = 0;
+  uint64_t best = 1;
+  for (uint32_t i = g.n(); i-- > 0;) {
+    acc += suffix_edges[i];
+    uint64_t nh = g.n() - i;
+    if (nh >= 2 && acc > 0) best = std::max(best, ceil_div(acc, nh - 1));
+  }
+  return static_cast<uint32_t>(best);
+}
+
+uint32_t arboricity_upper_bound(const Graph& g) { return std::max(1u, degeneracy(g).degeneracy); }
+
+uint32_t component_count(const Graph& g) {
+  NodeId n = g.n();
+  std::vector<bool> seen(n, false);
+  uint32_t comps = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    ++comps;
+    std::deque<NodeId> q{s};
+    seen[s] = true;
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop_front();
+      for (NodeId v : g.neighbors(u))
+        if (!seen[v]) {
+          seen[v] = true;
+          q.push_back(v);
+        }
+    }
+  }
+  return comps;
+}
+
+}  // namespace ncc

@@ -1,0 +1,48 @@
+// Structural graph properties used to parameterize and validate experiments:
+// BFS distances / diameter (the D in Table 1), connectivity, degeneracy (the
+// standard constructive proxy for arboricity: a <= degeneracy <= 2a - 1), and
+// a Nash-Williams density lower bound on the arboricity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+/// Unreachable marker in distance vectors.
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// Single-source BFS distances (hops).
+std::vector<uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter by all-sources BFS; intended for test/bench sizes.
+uint32_t exact_diameter(const Graph& g);
+
+/// Lower bound on the diameter via a double BFS sweep (cheap).
+uint32_t diameter_lower_bound(const Graph& g, NodeId start = 0);
+
+/// Degeneracy (max over the peeling of min remaining degree) and the matching
+/// elimination order. arboricity <= degeneracy <= 2*arboricity - 1.
+struct DegeneracyResult {
+  uint32_t degeneracy = 0;
+  std::vector<NodeId> order;  // peeling order, lowest-degree-first
+};
+DegeneracyResult degeneracy(const Graph& g);
+
+/// Nash-Williams lower bound on the arboricity: max over the degeneracy
+/// "cores" H of ceil(m_H / (n_H - 1)). Exact arboricity computation is
+/// matroid-union; this bound plus the degeneracy upper bound brackets it
+/// tightly enough for all experiment validation.
+uint32_t arboricity_lower_bound(const Graph& g);
+
+/// Convenience: degeneracy-based upper bound on arboricity (== degeneracy).
+uint32_t arboricity_upper_bound(const Graph& g);
+
+/// Number of connected components.
+uint32_t component_count(const Graph& g);
+
+}  // namespace ncc

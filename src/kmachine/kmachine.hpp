@@ -1,0 +1,93 @@
+// k-machine simulation accounting (Appendix A / Corollary 2).
+//
+// The k-machine model (Klauck et al.): k fully interconnected machines, each
+// pair joined by a link carrying one O(log n)-bit message per round; the n
+// graph nodes are assigned to machines by a random vertex partition, and a
+// machine simulates all messages of its nodes. An NCC algorithm taking T
+// rounds then needs, per NCC round, as many k-machine rounds as the most
+// loaded link carries messages — summed over rounds this is ~O(n T / k^2),
+// w.h.p., because each NCC round moves at most O(n log n) messages whose
+// endpoints are (pairwise) uniformly distributed over the k^2 links.
+//
+// `KMachineTracker` hooks a Network's delivery stream and converts an actual
+// NCC execution into its k-machine cost.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace ncc {
+
+class KMachineTracker {
+ public:
+  /// Installs the delivery hook on `net`. The tracker must outlive the runs
+  /// it observes. `k` machines, random vertex partition from `seed`.
+  KMachineTracker(Network& net, uint32_t k, uint64_t seed);
+
+  uint32_t k() const { return k_; }
+  uint32_t machine_of(NodeId u) const { return machine_[u]; }
+
+  /// Sum over NCC rounds of the max per-link message load (the k-machine
+  /// round count of the simulation; links are undirected, both directions
+  /// share the budgeted bandwidth).
+  uint64_t kmachine_rounds() const;
+
+  /// Messages that crossed machine boundaries / stayed local.
+  uint64_t remote_messages() const { return remote_messages_; }
+  uint64_t local_messages() const { return local_messages_; }
+
+  /// NCC rounds observed.
+  uint64_t observed_rounds() const;
+
+  void reset();
+
+ private:
+  void on_deliver(const Message& m, uint64_t round);
+  uint64_t link_id(uint32_t a, uint32_t b) const;
+
+  uint32_t k_;
+  std::vector<uint32_t> machine_;
+  // Per observed NCC round: the max link load (folded incrementally).
+  uint64_t current_round_ = UINT64_MAX;
+  std::unordered_map<uint64_t, uint32_t> current_loads_;
+  uint32_t current_max_ = 0;
+  uint64_t folded_rounds_ = 0;   // sum of per-round maxima for closed rounds
+  uint64_t rounds_seen_ = 0;
+  uint64_t remote_messages_ = 0;
+  uint64_t local_messages_ = 0;
+};
+
+/// The analytic bound of Corollary 2 (without the polylog): n * T / k^2.
+double kmachine_bound(NodeId n, uint64_t ncc_rounds, uint32_t k);
+
+/// Theorem A.1 (Klauck et al.): a Congested Clique algorithm with M_C total
+/// messages, T_C rounds and communication degree complexity Delta' simulates
+/// in ~O(M_C/k^2 + T_C * Delta'/k) k-machine rounds (polylog omitted).
+double kmachine_cc_bound(uint64_t total_messages, uint64_t cc_rounds,
+                         uint32_t comm_degree, uint32_t k);
+
+/// Link-load tracker over a CongestedClique execution: the same per-round
+/// max-link accounting as KMachineTracker, for Theorem A.1 experiments.
+class KMachineCcTracker {
+ public:
+  KMachineCcTracker(class CongestedClique& cc, NodeId n, uint32_t k, uint64_t seed);
+
+  uint64_t kmachine_rounds() const;
+  uint32_t machine_of(NodeId u) const { return machine_[u]; }
+
+ private:
+  void on_deliver(NodeId src, NodeId dst, uint64_t round);
+
+  uint32_t k_;
+  std::vector<uint32_t> machine_;
+  uint64_t current_round_ = UINT64_MAX;
+  std::unordered_map<uint64_t, uint32_t> current_loads_;
+  uint32_t current_max_ = 0;
+  uint64_t folded_rounds_ = 0;
+};
+
+}  // namespace ncc

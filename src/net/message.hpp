@@ -1,0 +1,45 @@
+// Messages of the Node-Capacitated Clique model.
+//
+// A message carries O(log n) bits. We materialize that as a small fixed
+// budget of 64-bit words (configurable, default 4): enough for an edge
+// identifier (2x32-bit node ids), a value, and a tag — the widest payload any
+// algorithm in the paper sends — while keeping the "constant number of
+// O(log n)-bit fields" discipline honest and allocation-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+#include "common/assert.hpp"
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+inline constexpr uint8_t kMaxMessageWords = 4;
+
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Protocol discriminator (which primitive / which phase a message belongs
+  /// to); models the constant-size header real protocols carry.
+  uint32_t tag = 0;
+  uint8_t nwords = 0;
+  std::array<uint64_t, kMaxMessageWords> words{};
+
+  Message() = default;
+  Message(NodeId s, NodeId d, uint32_t t, std::initializer_list<uint64_t> w)
+      : src(s), dst(d), tag(t) {
+    NCC_ASSERT_MSG(w.size() <= kMaxMessageWords, "message payload too large");
+    nwords = static_cast<uint8_t>(w.size());
+    uint8_t i = 0;
+    for (uint64_t x : w) words[i++] = x;
+  }
+
+  uint64_t word(uint8_t i) const {
+    NCC_ASSERT(i < nwords);
+    return words[i];
+  }
+};
+
+}  // namespace ncc

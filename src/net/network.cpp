@@ -1,0 +1,80 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+
+namespace ncc {
+
+Network::Network(NetConfig config)
+    : config_(config),
+      cap_(config.capacity_factor * cap_log(config.n)),
+      rng_(mix64(config.seed ^ 0x6e65747730726bULL)) {
+  NCC_ASSERT_MSG(config_.n >= 2, "the NCC model needs at least two nodes");
+  send_count_.assign(config_.n, 0);
+  inboxes_.assign(config_.n, {});
+}
+
+void Network::send(const Message& msg) {
+  NCC_ASSERT(msg.src < config_.n && msg.dst < config_.n);
+  NCC_ASSERT_MSG(msg.src != msg.dst, "nodes do not message themselves");
+  ++send_count_[msg.src];
+  if (send_count_[msg.src] > cap_) {
+    if (config_.strict_send) {
+      NCC_ASSERT_MSG(false, "send capacity exceeded (algorithm bug)");
+    }
+    ++stats_.send_violations;
+  }
+  ++stats_.messages_sent;
+  pending_.push_back(msg);
+}
+
+void Network::end_round() {
+  // Group pending messages by destination.
+  std::vector<uint32_t> recv_count(config_.n, 0);
+  for (const Message& m : pending_) ++recv_count[m.dst];
+  for (NodeId u = 0; u < config_.n; ++u) {
+    stats_.max_recv_load = std::max(stats_.max_recv_load, recv_count[u]);
+    stats_.max_send_load = std::max(stats_.max_send_load, send_count_[u]);
+    inboxes_[u].clear();
+  }
+
+  // Deliver, enforcing the receive capacity with a uniformly random surviving
+  // subset per overloaded destination (reservoir sampling over arrival order).
+  std::vector<uint32_t> seen(config_.n, 0);
+  for (const Message& m : pending_) {
+    auto& box = inboxes_[m.dst];
+    uint32_t k = seen[m.dst]++;
+    if (box.size() < cap_) {
+      box.push_back(m);
+    } else {
+      // Reservoir: replace a random survivor with probability cap/(k+1).
+      uint64_t j = rng_.next_below(k + 1);
+      ++stats_.messages_dropped;  // one message (old or new) is dropped
+      if (j < cap_) box[j] = m;
+    }
+  }
+  if (hook_) {
+    for (NodeId u = 0; u < config_.n; ++u)
+      for (const Message& m : inboxes_[u]) hook_(m, stats_.rounds);
+  }
+  pending_.clear();
+  std::fill(send_count_.begin(), send_count_.end(), 0);
+  ++stats_.rounds;
+}
+
+const std::vector<Message>& Network::inbox(NodeId u) const {
+  NCC_ASSERT(u < config_.n);
+  return inboxes_[u];
+}
+
+void Network::charge_rounds(uint64_t k) { stats_.charged_rounds += k; }
+
+void Network::reset_stats() {
+  stats_ = NetStats{};
+  pending_.clear();
+  std::fill(send_count_.begin(), send_count_.end(), 0);
+  for (auto& b : inboxes_) b.clear();
+}
+
+}  // namespace ncc

@@ -1,0 +1,99 @@
+// The Node-Capacitated Clique (NCC) round simulator (Section 1.1).
+//
+// n nodes form a logical clique and proceed in synchronous rounds. Per round
+// every node may send distinct messages to up to `cap` other nodes and receive
+// up to `cap` messages, where cap = capacity_factor * ceil(log2 n) — the
+// model's O(log n) with an explicit constant. If more than `cap` messages are
+// addressed to a node, it receives a uniformly random subset of `cap` of them
+// and the rest are dropped by the network (the model says "an arbitrary
+// subset"; random is one legal adversary and keeps runs reproducible).
+//
+// The Network is the single source of truth for round accounting: every
+// primitive and algorithm runs real messages through it, and benches report
+// `rounds()`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace ncc {
+
+struct NetConfig {
+  NodeId n = 0;
+  /// cap = capacity_factor * ceil(log2 n). The paper's O(log n) constant; 8
+  /// comfortably covers the butterfly emulation (<= 2(d+1) messages/round)
+  /// plus primitive bookkeeping.
+  uint32_t capacity_factor = 8;
+  /// Abort if a node tries to send more than `cap` messages in one round.
+  /// Exceeding the *send* budget is an algorithm bug, not network behaviour.
+  bool strict_send = true;
+  uint64_t seed = 1;
+};
+
+struct NetStats {
+  uint64_t rounds = 0;          // synchronous rounds simulated
+  uint64_t charged_rounds = 0;  // analytically charged (setup broadcasts)
+  uint64_t messages_sent = 0;
+  uint64_t messages_dropped = 0;  // receive-capacity overflow
+  uint32_t max_send_load = 0;     // max messages a node sent in any round
+  uint32_t max_recv_load = 0;     // max messages addressed to a node (pre-drop)
+  uint64_t send_violations = 0;   // only populated when strict_send == false
+
+  uint64_t total_rounds() const { return rounds + charged_rounds; }
+};
+
+class Network {
+ public:
+  explicit Network(NetConfig config);
+
+  NodeId n() const { return config_.n; }
+  uint32_t cap() const { return cap_; }
+  const NetConfig& config() const { return config_; }
+
+  /// Queue a message for delivery at the beginning of the next round. Must be
+  /// called between rounds (i.e., before end_round()).
+  void send(const Message& msg);
+  void send(NodeId src, NodeId dst, uint32_t tag, std::initializer_list<uint64_t> words) {
+    send(Message(src, dst, tag, words));
+  }
+
+  /// Close the current round: enforce capacities, deliver messages into the
+  /// per-node inboxes, advance the round counter.
+  void end_round();
+
+  /// Inbox of `u` holding the messages delivered at the start of the current
+  /// round (i.e., the ones sent in the previous round).
+  const std::vector<Message>& inbox(NodeId u) const;
+
+  /// Charge `k` rounds without simulating them (used only for the
+  /// shared-randomness setup broadcasts whose cost the paper states in
+  /// closed form; tracked separately in stats).
+  void charge_rounds(uint64_t k);
+
+  uint64_t rounds() const { return stats_.rounds; }
+  const NetStats& stats() const { return stats_; }
+
+  /// Observer invoked for every *delivered* message (k-machine accounting).
+  /// Receives the message and the round in which it was delivered.
+  using DeliveryHook = std::function<void(const Message&, uint64_t round)>;
+  void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
+
+  /// Reset round/message statistics (topology and config are kept).
+  void reset_stats();
+
+ private:
+  NetConfig config_;
+  uint32_t cap_;
+  Rng rng_;
+  NetStats stats_;
+  std::vector<Message> pending_;               // sent this round
+  std::vector<uint32_t> send_count_;           // per-node sends this round
+  std::vector<std::vector<Message>> inboxes_;  // delivered last end_round
+  DeliveryHook hook_;
+};
+
+}  // namespace ncc

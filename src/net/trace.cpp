@@ -1,0 +1,74 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace ncc {
+
+RoundTrace::RoundTrace(Network& net) : n_(net.n()), in_degree_(net.n(), 0) {
+  net.set_delivery_hook(
+      [this](const Message& m, uint64_t round) { on_deliver(m, round); });
+}
+
+void RoundTrace::close_round() {
+  if (current_round_ == UINT64_MAX) return;
+  samples_.push_back(current_);
+  for (NodeId u : touched_) in_degree_[u] = 0;
+  touched_.clear();
+}
+
+void RoundTrace::on_deliver(const Message& m, uint64_t round) {
+  if (round != current_round_) {
+    close_round();
+    // Quiet rounds between deliveries leave gaps; record them as zeros so the
+    // series is dense in round index.
+    uint64_t next = current_round_ == UINT64_MAX ? round : current_round_ + 1;
+    for (uint64_t r = next; r < round; ++r)
+      samples_.push_back(RoundSample{r, 0, 0, 0});
+    current_round_ = round;
+    current_ = RoundSample{round, 0, 0, 0};
+  }
+  ++current_.messages;
+  uint32_t& deg = in_degree_[m.dst];
+  if (deg == 0) {
+    ++current_.busy_nodes;
+    touched_.push_back(m.dst);
+  }
+  ++deg;
+  current_.max_in_degree = std::max(current_.max_in_degree, deg);
+}
+
+uint64_t RoundTrace::total_messages() const {
+  uint64_t total = 0;
+  for (const RoundSample& s : samples_) total += s.messages;
+  // The still-open round is included for convenience.
+  total += current_.messages;
+  return total;
+}
+
+RoundSample RoundTrace::peak() const {
+  RoundSample best{};
+  for (const RoundSample& s : samples_)
+    if (s.messages > best.messages) best = s;
+  if (current_.messages > best.messages) best = current_;
+  return best;
+}
+
+void RoundTrace::write_csv(std::ostream& os) const {
+  os << "round,messages,max_in_degree,busy_nodes\n";
+  auto emit = [&](const RoundSample& s) {
+    os << s.round << ',' << s.messages << ',' << s.max_in_degree << ','
+       << s.busy_nodes << '\n';
+  };
+  for (const RoundSample& s : samples_) emit(s);
+  if (current_round_ != UINT64_MAX) emit(current_);
+}
+
+void RoundTrace::save_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(os);
+}
+
+}  // namespace ncc

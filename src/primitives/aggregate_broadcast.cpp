@@ -1,0 +1,115 @@
+#include "primitives/aggregate_broadcast.hpp"
+
+#include "common/assert.hpp"
+
+namespace ncc {
+
+namespace {
+constexpr uint32_t kTagAttach = 0x0500;     // non-emulating node -> level-0 host
+constexpr uint32_t kTagAggStep = 0x0600;    // aggregation toward column 0
+constexpr uint32_t kTagBcastStep = 0x0700;  // broadcast back toward level 0
+constexpr uint32_t kTagDetach = 0x0800;     // level-0 host -> non-emulating node
+}  // namespace
+
+AbResult aggregate_and_broadcast(const ButterflyTopo& topo, Network& net,
+                                 const std::vector<std::optional<Val>>& inputs,
+                                 const CombineFn& combine) {
+  const NodeId n = topo.n();
+  const uint32_t d = topo.dims();
+  const NodeId cols = topo.columns();
+  NCC_ASSERT(inputs.size() == n);
+  AbResult res;
+  uint64_t start_rounds = net.rounds();
+
+  // Round 1: nodes without a butterfly column hand their input to their
+  // level-0 attachment node. (Run unconditionally: A&B has a fixed round
+  // schedule, which is what makes it usable as a barrier.)
+  for (NodeId u = cols; u < n; ++u) {
+    if (inputs[u].has_value()) {
+      const Val& v = *inputs[u];
+      net.send(u, topo.host(topo.attach_column(u)), kTagAttach, {v[0], v[1]});
+    }
+  }
+  net.end_round();
+
+  // Value held at each level-0 column: own input (if emulating host is in A)
+  // combined with the attached node's input.
+  std::vector<std::optional<Val>> cur(cols);
+  for (NodeId c = 0; c < cols; ++c) {
+    NodeId host = topo.host(c);
+    if (inputs[host].has_value()) cur[c] = inputs[host];
+  }
+  for (NodeId c = 0; c < cols; ++c) {
+    for (const Message& m : net.inbox(topo.host(c))) {
+      if (m.tag != kTagAttach) continue;
+      Val v{m.word(0), m.word(1)};
+      cur[c] = cur[c] ? combine(*cur[c], v) : v;
+    }
+  }
+
+  // Aggregation phase: d steps toward the level-d node of column 0. At step
+  // i the value at column a moves to column a with bit i cleared; clearing a
+  // set bit is a cross edge (real message), otherwise the move is local.
+  for (uint32_t i = 0; i < d; ++i) {
+    std::vector<std::optional<Val>> next(cols);
+    for (NodeId c = 0; c < cols; ++c) {
+      if (!cur[c]) continue;
+      NodeId nc = c & ~(NodeId{1} << i);
+      if (nc == c) {
+        next[c] = cur[c];
+      } else {
+        const Val& v = *cur[c];
+        net.send(topo.host(c), topo.host(nc), kTagAggStep | (i + 1), {v[0], v[1]});
+      }
+    }
+    net.end_round();
+    for (NodeId c = 0; c < cols; ++c) {
+      for (const Message& m : net.inbox(topo.host(c))) {
+        if ((m.tag & 0xff00u) != kTagAggStep) continue;
+        Val v{m.word(0), m.word(1)};
+        next[c] = next[c] ? combine(*next[c], v) : v;
+      }
+    }
+    cur = std::move(next);
+  }
+  for (NodeId c = 1; c < cols; ++c) NCC_ASSERT(!cur[c].has_value());
+  res.value = cur[0];
+
+  // Broadcast phase: d steps back up; at step i the set of informed columns
+  // doubles (each informed column keeps the value locally and crosses bit i).
+  std::vector<bool> informed(cols, false);
+  informed[0] = true;
+  bool has = res.value.has_value();
+  Val v = has ? *res.value : Val{};
+  for (uint32_t step = 0; step < d; ++step) {
+    uint32_t bit = d - 1 - step;  // level d-step -> level d-step-1 crosses bit
+    std::vector<bool> next = informed;
+    for (NodeId c = 0; c < cols; ++c) {
+      if (!informed[c]) continue;
+      NodeId nc = c ^ (NodeId{1} << bit);
+      if (has)
+        net.send(topo.host(c), topo.host(nc), kTagBcastStep | step, {v[0], v[1]});
+      next[nc] = true;
+    }
+    net.end_round();
+    informed = std::move(next);
+  }
+  for (NodeId c = 0; c < cols; ++c) NCC_ASSERT(informed[c]);
+
+  // Final round: level-0 hosts inform their attached non-emulating nodes.
+  for (NodeId u = cols; u < n; ++u) {
+    if (has)
+      net.send(topo.host(topo.attach_column(u)), u, kTagDetach, {v[0], v[1]});
+  }
+  net.end_round();
+
+  res.rounds = net.rounds() - start_rounds;
+  return res;
+}
+
+uint64_t sync_barrier(const ButterflyTopo& topo, Network& net) {
+  std::vector<std::optional<Val>> ones(topo.n(), Val{1, 0});
+  return aggregate_and_broadcast(topo, net, ones, agg::sum).rounds;
+}
+
+}  // namespace ncc

@@ -1,0 +1,57 @@
+// The Aggregation Algorithm (Theorem 2.3 / Appendix B.2).
+//
+// Input: aggregation groups A_1..A_N with targets t_i; every member u of A_i
+// holds an input value s_{u,i}. Output: t_i learns f({s_{u,i} : u in A_i}).
+//
+// Three phases, each closed by a real Aggregate-and-Broadcast barrier exactly
+// as the paper prescribes:
+//   1. Preprocessing — members send their packets in batches of ceil(log n)
+//      per round to uniformly random level-0 butterfly nodes.
+//   2. Combining — combining random-rank routing down the butterfly to the
+//      intermediate targets h(i) (route_down).
+//   3. Postprocessing — the level-d hosts deliver each group's aggregate to
+//      its target in a round chosen uniformly from {1..ceil(l2_hat/log n)}.
+//
+// Expected cost: O(L/n + (l1 + l2_hat)/log n + log n) rounds, w.h.p.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "butterfly/router.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc {
+
+struct AggregationItem {
+  NodeId member;   // u in A_i
+  uint64_t group;  // i (any unique 64-bit id)
+  Val value;       // s_{u,i}
+};
+
+struct AggregationProblem {
+  std::vector<AggregationItem> items;
+  /// t_i: the target node of group i; must be computable by every node from
+  /// the group id alone (in the paper members know the target of each group).
+  std::function<NodeId(uint64_t)> target;
+  CombineFn combine;
+  /// Upper bound l2_hat on the number of groups any single node is target of.
+  uint32_t ell2_hat = 1;
+};
+
+struct AggregationResult {
+  /// group -> aggregate, as received by target(group).
+  std::unordered_map<uint64_t, Val> at_target;
+  uint64_t rounds = 0;      // total NCC rounds (all phases + barriers)
+  RouteStats route;         // combining-phase internals
+  uint64_t global_load = 0; // L
+  uint32_t ell1 = 0;        // max memberships per node
+};
+
+AggregationResult run_aggregation(const Shared& shared, Network& net,
+                                  const AggregationProblem& problem,
+                                  uint64_t rng_tag = 0);
+
+}  // namespace ncc

@@ -1,0 +1,54 @@
+// The Multi-Aggregation Algorithm (Theorem 2.6 / Appendix B.5).
+//
+// Every source s_i multicasts its packet p_i up its tree; at the leaves each
+// (group i, member u) pair is remapped to a packet (id(u), p_i); the remapped
+// packets are randomly redistributed over the level-0 butterfly nodes and
+// aggregated down to h(id(u)), and each node u finally receives
+// f({p_i : u in A_i}). Cost O(C + log n) rounds, w.h.p., where C is the
+// congestion of the multicast trees.
+//
+// This is the workhorse of Section 5: with broadcast trees (A_{id(u)} = N(u))
+// it lets every node simultaneously send a value to its neighbors and
+// aggregate its neighbors' values (Corollary 1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "butterfly/router.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+#include "primitives/multicast.hpp"
+
+namespace ncc {
+
+struct MultiAggregationResult {
+  /// Per real node u: f({p_i : u in A_i}), or nullopt if u is in no group
+  /// that multicast a packet.
+  std::vector<std::optional<Val>> at_node;
+  uint64_t rounds = 0;
+  RouteStats up_route;
+  RouteStats down_route;
+};
+
+/// `annotate`, if provided, replaces the leaf remapping value: the packet
+/// generated at leaf l(i, u) carries annotate(group, member, payload) instead
+/// of the raw payload. The Israeli–Itai matching step uses this hook to tag
+/// packets with leaf-local random priorities (Section 5.3).
+using LeafAnnotateFn = std::function<Val(uint64_t group, NodeId member, const Val&)>;
+
+MultiAggregationResult run_multi_aggregation(const Shared& shared, Network& net,
+                                             const MulticastTrees& trees,
+                                             const std::vector<MulticastSend>& sends,
+                                             const CombineFn& combine,
+                                             uint64_t rng_tag = 0,
+                                             const LeafAnnotateFn& annotate = nullptr);
+
+/// The extension remarked after Theorem 2.6: a node may source multiple
+/// multicast groups (source->root handoffs batched ceil(log n) per round).
+MultiAggregationResult run_multi_aggregation_multi(
+    const Shared& shared, Network& net, const MulticastTrees& trees,
+    const std::vector<MulticastSend>& sends, const CombineFn& combine,
+    uint64_t rng_tag = 0, const LeafAnnotateFn& annotate = nullptr);
+
+}  // namespace ncc

@@ -1,0 +1,77 @@
+// Multicast Tree Setup (Theorem 2.4) and Multicast (Theorem 2.5).
+//
+// Setup: every member u of multicast group A_i injects an empty packet at a
+// uniformly random level-0 butterfly node l(i, u); the packets are aggregated
+// toward h(i) at level d and every butterfly node records the edges packets
+// of group i arrived over — those edges form the multicast tree T_i.
+//
+// Multicast: each source s_i sends its packet p_i to the root h(i); packets
+// are copied up the recorded trees under the random-rank contention rule and
+// finally delivered from the leaves l(i, u) to the members u in random rounds.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "butterfly/router.hpp"
+#include "net/network.hpp"
+#include "primitives/context.hpp"
+
+namespace ncc {
+
+struct MulticastMembership {
+  NodeId member;
+  uint64_t group;
+  /// Node that injects the membership packet into the butterfly; defaults to
+  /// the member itself. The broadcast-tree construction of Lemma 5.1 has the
+  /// *out*-endpoint of every oriented edge inject both memberships of the
+  /// edge, which is what keeps the star graph's center at O(a) injections.
+  NodeId injector = kSelf;
+
+  static constexpr NodeId kSelf = UINT32_MAX;
+  NodeId injecting_node() const { return injector == kSelf ? member : injector; }
+};
+
+struct MulticastSetupResult {
+  MulticastTrees trees;
+  uint64_t rounds = 0;
+  RouteStats route;
+};
+
+/// Build multicast trees for the given memberships. `sources` maps each group
+/// to its source node (needed later by multicast; not used for routing).
+MulticastSetupResult setup_multicast_trees(const Shared& shared, Network& net,
+                                           const std::vector<MulticastMembership>& members,
+                                           uint64_t rng_tag = 0);
+
+struct MulticastSend {
+  uint64_t group;
+  NodeId source;
+  Val payload;
+};
+
+struct MulticastResult {
+  /// Per real node: (group, payload) pairs received.
+  std::vector<std::vector<AggPacket>> received;
+  uint64_t rounds = 0;
+  RouteStats route;
+};
+
+/// Multicast each send's payload to all members recorded in `trees`.
+/// `ell_hat` is the known upper bound on the number of groups any node
+/// belongs to (paper's l-hat; controls the leaf-delivery spreading).
+/// Every node may source at most one group (the paper's simplified variant).
+MulticastResult run_multicast(const Shared& shared, Network& net,
+                              const MulticastTrees& trees,
+                              const std::vector<MulticastSend>& sends, uint32_t ell_hat,
+                              uint64_t rng_tag = 0);
+
+/// The extension remarked after Theorem 2.5: a node may source multiple
+/// multicast groups; the source->root handoff is batched ceil(log n) per
+/// round like the Aggregation preprocessing.
+MulticastResult run_multicast_multi(const Shared& shared, Network& net,
+                                    const MulticastTrees& trees,
+                                    const std::vector<MulticastSend>& sends,
+                                    uint32_t ell_hat, uint64_t rng_tag = 0);
+
+}  // namespace ncc

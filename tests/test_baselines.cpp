@@ -1,0 +1,101 @@
+// Tests for the sequential baselines and the validity checkers (the checkers
+// themselves must reject invalid solutions, or every other test is hollow).
+#include <gtest/gtest.h>
+
+#include "baselines/sequential.hpp"
+#include "graph/generators.hpp"
+
+using namespace ncc;
+
+TEST(Kruskal, KnownTriangle) {
+  Graph g(3, {Edge(0, 1, 1), Edge(1, 2, 2), Edge(0, 2, 3)});
+  auto res = kruskal_msf(g);
+  EXPECT_EQ(res.total_weight, 3u);
+  EXPECT_EQ(res.edges.size(), 2u);
+}
+
+TEST(Kruskal, ForestOnDisconnected) {
+  Graph g(5, {Edge(0, 1, 4), Edge(2, 3, 9)});
+  auto res = kruskal_msf(g);
+  EXPECT_EQ(res.edges.size(), 2u);
+  EXPECT_EQ(res.total_weight, 13u);
+}
+
+TEST(SpanningForestChecker, AcceptsAndRejects) {
+  Graph g = cycle_graph(4);
+  auto kr = kruskal_msf(g);
+  EXPECT_TRUE(is_spanning_forest(g, kr.edges));
+  // A cycle is not a forest.
+  EXPECT_FALSE(is_spanning_forest(g, g.edges()));
+  // Disconnecting edge sets are rejected.
+  EXPECT_FALSE(is_spanning_forest(g, {Edge(0, 1)}));
+  // Edges not in g are rejected.
+  Graph p = path_graph(4);
+  EXPECT_FALSE(is_spanning_forest(p, {Edge(0, 1), Edge(1, 2), Edge(0, 3)}));
+}
+
+TEST(GreedyMis, ValidOnSamples) {
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    Graph g = gnm_graph(40, 100, rng);
+    auto mis = greedy_mis(g);
+    EXPECT_TRUE(is_maximal_independent_set(g, mis));
+  }
+}
+
+TEST(MisChecker, RejectsNonIndependentAndNonMaximal) {
+  Graph g = path_graph(4);  // 0-1-2-3
+  std::vector<bool> adjacent{true, true, false, false};
+  EXPECT_FALSE(is_independent_set(g, adjacent));
+  std::vector<bool> not_maximal{true, false, false, false};  // 3 is free
+  EXPECT_TRUE(is_independent_set(g, not_maximal));
+  EXPECT_FALSE(is_maximal_independent_set(g, not_maximal));
+  std::vector<bool> good{true, false, true, false};
+  EXPECT_TRUE(is_maximal_independent_set(g, good));
+}
+
+TEST(GreedyMatching, ValidOnSamples) {
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    Graph g = gnm_graph(40, 90, rng);
+    auto m = greedy_maximal_matching(g);
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(MatchingChecker, RejectsBadStructures) {
+  Graph g = path_graph(4);
+  // Asymmetric mate pointers.
+  std::vector<NodeId> bad{1, UINT32_MAX, UINT32_MAX, UINT32_MAX};
+  EXPECT_FALSE(is_matching(g, bad));
+  // Mate over a non-edge.
+  std::vector<NodeId> nonedge{2, UINT32_MAX, 0, UINT32_MAX};
+  EXPECT_FALSE(is_matching(g, nonedge));
+  // Valid but not maximal: edge {2,3} is addable.
+  std::vector<NodeId> notmax{1, 0, UINT32_MAX, UINT32_MAX};
+  EXPECT_TRUE(is_matching(g, notmax));
+  EXPECT_FALSE(is_maximal_matching(g, notmax));
+}
+
+TEST(GreedyColoring, DegeneracyPlusOneColors) {
+  Graph g = complete_graph(5);
+  auto col = greedy_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, col));
+  uint32_t max_c = 0;
+  for (uint32_t c : col) max_c = std::max(max_c, c);
+  EXPECT_EQ(max_c, 4u);  // K5 needs exactly 5 colors
+
+  Graph p = path_graph(10);
+  auto col2 = greedy_coloring(p);
+  EXPECT_TRUE(is_proper_coloring(p, col2));
+  uint32_t max2 = 0;
+  for (uint32_t c : col2) max2 = std::max(max2, c);
+  EXPECT_LE(max2, 1u);  // degeneracy 1 -> 2 colors
+}
+
+TEST(ColoringChecker, RejectsConflictsAndUncolored) {
+  Graph g = path_graph(3);
+  EXPECT_FALSE(is_proper_coloring(g, {0, 0, 1}));
+  EXPECT_FALSE(is_proper_coloring(g, {0, UINT32_MAX, 1}));
+  EXPECT_TRUE(is_proper_coloring(g, {0, 1, 0}));
+}

@@ -1,0 +1,107 @@
+// Tests for broadcast trees (Lemma 5.1) and the Corollary-1 neighborhood
+// exchange that Section 5's algorithms are built on.
+#include <gtest/gtest.h>
+
+#include "core/broadcast_trees.hpp"
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+
+using namespace ncc;
+
+namespace {
+
+struct Ctx {
+  Network net;
+  Shared shared;
+  OrientationRunResult orient;
+  BroadcastTrees bt;
+
+  Ctx(const Graph& g, uint64_t seed)
+      : net(NetConfig{.n = g.n(), .capacity_factor = 8, .strict_send = true,
+                      .seed = seed}),
+        shared(g.n(), seed),
+        orient(run_orientation(shared, net, g)),
+        bt(build_broadcast_trees(shared, net, g, orient.orientation, seed)) {}
+};
+
+}  // namespace
+
+TEST(BroadcastTrees, StarCongestionStaysLogarithmic) {
+  // Lemma 5.1's point: a star has Delta = n-1 but arboricity 1; broadcast
+  // trees must still have congestion O(a + log n), not O(Delta).
+  Graph g = star_graph(256);
+  Ctx ctx(g, 3);
+  EXPECT_LE(ctx.bt.congestion, 8 * cap_log(g.n()));
+}
+
+TEST(BroadcastTrees, NeighborhoodMinMatchesDirectComputation) {
+  Rng rng(5);
+  Graph g = gnm_graph(96, 300, rng);
+  Ctx ctx(g, 7);
+  // Every node sends value f(u); every node must receive min over N(u).
+  std::vector<NodeId> senders;
+  std::vector<Val> payload(g.n());
+  for (NodeId u = 0; u < g.n(); ++u) {
+    senders.push_back(u);
+    payload[u] = Val{mix64(u * 31 + 7) % 100000, u};
+  }
+  auto res = neighborhood_exchange(ctx.shared, ctx.net, ctx.bt, senders, payload,
+                                   agg::min_by_first, 11);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (g.degree(u) == 0) {
+      EXPECT_FALSE(res.at_node[u].has_value());
+      continue;
+    }
+    uint64_t expect = UINT64_MAX;
+    for (NodeId v : g.neighbors(u)) expect = std::min(expect, payload[v][0]);
+    ASSERT_TRUE(res.at_node[u].has_value()) << u;
+    EXPECT_EQ((*res.at_node[u])[0], expect) << u;
+  }
+  EXPECT_EQ(ctx.net.stats().messages_dropped, 0u);
+}
+
+TEST(BroadcastTrees, SubsetSendersOnlyReachTheirNeighbors) {
+  Graph g = path_graph(20);
+  Ctx ctx(g, 9);
+  std::vector<Val> payload(g.n(), Val{0, 0});
+  payload[10] = Val{99, 10};
+  auto res = neighborhood_exchange(ctx.shared, ctx.net, ctx.bt, {10}, payload,
+                                   agg::min_by_first, 13);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (u == 9 || u == 11) {
+      ASSERT_TRUE(res.at_node[u].has_value());
+      EXPECT_EQ((*res.at_node[u])[0], 99u);
+    } else {
+      EXPECT_FALSE(res.at_node[u].has_value()) << u;
+    }
+  }
+}
+
+TEST(BroadcastTrees, SumAggregateCountsNeighbors) {
+  Graph g = grid_graph(8, 8);
+  Ctx ctx(g, 15);
+  std::vector<NodeId> senders;
+  std::vector<Val> payload(g.n(), Val{1, 0});
+  for (NodeId u = 0; u < g.n(); ++u) senders.push_back(u);
+  auto res = neighborhood_exchange(ctx.shared, ctx.net, ctx.bt, senders, payload,
+                                   agg::sum, 17);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    ASSERT_TRUE(res.at_node[u].has_value());
+    EXPECT_EQ((*res.at_node[u])[0], g.degree(u)) << u;
+  }
+}
+
+TEST(BroadcastTrees, SetupRoundsScaleWithArboricityNotDegree) {
+  // The same n with wildly different max degree but equal arboricity should
+  // cost comparable setup rounds.
+  const NodeId n = 256;
+  Graph star = star_graph(n);
+  Graph path = path_graph(n);
+  Ctx cs(star, 21);
+  Ctx cp(path, 23);
+  // Both have arboricity 1; setup rounds within 3x of each other.
+  double ratio = static_cast<double>(cs.bt.rounds) /
+                 static_cast<double>(std::max<uint64_t>(1, cp.bt.rounds));
+  EXPECT_GT(ratio, 1.0 / 3.0);
+  EXPECT_LT(ratio, 3.0);
+}

@@ -1,0 +1,53 @@
+// Tests for the Congested Clique Boruvka baseline (model-gap comparator).
+#include <gtest/gtest.h>
+
+#include "baselines/cc_mst.hpp"
+#include "baselines/sequential.hpp"
+#include "common/bits.hpp"
+#include "graph/generators.hpp"
+
+using namespace ncc;
+
+TEST(CcMst, MatchesKruskalOnRandomGraphs) {
+  Rng rng(3);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = with_random_weights(gnm_graph(60, 200, rng), 1000, rng);
+    CongestedClique cc(g.n());
+    auto res = run_cc_mst(cc, g, seed);
+    EXPECT_EQ(res.total_weight, kruskal_msf(g).total_weight) << seed;
+    EXPECT_TRUE(is_spanning_forest(g, res.edges));
+  }
+}
+
+TEST(CcMst, ConstantRoundsPerPhase) {
+  Rng rng(5);
+  Graph g = with_random_weights(random_forest_union(128, 4, rng), 500, rng);
+  CongestedClique cc(g.n());
+  auto res = run_cc_mst(cc, g, 7);
+  EXPECT_EQ(res.total_weight, kruskal_msf(g).total_weight);
+  // Boruvka in the CC: <= 7 rounds per phase, O(log n) phases.
+  EXPECT_LE(res.rounds, 7ull * res.phases);
+  EXPECT_LE(res.phases, 4 * cap_log(g.n()) + 8);
+}
+
+TEST(CcMst, DisconnectedGraph) {
+  std::vector<Edge> edges{Edge(0, 1, 5), Edge(2, 3, 7), Edge(3, 4, 2), Edge(2, 4, 9)};
+  Graph g(8, std::move(edges));
+  CongestedClique cc(8);
+  auto res = run_cc_mst(cc, g, 9);
+  EXPECT_EQ(res.edges.size(), 3u);
+  EXPECT_EQ(res.total_weight, 5u + 7u + 2u);
+}
+
+TEST(CcMst, DistinctWeightsExactEdgeSet) {
+  Rng rng(11);
+  Graph g = with_distinct_weights(gnm_graph(40, 120, rng), rng);
+  CongestedClique cc(g.n());
+  auto res = run_cc_mst(cc, g, 13);
+  auto kr = kruskal_msf(g);
+  auto a = res.edges;
+  auto b = kr.edges;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}

@@ -1,0 +1,157 @@
+// Tests for the paper-remarked extensions (multi-source Multicast and
+// Multi-Aggregation), the connected-components corollary, and the
+// orientation fallback paths (U_high broadcast / direct resolution) that the
+// default parameters never exercise.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/components.hpp"
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "primitives/multi_aggregation.hpp"
+#include "primitives/multicast.hpp"
+
+using namespace ncc;
+
+namespace {
+Network make(NodeId n, uint64_t seed = 1) {
+  NetConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  return Network(cfg);
+}
+}  // namespace
+
+TEST(MultiSourceMulticast, OneNodeSourcesManyGroups) {
+  const NodeId n = 64;
+  Network net = make(n, 2);
+  Shared shared(n, 2);
+  // Node 0 sources 40 groups (> log n: forces several handoff batches).
+  std::vector<MulticastMembership> members;
+  std::vector<MulticastSend> sends;
+  for (uint64_t gi = 0; gi < 40; ++gi) {
+    uint64_t group = 900 + gi;
+    members.push_back({static_cast<NodeId>(1 + gi % (n - 1)), group});
+    sends.push_back({group, 0, Val{gi, 0}});
+  }
+  auto setup = setup_multicast_trees(shared, net, members, 2);
+  auto mc = run_multicast_multi(shared, net, setup.trees, sends, 1, 3);
+  for (uint64_t gi = 0; gi < 40; ++gi) {
+    NodeId m = static_cast<NodeId>(1 + gi % (n - 1));
+    bool got = false;
+    for (const AggPacket& p : mc.received[m])
+      if (p.group == 900 + gi && p.val[0] == gi) got = true;
+    EXPECT_TRUE(got) << gi;
+  }
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+}
+
+TEST(MultiSourceMulticastDeathTest, SingleSourceVariantRejectsDuplicates) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  auto duplicate_sources = [] {
+    const NodeId n = 32;
+    Network net = make(n, 3);
+    Shared shared(n, 3);
+    std::vector<MulticastMembership> members{{1, 10}, {2, 11}};
+    auto setup = setup_multicast_trees(shared, net, members, 1);
+    std::vector<MulticastSend> sends{{10, 0, Val{1, 0}}, {11, 0, Val{2, 0}}};
+    run_multicast(shared, net, setup.trees, sends, 1);
+  };
+  EXPECT_DEATH(duplicate_sources(), "at most one multicast");
+}
+
+TEST(MultiSourceMultiAggregation, AggregatesAcrossGroupsOfOneSource) {
+  const NodeId n = 64;
+  Network net = make(n, 5);
+  Shared shared(n, 5);
+  // Node 7 sources 3 groups with overlapping members; members must receive
+  // the min payload over the groups they belong to.
+  std::vector<MulticastMembership> members;
+  std::vector<MulticastSend> sends;
+  std::map<NodeId, uint64_t> expect;
+  for (uint64_t gi = 0; gi < 3; ++gi) {
+    uint64_t group = 500 + gi;
+    uint64_t payload = 100 - gi * 10;
+    for (NodeId m = 20; m < 30 + 5 * gi; ++m) {
+      members.push_back({m, group});
+      auto it = expect.find(m);
+      if (it == expect.end())
+        expect[m] = payload;
+      else
+        it->second = std::min(it->second, payload);
+    }
+    sends.push_back({group, 7, Val{payload, 0}});
+  }
+  auto setup = setup_multicast_trees(shared, net, members, 5);
+  auto ma = run_multi_aggregation_multi(shared, net, setup.trees, sends,
+                                        agg::min_by_first, 6);
+  for (auto& [m, v] : expect) {
+    ASSERT_TRUE(ma.at_node[m].has_value()) << m;
+    EXPECT_EQ((*ma.at_node[m])[0], v) << m;
+  }
+}
+
+TEST(Components, CountsAndLabelsMatchGroundTruth) {
+  // Path + cycle + isolated nodes.
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < 10; ++i) edges.emplace_back(i, i + 1);
+  for (NodeId i = 10; i < 19; ++i) edges.emplace_back(i, i + 1);
+  edges.emplace_back(19, 10);
+  Graph g(24, std::move(edges));
+  Network net = make(g.n(), 7);
+  Shared shared(g.n(), 7);
+  auto res = run_components(shared, net, g);
+  EXPECT_EQ(res.count, component_count(g));
+  // Labels constant within components, distinct across.
+  for (const Edge& e : g.edges()) EXPECT_EQ(res.leader[e.u], res.leader[e.v]);
+  EXPECT_NE(res.leader[0], res.leader[10]);
+  EXPECT_NE(res.leader[20], res.leader[21]);
+  // Forest is a spanning forest: n - #components edges.
+  EXPECT_EQ(res.forest.size(), g.n() - res.count);
+}
+
+TEST(Components, SingleComponent) {
+  Rng rng(9);
+  Graph g = connectify(gnm_graph(50, 80, rng), rng);
+  Network net = make(g.n(), 11);
+  Shared shared(g.n(), 11);
+  auto res = run_components(shared, net, g);
+  EXPECT_EQ(res.count, 1u);
+  EXPECT_EQ(res.forest.size(), 49u);
+}
+
+TEST(OrientationFallback, WeakParametersStillCorrect) {
+  // c = 1 with no retries makes step-1 identification fail regularly and
+  // routes the failures through the direct (U_high-style) resolution; the
+  // orientation must still come out complete and O(a).
+  Rng rng(13);
+  Graph g = gnm_graph(96, 480, rng);  // denser: many red edges per node
+  Network net = make(g.n(), 13);
+  Shared shared(g.n(), 13);
+  OrientationAlgoParams params;
+  params.c = 1;
+  params.max_retries = 0;
+  auto res = run_orientation(shared, net, g, params);
+  EXPECT_TRUE(res.orientation.complete());
+  EXPECT_GT(res.unsuccessful_first, 0u);  // the weak parameters did fail
+  uint32_t degen = degeneracy(g).degeneracy;
+  EXPECT_LE(res.orientation.max_outdegree(), 4 * degen);
+}
+
+TEST(OrientationFallback, StarCenterViaDensePhase) {
+  // In phase 2 of a star the center's d(u) - d_i(u) = n - 1 > n / log n, so
+  // if it fails step 1 it must go through the U_high broadcast. With c = 1
+  // failures are common; either way the run must finish correctly.
+  Graph g = star_graph(256);
+  Network net = make(g.n(), 17);
+  Shared shared(g.n(), 17);
+  OrientationAlgoParams params;
+  params.c = 1;
+  params.max_retries = 0;
+  auto res = run_orientation(shared, net, g, params);
+  EXPECT_TRUE(res.orientation.complete());
+  EXPECT_EQ(res.orientation.outdegree(0), 0u);
+}

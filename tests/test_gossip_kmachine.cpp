@@ -1,0 +1,146 @@
+// Tests for the model-gap demonstrators (gossip/broadcast in NCC, the
+// Congested Clique comparator) and the k-machine tracker (Appendix A).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/congested_clique.hpp"
+#include "common/bits.hpp"
+#include "core/gossip.hpp"
+#include "kmachine/kmachine.hpp"
+
+using namespace ncc;
+
+namespace {
+Network make(NodeId n, uint64_t seed = 1) {
+  NetConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  return Network(cfg);
+}
+}  // namespace
+
+TEST(Gossip, CompletesInExactlyCeilRounds) {
+  for (NodeId n : {16u, 100u, 256u}) {
+    Network net = make(n);
+    auto res = run_gossip(net);
+    EXPECT_TRUE(res.complete);
+    EXPECT_EQ(res.rounds, ceil_div(n - 1, net.cap()));
+    EXPECT_EQ(net.stats().messages_dropped, 0u);
+  }
+}
+
+TEST(Gossip, LinearGrowthDemonstratesTheWall) {
+  Network small = make(128), big = make(1024);
+  auto rs = run_gossip(small);
+  auto rb = run_gossip(big);
+  // 8x the nodes, capacity only grows log-fold: rounds must grow ~6-8x.
+  EXPECT_GE(rb.rounds, 4 * rs.rounds);
+}
+
+TEST(Broadcast, LogOverLogLogRounds) {
+  for (NodeId n : {16u, 256u, 4096u}) {
+    Network net = make(n);
+    auto res = run_broadcast(net);
+    EXPECT_TRUE(res.complete);
+    // Fan-out (cap+1) per round: rounds <= ceil(log n / log(cap)) + 1.
+    double cap = net.cap();
+    double bound = std::ceil(std::log2(static_cast<double>(n)) / std::log2(cap)) + 1;
+    EXPECT_LE(static_cast<double>(res.rounds), bound);
+  }
+}
+
+TEST(CongestedClique, GossipAndBroadcastOneRound) {
+  CongestedClique cc(64);
+  EXPECT_EQ(cc_gossip_rounds(cc), 1u);
+  EXPECT_EQ(cc_broadcast_rounds(cc), 1u);
+  EXPECT_EQ(cc_mst_rounds_bound(), 1u);
+}
+
+TEST(CongestedCliqueDeathTest, OneMessagePerPairPerRound) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        CongestedClique cc(8);
+        cc.send(0, 1, 1);
+        cc.send(0, 1, 2);
+      },
+      "one message per ordered pair");
+}
+
+TEST(KMachine, PartitionIsDeterministicAndBalanced) {
+  Network net = make(1000);
+  KMachineTracker t(net, 10, 99);
+  std::vector<uint32_t> count(10, 0);
+  for (NodeId u = 0; u < 1000; ++u) {
+    ASSERT_LT(t.machine_of(u), 10u);
+    ++count[t.machine_of(u)];
+  }
+  for (uint32_t c : count) {
+    EXPECT_GT(c, 50u);  // ~100 expected; very loose whp bounds
+    EXPECT_LT(c, 200u);
+  }
+  Network net2 = make(1000);
+  KMachineTracker t2(net2, 10, 99);
+  for (NodeId u = 0; u < 1000; ++u) EXPECT_EQ(t.machine_of(u), t2.machine_of(u));
+}
+
+TEST(KMachine, LinkLoadAccounting) {
+  Network net = make(16);
+  KMachineTracker t(net, 2, 7);
+  // Find two nodes on different machines and two on the same.
+  NodeId a = 0, b = 1;
+  while (t.machine_of(b) == t.machine_of(a)) ++b;
+  NodeId c = a + 1;
+  while (c == b || t.machine_of(c) != t.machine_of(a)) ++c;
+
+  net.send(a, b, 1, {1});  // remote
+  net.send(a, c, 1, {1});  // local
+  net.end_round();
+  EXPECT_EQ(t.remote_messages(), 1u);
+  EXPECT_EQ(t.local_messages(), 1u);
+  EXPECT_EQ(t.kmachine_rounds(), 1u);
+
+  // Three remote messages in one NCC round over the same link: 3 k-rounds.
+  net.send(a, b, 1, {1});
+  net.send(c, b, 1, {1});
+  net.send(b, a, 1, {1});
+  net.end_round();
+  EXPECT_EQ(t.kmachine_rounds(), 1u + 3u);
+}
+
+TEST(KMachine, BoundFormula) {
+  EXPECT_DOUBLE_EQ(kmachine_bound(1000, 100, 10), 1000.0);
+  EXPECT_DOUBLE_EQ(kmachine_bound(256, 64, 8), 256.0);
+}
+
+TEST(KMachine, ResetClearsState) {
+  Network net = make(16);
+  KMachineTracker t(net, 2, 7);
+  NodeId b = 1;
+  while (t.machine_of(b) == t.machine_of(0)) ++b;
+  net.send(0, b, 1, {1});
+  net.end_round();
+  EXPECT_GT(t.kmachine_rounds(), 0u);
+  t.reset();
+  EXPECT_EQ(t.kmachine_rounds(), 0u);
+  EXPECT_EQ(t.remote_messages(), 0u);
+}
+
+TEST(KMachineCc, TheoremA1TrackerAndBound) {
+  CongestedClique cc(16);
+  KMachineCcTracker t(cc, 16, 2, 7);
+  // Find a remote and a local pair under the partition.
+  NodeId b = 1;
+  while (t.machine_of(b) == t.machine_of(0)) ++b;
+  NodeId c = 1;
+  while (c == b || t.machine_of(c) != t.machine_of(0)) ++c;
+  cc.send(0, b, 1);  // remote
+  cc.send(0, c, 2);  // local
+  cc.send(c, b, 3);  // remote, same link
+  cc.end_round();
+  EXPECT_EQ(t.kmachine_rounds(), 2u);  // two messages on one link
+  EXPECT_EQ(cc.comm_degree(), 2u);     // node 0 sent two messages
+  // Bound formula: M/k^2 + T*Delta'/k.
+  EXPECT_DOUBLE_EQ(kmachine_cc_bound(100, 10, 4, 2), 25.0 + 20.0);
+}

@@ -1,0 +1,179 @@
+// Unit tests for the graph substrate: representation, generators, properties,
+// and the Orientation data type.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+#include "graph/properties.hpp"
+
+using namespace ncc;
+
+TEST(GraphRepr, BasicAccessors) {
+  Graph g(4, {Edge(0, 1, 5), Edge(1, 2, 7), Edge(0, 3, 2)});
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.weight(1, 2), 7u);
+  EXPECT_EQ(g.weight(2, 1), 7u);
+  EXPECT_EQ(g.max_weight(), 7u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+TEST(GraphRepr, NeighborsSorted) {
+  Graph g(5, {Edge(2, 4), Edge(2, 0), Edge(2, 3), Edge(2, 1)});
+  auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(GraphRepr, EdgeIdCanonical) {
+  EXPECT_EQ(edge_id(3, 7), edge_id(7, 3));
+  EXPECT_NE(arc_id(3, 7), arc_id(7, 3));
+  EXPECT_EQ(arc_id(3, 7) >> 32, 3u);
+  EXPECT_EQ(arc_id(3, 7) & 0xffffffffu, 7u);
+}
+
+TEST(Generators, SizesAndShapes) {
+  EXPECT_EQ(path_graph(10).m(), 9u);
+  EXPECT_EQ(cycle_graph(10).m(), 10u);
+  EXPECT_EQ(star_graph(10).m(), 9u);
+  EXPECT_EQ(star_graph(10).degree(0), 9u);
+  EXPECT_EQ(complete_graph(8).m(), 28u);
+  EXPECT_EQ(grid_graph(4, 5).n(), 20u);
+  EXPECT_EQ(grid_graph(4, 5).m(), 4u * 4 + 3u * 5);
+  EXPECT_EQ(hypercube_graph(4).n(), 16u);
+  EXPECT_EQ(hypercube_graph(4).m(), 32u);
+  EXPECT_EQ(triangulated_grid_graph(3, 3).m(), 12u + 4u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(5);
+  for (NodeId n : {2u, 3u, 10u, 100u}) {
+    Graph t = random_tree(n, rng);
+    EXPECT_EQ(t.m(), n - 1u);
+    EXPECT_TRUE(is_connected(t));
+  }
+}
+
+TEST(Generators, ForestUnionArboricityBracket) {
+  Rng rng(6);
+  for (uint32_t a : {1u, 2u, 5u}) {
+    Graph g = random_forest_union(200, a, rng);
+    // Union of a forests: arboricity <= a <= degeneracy-based upper bound...
+    EXPECT_LE(arboricity_lower_bound(g), a);
+    // ... and degeneracy <= 2a - 1 cannot be guaranteed pointwise, but
+    // degeneracy <= 2a always holds for a union of a forests.
+    EXPECT_LE(degeneracy(g).degeneracy, 2 * a);
+  }
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  Rng rng(7);
+  Graph g = gnm_graph(50, 300, rng);
+  EXPECT_EQ(g.m(), 300u);
+  std::set<Edge> uniq(g.edges().begin(), g.edges().end());
+  EXPECT_EQ(uniq.size(), 300u);
+}
+
+TEST(Generators, GnpEndpoints) {
+  Rng rng(8);
+  EXPECT_EQ(gnp_graph(20, 0.0, rng).m(), 0u);
+  EXPECT_EQ(gnp_graph(20, 1.0, rng).m(), 190u);
+}
+
+TEST(Generators, PowerLawRespectsDegreeCap) {
+  Rng rng(9);
+  Graph g = power_law_graph(300, 2.5, 20, rng);
+  EXPECT_LE(g.max_degree(), 20u);
+  EXPECT_GT(g.m(), 0u);
+}
+
+TEST(Generators, ConnectifyConnects) {
+  Rng rng(10);
+  std::vector<Edge> edges{Edge(0, 1), Edge(2, 3), Edge(4, 5)};
+  Graph g(8, std::move(edges));  // 3 edges + isolated 6, 7
+  EXPECT_FALSE(is_connected(g));
+  Graph c = connectify(g, rng);
+  EXPECT_TRUE(is_connected(c));
+  // Original edges preserved.
+  EXPECT_TRUE(c.has_edge(0, 1));
+  EXPECT_TRUE(c.has_edge(2, 3));
+}
+
+TEST(Generators, DistinctWeightsArePermutation) {
+  Rng rng(11);
+  Graph g = with_distinct_weights(gnm_graph(30, 60, rng), rng);
+  std::set<Weight> ws;
+  for (const Edge& e : g.edges()) ws.insert(e.w);
+  EXPECT_EQ(ws.size(), 60u);
+  EXPECT_EQ(*ws.begin(), 1u);
+  EXPECT_EQ(*ws.rbegin(), 60u);
+}
+
+TEST(Properties, BfsAndDiameter) {
+  Graph p = path_graph(10);
+  auto d = bfs_distances(p, 0);
+  EXPECT_EQ(d[9], 9u);
+  EXPECT_EQ(exact_diameter(p), 9u);
+  EXPECT_EQ(exact_diameter(cycle_graph(10)), 5u);
+  EXPECT_EQ(exact_diameter(star_graph(10)), 2u);
+  EXPECT_EQ(exact_diameter(grid_graph(3, 4)), 5u);
+  EXPECT_LE(diameter_lower_bound(cycle_graph(10)), 5u);
+  EXPECT_GE(diameter_lower_bound(path_graph(10)), 9u);
+}
+
+TEST(Properties, ComponentCount) {
+  std::vector<Edge> edges{Edge(0, 1), Edge(2, 3)};
+  Graph g(6, std::move(edges));
+  EXPECT_EQ(component_count(g), 4u);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Properties, DegeneracyKnownValues) {
+  EXPECT_EQ(degeneracy(path_graph(10)).degeneracy, 1u);
+  EXPECT_EQ(degeneracy(cycle_graph(10)).degeneracy, 2u);
+  EXPECT_EQ(degeneracy(star_graph(10)).degeneracy, 1u);
+  EXPECT_EQ(degeneracy(complete_graph(6)).degeneracy, 5u);
+  EXPECT_EQ(degeneracy(grid_graph(5, 5)).degeneracy, 2u);
+}
+
+TEST(Properties, ArboricityBoundsBracketTruth) {
+  // Known arboricity values: tree = 1, cycle = 2 (m/(n-1) > 1), K6 = 3.
+  EXPECT_EQ(arboricity_lower_bound(path_graph(10)), 1u);
+  EXPECT_EQ(arboricity_lower_bound(cycle_graph(10)), 2u);
+  EXPECT_EQ(arboricity_lower_bound(complete_graph(6)), 3u);
+  EXPECT_GE(arboricity_upper_bound(complete_graph(6)), 3u);
+}
+
+TEST(OrientationType, OrientAndQuery) {
+  Graph g(4, {Edge(0, 1), Edge(1, 2), Edge(2, 3), Edge(0, 3)});
+  Orientation o(g);
+  EXPECT_FALSE(o.complete());
+  o.orient(0, 1);
+  o.orient(2, 1);
+  EXPECT_TRUE(o.is_oriented(0, 1));
+  EXPECT_FALSE(o.is_oriented(2, 3));
+  EXPECT_TRUE(o.directed_from(0, 1));
+  EXPECT_FALSE(o.directed_from(1, 0));
+  EXPECT_TRUE(o.directed_from(2, 1));
+  EXPECT_EQ(o.outdegree(0), 1u);
+  EXPECT_EQ(o.indegree(1), 2u);
+  o.orient(2, 3);
+  o.orient(0, 3);
+  EXPECT_TRUE(o.complete());
+  EXPECT_EQ(o.max_outdegree(), 2u);
+  EXPECT_TRUE(is_valid_k_orientation(o, 2));
+  EXPECT_FALSE(is_valid_k_orientation(o, 1));
+  auto out0 = o.out_neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()),
+            (std::vector<NodeId>{1, 3}));
+}

@@ -1,0 +1,119 @@
+// End-to-end tests of the Section 5 algorithms (BFS, MIS, Matching, Coloring)
+// over the full pipeline: orientation -> broadcast trees -> algorithm, with
+// outputs validated against the sequential baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/sequential.hpp"
+#include "core/bfs.hpp"
+#include "core/broadcast_trees.hpp"
+#include "core/coloring.hpp"
+#include "core/matching.hpp"
+#include "core/mis.hpp"
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+using namespace ncc;
+
+namespace {
+
+struct Pipeline {
+  Network net;
+  Shared shared;
+  OrientationRunResult orient;
+  BroadcastTrees bt;
+
+  Pipeline(const Graph& g, uint64_t seed)
+      : net(NetConfig{.n = g.n(), .capacity_factor = 8, .strict_send = true,
+                      .seed = seed}),
+        shared(g.n(), seed),
+        orient(run_orientation(shared, net, g)),
+        bt(build_broadcast_trees(shared, net, g, orient.orientation, seed)) {}
+};
+
+}  // namespace
+
+TEST(Bfs, MatchesSequentialDistancesOnGrid) {
+  Graph g = grid_graph(6, 8);
+  Pipeline p(g, 17);
+  auto bfs = run_bfs(p.shared, p.net, g, p.bt, /*source=*/0);
+  auto expect = bfs_distances(g, 0);
+  for (NodeId u = 0; u < g.n(); ++u) EXPECT_EQ(bfs.dist[u], expect[u]) << u;
+  // Parents are one step closer to the source.
+  for (NodeId u = 1; u < g.n(); ++u) {
+    ASSERT_NE(bfs.parent[u], u);
+    EXPECT_TRUE(g.has_edge(u, bfs.parent[u]));
+    EXPECT_EQ(bfs.dist[bfs.parent[u]] + 1, bfs.dist[u]);
+  }
+  EXPECT_EQ(p.net.stats().messages_dropped, 0u);
+}
+
+TEST(Bfs, HandlesDisconnectedGraphs) {
+  // Two components: a path 0..9 and a separate cycle 10..19.
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < 10; ++i) edges.emplace_back(i, i + 1);
+  for (NodeId i = 10; i < 19; ++i) edges.emplace_back(i, i + 1);
+  edges.emplace_back(19, 10);
+  Graph g(24, std::move(edges));  // plus isolated nodes 20..23
+  Pipeline p(g, 23);
+  auto bfs = run_bfs(p.shared, p.net, g, p.bt, 0);
+  auto expect = bfs_distances(g, 0);
+  for (NodeId u = 0; u < g.n(); ++u) EXPECT_EQ(bfs.dist[u], expect[u]) << u;
+}
+
+TEST(Mis, ValidOnRandomGraphs) {
+  Rng rng(41);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = gnm_graph(60, 150, rng);
+    Pipeline p(g, seed);
+    auto mis = run_mis(p.shared, p.net, g, p.bt, seed);
+    EXPECT_TRUE(is_maximal_independent_set(g, mis.in_mis)) << "seed " << seed;
+    EXPECT_EQ(p.net.stats().messages_dropped, 0u);
+  }
+}
+
+TEST(Mis, StarGraphPicksLeavesOrCenter) {
+  Graph g = star_graph(40);
+  Pipeline p(g, 7);
+  auto mis = run_mis(p.shared, p.net, g, p.bt, 7);
+  EXPECT_TRUE(is_maximal_independent_set(g, mis.in_mis));
+}
+
+TEST(Matching, MaximalOnRandomGraphs) {
+  Rng rng(43);
+  for (uint64_t seed : {4u, 5u}) {
+    Graph g = gnm_graph(50, 120, rng);
+    Pipeline p(g, seed);
+    auto m = run_matching(p.shared, p.net, g, p.bt, seed);
+    EXPECT_TRUE(is_maximal_matching(g, m.mate)) << "seed " << seed;
+    EXPECT_EQ(p.net.stats().messages_dropped, 0u);
+  }
+}
+
+TEST(Matching, PerfectOnEvenPath) {
+  Graph g = path_graph(16);
+  Pipeline p(g, 9);
+  auto m = run_matching(p.shared, p.net, g, p.bt, 9);
+  EXPECT_TRUE(is_maximal_matching(g, m.mate));
+}
+
+TEST(Coloring, ProperWithOaColors) {
+  Rng rng(47);
+  for (uint32_t a : {1u, 3u}) {
+    Graph g = random_forest_union(64, a, rng);
+    Pipeline p(g, 60 + a);
+    auto col = run_coloring(p.shared, p.net, g, p.orient, {}, 60 + a);
+    EXPECT_TRUE(is_proper_coloring(g, col.color)) << "a=" << a;
+    // O(a) colors: palette is 3*a_hat <= 12a at eps=0.5, d* <= 4a.
+    EXPECT_LE(col.palette_size, 12 * a) << "a=" << a;
+    for (NodeId u = 0; u < g.n(); ++u) EXPECT_LT(col.color[u], col.palette_size);
+    EXPECT_EQ(p.net.stats().messages_dropped, 0u);
+  }
+}
+
+TEST(Coloring, TriangulatedGridIsPlanarCase) {
+  Graph g = triangulated_grid_graph(6, 6);
+  Pipeline p(g, 71);
+  auto col = run_coloring(p.shared, p.net, g, p.orient, {}, 71);
+  EXPECT_TRUE(is_proper_coloring(g, col.color));
+}

@@ -1,0 +1,139 @@
+// Unit tests for the Identification Algorithm (Section 4.1): XOR-trial
+// decoding of red edges under controlled learning/playing configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/identification.hpp"
+
+using namespace ncc;
+
+namespace {
+
+struct Fixture {
+  Network net;
+  Shared shared;
+  explicit Fixture(NodeId n, uint64_t seed = 1)
+      : net(NetConfig{.n = n, .capacity_factor = 8, .strict_send = true,
+                      .seed = seed}),
+        shared(n, seed) {}
+};
+
+}  // namespace
+
+TEST(Identification, AllNeighborsPlayingYieldsNoRed) {
+  Fixture s(32);
+  IdentificationInput in;
+  in.learning = {0};
+  in.candidates = {{1, 2, 3, 4}};
+  in.playing = {1, 2, 3, 4};
+  in.potential = {{0}, {0}, {0}, {0}};
+  auto res = run_identification(s.shared, s.net, in, {4, 256}, 1);
+  EXPECT_TRUE(res.success[0]);
+  EXPECT_TRUE(res.red[0].empty());
+}
+
+TEST(Identification, AllNeighborsRed) {
+  Fixture s(32);
+  IdentificationInput in;
+  in.learning = {5};
+  in.candidates = {{1, 2, 3, 4, 6, 7}};
+  // No playing nodes at all: every candidate is red.
+  auto res = run_identification(s.shared, s.net, in, {4, 256}, 2);
+  EXPECT_TRUE(res.success[0]);
+  EXPECT_EQ(res.red[0], (std::vector<NodeId>{1, 2, 3, 4, 6, 7}));
+}
+
+TEST(Identification, MixedRedAndBlue) {
+  Fixture s(64);
+  IdentificationInput in;
+  in.learning = {10};
+  in.candidates = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  in.playing = {2, 4, 6};  // blue neighbors
+  in.potential = {{10}, {10}, {10}};
+  auto res = run_identification(s.shared, s.net, in, {4, 512}, 3);
+  EXPECT_TRUE(res.success[0]);
+  EXPECT_EQ(res.red[0], (std::vector<NodeId>{1, 3, 5, 7, 8}));
+}
+
+TEST(Identification, MultipleLearners) {
+  Fixture s(64);
+  IdentificationInput in;
+  in.learning = {20, 21, 22};
+  in.candidates = {{1, 2, 3}, {2, 3, 4}, {5}};
+  in.playing = {2, 5};
+  in.potential = {{20, 21}, {22}};
+  auto res = run_identification(s.shared, s.net, in, {4, 512}, 4);
+  ASSERT_TRUE(res.success[0]);
+  ASSERT_TRUE(res.success[1]);
+  ASSERT_TRUE(res.success[2]);
+  EXPECT_EQ(res.red[0], (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(res.red[1], (std::vector<NodeId>{3, 4}));
+  EXPECT_TRUE(res.red[2].empty());
+}
+
+TEST(Identification, PotentialSupersetIsHarmless) {
+  // A playing node may list potentially-learning neighbors that are not
+  // actually learning; their aggregates are simply unused.
+  Fixture s(64);
+  IdentificationInput in;
+  in.learning = {30};
+  in.candidates = {{31, 32}};
+  in.playing = {31};
+  in.potential = {{30, 40, 41}};  // 40, 41 are not learning
+  auto res = run_identification(s.shared, s.net, in, {4, 256}, 5);
+  EXPECT_TRUE(res.success[0]);
+  EXPECT_EQ(res.red[0], (std::vector<NodeId>{32}));
+}
+
+TEST(Identification, TinyTrialSpaceReportsFailureHonestly) {
+  // With q tiny and many red edges, decoding must either fully succeed or
+  // report failure — but never invent red neighbors.
+  Fixture s(64);
+  IdentificationInput in;
+  in.learning = {0};
+  std::vector<NodeId> cand;
+  for (NodeId v = 1; v <= 40; ++v) cand.push_back(v);
+  in.candidates = {cand};
+  // Half the candidates are playing.
+  for (NodeId v = 1; v <= 40; v += 2) {
+    in.playing.push_back(v);
+    in.potential.push_back({0});
+  }
+  auto res = run_identification(s.shared, s.net, in, {2, 4}, 6);
+  for (NodeId v : res.red[0]) {
+    EXPECT_EQ(v % 2, 0u) << "falsely identified a playing neighbor as red";
+  }
+  if (res.success[0]) {
+    EXPECT_EQ(res.red[0].size(), 20u);
+  } else {
+    EXPECT_LT(res.red[0].size(), 20u);
+  }
+}
+
+TEST(Identification, LargeDegreeDecodesWithPaperParameters) {
+  // Paper step-1 parameters: s = c, q = 4 e c d* log n.
+  const NodeId n = 256;
+  Fixture s(n);
+  IdentificationInput in;
+  in.learning = {0};
+  std::vector<NodeId> cand;
+  for (NodeId v = 1; v <= 100; ++v) cand.push_back(v);
+  in.candidates = {cand};
+  for (NodeId v = 1; v <= 100; ++v) {
+    if (v % 3 != 0) {
+      in.playing.push_back(v);
+      in.potential.push_back({0});
+    }
+  }
+  uint32_t c = 4, d_star = 34, logn = 8;
+  uint32_t q = static_cast<uint32_t>(4 * 2.72 * c * d_star * logn);
+  auto res = run_identification(s.shared, s.net, in, {c, q}, 7);
+  std::vector<NodeId> expect;
+  for (NodeId v = 3; v <= 100; v += 3) expect.push_back(v);
+  if (res.success[0]) {
+    EXPECT_EQ(res.red[0], expect);
+  }
+  // Whp-successful at these parameters; either way reds are sound.
+  for (NodeId v : res.red[0]) EXPECT_EQ(v % 3, 0u);
+}

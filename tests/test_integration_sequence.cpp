@@ -1,0 +1,81 @@
+// Integration: a long-lived network instance running the entire algorithm
+// portfolio back to back (the way a real deployment would reuse its overlay),
+// verifying that no protocol leaves residue that corrupts the next.
+#include <gtest/gtest.h>
+
+#include "baselines/sequential.hpp"
+#include "core/bfs.hpp"
+#include "core/broadcast_trees.hpp"
+#include "core/coloring.hpp"
+#include "core/components.hpp"
+#include "core/gossip.hpp"
+#include "core/matching.hpp"
+#include "core/mis.hpp"
+#include "core/mst.hpp"
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+using namespace ncc;
+
+TEST(IntegrationSequence, FullPortfolioOnOneNetwork) {
+  const NodeId n = 96;
+  Rng rng(51);
+  Graph g = with_random_weights(connectify(random_forest_union(n, 3, rng), rng),
+                                1000, rng);
+  Network net(NetConfig{.n = n, .capacity_factor = 8, .strict_send = true, .seed = 51});
+  Shared shared(n, 51);
+
+  // 1. Orientation and broadcast trees.
+  auto orient = run_orientation(shared, net, g);
+  ASSERT_TRUE(orient.orientation.complete());
+  auto bt = build_broadcast_trees(shared, net, g, orient.orientation, 1);
+
+  // 2. The Section 5 suite.
+  auto bfs = run_bfs(shared, net, g, bt, 0, 2);
+  auto expect_dist = bfs_distances(g, 0);
+  for (NodeId u = 0; u < n; ++u) ASSERT_EQ(bfs.dist[u], expect_dist[u]);
+
+  auto mis = run_mis(shared, net, g, bt, 3);
+  ASSERT_TRUE(is_maximal_independent_set(g, mis.in_mis));
+
+  auto match = run_matching(shared, net, g, bt, 4);
+  ASSERT_TRUE(is_maximal_matching(g, match.mate));
+
+  auto col = run_coloring(shared, net, g, orient, {}, 5);
+  ASSERT_TRUE(is_proper_coloring(g, col.color));
+
+  // 3. MST and components.
+  auto mst = run_mst(shared, net, g, {}, 6);
+  ASSERT_EQ(mst.total_weight, kruskal_msf(g).total_weight);
+  auto comp = run_components(shared, net, g, 7);
+  ASSERT_EQ(comp.count, 1u);
+
+  // 4. Gossip for dessert.
+  auto gr = run_gossip(net);
+  ASSERT_TRUE(gr.complete);
+
+  // The whole run stayed inside the model.
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+  EXPECT_LE(net.stats().max_send_load, net.cap());
+  EXPECT_GT(net.rounds(), 0u);
+}
+
+TEST(IntegrationSequence, RerunsAreIndependentGivenTags) {
+  // The same algorithm twice on one network with different tags must give
+  // two valid (generally different) results; with equal tags, identical ones.
+  const NodeId n = 64;
+  Rng rng(53);
+  Graph g = gnm_graph(n, 160, rng);
+  Network net(NetConfig{.n = n, .capacity_factor = 8, .strict_send = true, .seed = 53});
+  Shared shared(n, 53);
+  auto orient = run_orientation(shared, net, g);
+  auto bt = build_broadcast_trees(shared, net, g, orient.orientation, 1);
+
+  auto mis1 = run_mis(shared, net, g, bt, 100);
+  auto mis2 = run_mis(shared, net, g, bt, 100);
+  auto mis3 = run_mis(shared, net, g, bt, 200);
+  EXPECT_TRUE(is_maximal_independent_set(g, mis1.in_mis));
+  EXPECT_TRUE(is_maximal_independent_set(g, mis3.in_mis));
+  EXPECT_EQ(mis1.in_mis, mis2.in_mis);  // same tag, same randomness
+}

@@ -1,0 +1,84 @@
+// MST tests (Section 3): the distributed Boruvka + FindMin sketches must
+// produce a minimum spanning forest matching Kruskal's weight (and the exact
+// edge set when weights are distinct).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/sequential.hpp"
+#include "core/mst.hpp"
+#include "graph/generators.hpp"
+
+using namespace ncc;
+
+namespace {
+
+MstResult mst_of(const Graph& g, uint64_t seed) {
+  Network net(NetConfig{.n = g.n(), .capacity_factor = 8, .strict_send = true,
+                        .seed = seed});
+  Shared shared(g.n(), seed);
+  auto res = run_mst(shared, net, g, {}, seed);
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+  return res;
+}
+
+}  // namespace
+
+TEST(Mst, PathGraphTakesAllEdges) {
+  Graph g = path_graph(20);
+  auto res = mst_of(g, 3);
+  EXPECT_EQ(res.edges.size(), 19u);
+  EXPECT_TRUE(is_spanning_forest(g, res.edges));
+}
+
+TEST(Mst, MatchesKruskalWeightOnRandomGraphs) {
+  Rng rng(29);
+  for (uint64_t seed : {1u, 2u}) {
+    Graph base = gnm_graph(48, 140, rng);
+    Graph g = with_random_weights(base, 1000, rng);
+    auto res = mst_of(g, seed);
+    auto kr = kruskal_msf(g);
+    EXPECT_EQ(res.total_weight, kr.total_weight) << "seed " << seed;
+    EXPECT_TRUE(is_spanning_forest(g, res.edges));
+  }
+}
+
+TEST(Mst, ExactEdgeSetWithDistinctWeights) {
+  Rng rng(31);
+  Graph base = gnm_graph(40, 100, rng);
+  Graph g = with_distinct_weights(base, rng);
+  auto res = mst_of(g, 5);
+  auto kr = kruskal_msf(g);
+  ASSERT_EQ(res.edges.size(), kr.edges.size());
+  auto a = res.edges;
+  auto b = kr.edges;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mst, SpanningForestOnDisconnectedGraph) {
+  // Two cliques of 8, no inter-edges.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 8; ++u)
+    for (NodeId v = u + 1; v < 8; ++v) edges.emplace_back(u, v, u + v + 1);
+  for (NodeId u = 8; u < 16; ++u)
+    for (NodeId v = u + 1; v < 16; ++v) edges.emplace_back(u, v, u + v + 1);
+  Graph g(16, std::move(edges));
+  auto res = mst_of(g, 13);
+  EXPECT_EQ(res.edges.size(), 14u);  // 7 + 7
+  EXPECT_TRUE(is_spanning_forest(g, res.edges));
+  auto kr = kruskal_msf(g);
+  EXPECT_EQ(res.total_weight, kr.total_weight);
+}
+
+TEST(Mst, EachEdgeKnownByExactlyOneEndpoint) {
+  Rng rng(37);
+  Graph g = with_distinct_weights(gnm_graph(32, 80, rng), rng);
+  auto res = mst_of(g, 17);
+  ASSERT_EQ(res.known_by.size(), res.edges.size());
+  for (size_t i = 0; i < res.edges.size(); ++i) {
+    NodeId k = res.known_by[i];
+    EXPECT_TRUE(k == res.edges[i].u || k == res.edges[i].v);
+  }
+}

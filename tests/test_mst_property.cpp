@@ -1,0 +1,89 @@
+// Parameterized MST property sweep: weight-match with Kruskal and spanning
+// validity over a matrix of generators × seeds (Section 3).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baselines/sequential.hpp"
+#include "core/mst.hpp"
+#include "graph/generators.hpp"
+
+using namespace ncc;
+
+namespace {
+
+struct MstCase {
+  std::string name;
+  std::function<Graph(Rng&)> make;
+  uint64_t seed;
+};
+
+class MstProperty : public ::testing::TestWithParam<MstCase> {};
+
+}  // namespace
+
+TEST_P(MstProperty, WeightMatchesKruskal) {
+  const auto& mc = GetParam();
+  Rng rng(mc.seed);
+  Graph g = mc.make(rng);
+  Network net(NetConfig{.n = g.n(), .capacity_factor = 8, .strict_send = true,
+                        .seed = mc.seed});
+  Shared shared(g.n(), mc.seed);
+  auto res = run_mst(shared, net, g, {}, mc.seed);
+  EXPECT_TRUE(is_spanning_forest(g, res.edges));
+  EXPECT_EQ(res.total_weight, kruskal_msf(g).total_weight);
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+  // Boruvka with Heads/Tails: phases stay O(log n) (constant ~2.5).
+  EXPECT_LE(res.phases, 8 * cap_log(g.n()) + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MstProperty,
+    ::testing::Values(
+        MstCase{"weighted_grid",
+                [](Rng& r) { return with_random_weights(grid_graph(6, 6), 500, r); }, 1},
+        MstCase{"weighted_star",
+                [](Rng& r) { return with_random_weights(star_graph(48), 100, r); }, 2},
+        MstCase{"weighted_cycle",
+                [](Rng& r) { return with_random_weights(cycle_graph(40), 64, r); }, 3},
+        MstCase{"distinct_gnm",
+                [](Rng& r) { return with_distinct_weights(gnm_graph(48, 160, r), r); },
+                4},
+        MstCase{"distinct_gnm2",
+                [](Rng& r) { return with_distinct_weights(gnm_graph(48, 160, r), r); },
+                5},
+        MstCase{"weighted_forest",
+                [](Rng& r) {
+                  return with_random_weights(random_forest_union(56, 3, r), 1000, r);
+                },
+                6},
+        MstCase{"weighted_powerlaw",
+                [](Rng& r) {
+                  return with_random_weights(power_law_graph(56, 2.5, 16, r), 300, r);
+                },
+                7},
+        MstCase{"weighted_hypercube",
+                [](Rng& r) { return with_random_weights(hypercube_graph(5), 77, r); },
+                8},
+        MstCase{"two_components",
+                [](Rng& r) {
+                  // Two disjoint weighted cliques.
+                  std::vector<Edge> edges;
+                  for (NodeId u = 0; u < 10; ++u)
+                    for (NodeId v = u + 1; v < 10; ++v)
+                      edges.emplace_back(u, v, 1 + r.next_below(50));
+                  for (NodeId u = 10; u < 20; ++u)
+                    for (NodeId v = u + 1; v < 20; ++v)
+                      edges.emplace_back(u, v, 1 + r.next_below(50));
+                  return Graph(24, std::move(edges));  // + 4 isolated nodes
+                },
+                9},
+        MstCase{"tiny", [](Rng&) { return Graph(2, {Edge(0, 1, 7)}); }, 10},
+        MstCase{"weighted_ba",
+                [](Rng& r) {
+                  return with_random_weights(barabasi_albert_graph(48, 2, r), 999, r);
+                },
+                11}),
+    [](const ::testing::TestParamInfo<MstCase>& info) {
+      return info.param.name + "_s" + std::to_string(info.param.seed);
+    });

@@ -1,0 +1,164 @@
+// Property tests for Multicast Tree Setup, Multicast and Multi-Aggregation
+// (Theorems 2.4-2.6): all members receive, congestion respects the
+// O(L/n + log n) bound shape, multi-aggregation equals direct computation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bits.hpp"
+#include "primitives/multi_aggregation.hpp"
+#include "primitives/multicast.hpp"
+
+using namespace ncc;
+
+struct McCase {
+  NodeId n;
+  uint32_t num_groups;
+  uint32_t group_size;
+  uint64_t seed;
+};
+
+class MulticastProperty : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(MulticastProperty, EveryMemberReceivesAndCongestionBounded) {
+  const McCase& c = GetParam();
+  NetConfig cfg;
+  cfg.n = c.n;
+  cfg.seed = c.seed;
+  Network net(cfg);
+  Shared shared(c.n, c.seed);
+  Rng rng(c.seed * 13 + 5);
+
+  std::vector<MulticastMembership> members;
+  std::vector<MulticastSend> sends;
+  std::map<uint64_t, std::set<NodeId>> expect;  // group -> member set
+  uint32_t ell_hat = 0;
+  std::vector<uint32_t> per_node(c.n, 0);
+  for (uint32_t gi = 0; gi < c.num_groups; ++gi) {
+    uint64_t group = 7000 + gi;
+    for (uint64_t m : rng.sample_without_replacement(c.n, c.group_size)) {
+      members.push_back({static_cast<NodeId>(m), group});
+      expect[group].insert(static_cast<NodeId>(m));
+      ell_hat = std::max(ell_hat, ++per_node[m]);
+    }
+    sends.push_back({group, static_cast<NodeId>(gi % c.n), Val{group * 3, 0}});
+  }
+  // Distinct sources required: remap duplicates.
+  {
+    std::set<NodeId> used;
+    for (auto& s : sends) {
+      NodeId src = s.source;
+      while (used.count(src)) src = (src + 1) % c.n;
+      used.insert(src);
+      s.source = src;
+    }
+  }
+
+  auto setup = setup_multicast_trees(shared, net, members, c.seed);
+  uint64_t L = members.size();
+  double bound = 12.0 * (static_cast<double>(L) / c.n + cap_log(c.n));
+  EXPECT_LE(setup.trees.congestion, bound);
+
+  auto mc = run_multicast(shared, net, setup.trees, sends, std::max(1u, ell_hat),
+                          c.seed + 1);
+  for (auto& [group, mset] : expect) {
+    for (NodeId m : mset) {
+      bool got = false;
+      for (const AggPacket& p : mc.received[m])
+        if (p.group == group && p.val[0] == group * 3) got = true;
+      EXPECT_TRUE(got) << "member " << m << " missed group " << group;
+    }
+  }
+  // No spurious deliveries: total receipts equal total memberships.
+  uint64_t receipts = 0;
+  for (NodeId u = 0; u < c.n; ++u) receipts += mc.received[u].size();
+  EXPECT_EQ(receipts, L);
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+
+  // Multi-aggregation: every node should get the MIN payload over its groups.
+  auto ma = run_multi_aggregation(shared, net, setup.trees, sends, agg::min_by_first,
+                                  c.seed + 2);
+  std::map<NodeId, uint64_t> expect_min;
+  for (auto& [group, mset] : expect)
+    for (NodeId m : mset) {
+      auto it = expect_min.find(m);
+      if (it == expect_min.end())
+        expect_min[m] = group * 3;
+      else
+        it->second = std::min(it->second, group * 3);
+    }
+  for (NodeId u = 0; u < c.n; ++u) {
+    if (expect_min.count(u)) {
+      ASSERT_TRUE(ma.at_node[u].has_value()) << u;
+      EXPECT_EQ((*ma.at_node[u])[0], expect_min[u]) << u;
+    } else {
+      EXPECT_FALSE(ma.at_node[u].has_value()) << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MulticastProperty,
+    ::testing::Values(McCase{16, 2, 4, 1}, McCase{32, 4, 8, 2}, McCase{64, 8, 8, 3},
+                      McCase{64, 2, 32, 4}, McCase{100, 10, 5, 5},
+                      McCase{128, 16, 16, 6}, McCase{256, 4, 64, 7},
+                      McCase{256, 32, 8, 8}, McCase{512, 8, 32, 9}),
+    [](const ::testing::TestParamInfo<McCase>& info) {
+      return "n" + std::to_string(info.param.n) + "_g" +
+             std::to_string(info.param.num_groups) + "_sz" +
+             std::to_string(info.param.group_size) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(MulticastEdgeCases, GroupWithoutMembersIsSkipped) {
+  Network net(NetConfig{.n = 32, .capacity_factor = 8, .strict_send = true, .seed = 4});
+  Shared shared(32, 4);
+  auto setup = setup_multicast_trees(shared, net, {});
+  std::vector<MulticastSend> sends{{123, 5, Val{9, 9}}};
+  auto mc = run_multicast(shared, net, setup.trees, sends, 1);
+  for (NodeId u = 0; u < 32; ++u) EXPECT_TRUE(mc.received[u].empty());
+}
+
+TEST(MulticastEdgeCases, SourceIsAlsoMember) {
+  Network net(NetConfig{.n = 32, .capacity_factor = 8, .strict_send = true, .seed = 5});
+  Shared shared(32, 5);
+  std::vector<MulticastMembership> members{{3, 50}, {4, 50}};
+  auto setup = setup_multicast_trees(shared, net, members);
+  std::vector<MulticastSend> sends{{50, 3, Val{77, 0}}};
+  auto mc = run_multicast(shared, net, setup.trees, sends, 1);
+  ASSERT_EQ(mc.received[3].size(), 1u);  // the source hears itself as a member
+  ASSERT_EQ(mc.received[4].size(), 1u);
+  EXPECT_EQ(mc.received[4][0].val[0], 77u);
+}
+
+TEST(MulticastEdgeCases, InjectorDelegation) {
+  // Lemma 5.1 mechanics: node 1 injects node 2's membership.
+  Network net(NetConfig{.n = 32, .capacity_factor = 8, .strict_send = true, .seed = 6});
+  Shared shared(32, 6);
+  std::vector<MulticastMembership> members{{2, 60, /*injector=*/1}};
+  auto setup = setup_multicast_trees(shared, net, members);
+  std::vector<MulticastSend> sends{{60, 9, Val{5, 0}}};
+  auto mc = run_multicast(shared, net, setup.trees, sends, 1);
+  ASSERT_EQ(mc.received[2].size(), 1u);  // the *member* gets the payload
+  EXPECT_TRUE(mc.received[1].empty());
+}
+
+TEST(MulticastEdgeCases, LeafAnnotationHook) {
+  Network net(NetConfig{.n = 64, .capacity_factor = 8, .strict_send = true, .seed = 7});
+  Shared shared(64, 7);
+  std::vector<MulticastMembership> members;
+  for (NodeId u = 10; u < 20; ++u) members.push_back({u, 70});
+  auto setup = setup_multicast_trees(shared, net, members);
+  std::vector<MulticastSend> sends{{70, 1, Val{42, 0}}};
+  LeafAnnotateFn annotate = [](uint64_t group, NodeId member, const Val& v) {
+    return Val{member, group + v[0]};  // provably leaf-dependent output
+  };
+  auto ma = run_multi_aggregation(shared, net, setup.trees, sends, agg::min_by_first,
+                                  1, annotate);
+  for (NodeId u = 10; u < 20; ++u) {
+    ASSERT_TRUE(ma.at_node[u].has_value());
+    EXPECT_EQ((*ma.at_node[u])[0], u);          // annotated first word
+    EXPECT_EQ((*ma.at_node[u])[1], 70u + 42u);  // annotated second word
+  }
+}

@@ -1,0 +1,94 @@
+// Tests for the Orientation Algorithm (Section 4): every edge gets a
+// direction, the outdegree bound is O(a), and the level partition is sane.
+#include <gtest/gtest.h>
+
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+using namespace ncc;
+
+namespace {
+
+Network make_net(NodeId n, uint64_t seed = 3) {
+  NetConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  return Network(cfg);
+}
+
+OrientationRunResult orient(const Graph& g, uint64_t seed = 11) {
+  Network net = make_net(g.n(), seed);
+  Shared shared(g.n(), seed);
+  auto res = run_orientation(shared, net, g);
+  EXPECT_EQ(net.stats().messages_dropped, 0u) << "network dropped messages";
+  return res;
+}
+
+}  // namespace
+
+TEST(OrientationAlgo, PathGraph) {
+  Graph g = path_graph(32);
+  auto res = orient(g);
+  EXPECT_TRUE(res.orientation.complete());
+  // Arboricity 1: the bound d* <= 4a should hold.
+  EXPECT_LE(res.orientation.max_outdegree(), 4u);
+}
+
+TEST(OrientationAlgo, StarGraph) {
+  Graph g = star_graph(64);
+  auto res = orient(g);
+  EXPECT_TRUE(res.orientation.complete());
+  // The star has arboricity 1; every leaf directs its edge to the center in
+  // phase 1 and the center ends with outdegree 0.
+  EXPECT_LE(res.orientation.max_outdegree(), 4u);
+  EXPECT_EQ(res.orientation.outdegree(0), 0u);
+}
+
+TEST(OrientationAlgo, ForestUnionRespectsArboricityBound) {
+  Rng rng(77);
+  for (uint32_t a : {1u, 2u, 4u}) {
+    Graph g = random_forest_union(96, a, rng);
+    auto res = orient(g, 100 + a);
+    EXPECT_TRUE(res.orientation.complete());
+    EXPECT_LE(res.orientation.max_outdegree(), 4 * a) << "a=" << a;
+    EXPECT_LE(res.d_star, 4 * a) << "a=" << a;
+  }
+}
+
+TEST(OrientationAlgo, LevelsPartitionNodes) {
+  Rng rng(5);
+  Graph g = gnm_graph(80, 200, rng);
+  auto res = orient(g, 21);
+  EXPECT_TRUE(res.orientation.complete());
+  for (NodeId u = 0; u < g.n(); ++u) {
+    EXPECT_GE(res.level[u], 1u);
+    EXPECT_LE(res.level[u], res.phases);
+  }
+  // Same-level lists are symmetric.
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : res.same_level[u]) {
+      EXPECT_EQ(res.level[u], res.level[v]);
+      auto& sv = res.same_level[v];
+      EXPECT_NE(std::find(sv.begin(), sv.end(), u), sv.end());
+    }
+  }
+}
+
+TEST(OrientationAlgo, EdgesDirectedFromActiveToLater) {
+  // Every edge must point from the lower-level endpoint to the higher-level
+  // one (or by id within a level) — the Nash-Williams peeling invariant.
+  Rng rng(9);
+  Graph g = random_forest_union(64, 3, rng);
+  auto res = orient(g, 33);
+  for (const Edge& e : g.edges()) {
+    bool u_to_v = res.orientation.directed_from(e.u, e.v);
+    NodeId from = u_to_v ? e.u : e.v;
+    NodeId to = u_to_v ? e.v : e.u;
+    if (res.level[from] == res.level[to]) {
+      EXPECT_LT(from, to);
+    } else {
+      EXPECT_LT(res.level[from], res.level[to]);
+    }
+  }
+}

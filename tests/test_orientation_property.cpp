@@ -1,0 +1,97 @@
+// Parameterized orientation property sweep: the Nash-Williams peeling
+// invariants over a matrix of generators and seeds (Section 4).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+using namespace ncc;
+
+namespace {
+
+struct OriCase {
+  std::string name;
+  std::function<Graph(Rng&)> make;
+  uint64_t seed;
+};
+
+class OrientationProperty : public ::testing::TestWithParam<OriCase> {};
+
+}  // namespace
+
+TEST_P(OrientationProperty, PeelingInvariants) {
+  const auto& oc = GetParam();
+  Rng rng(oc.seed);
+  Graph g = oc.make(rng);
+  Network net(NetConfig{.n = g.n(), .capacity_factor = 8, .strict_send = true,
+                        .seed = oc.seed});
+  Shared shared(g.n(), oc.seed);
+  auto res = run_orientation(shared, net, g);
+
+  ASSERT_TRUE(res.orientation.complete());
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+
+  // O(a) quality via the degeneracy bracket: outdegree <= d* <= 4*degeneracy.
+  uint32_t degen = std::max(1u, degeneracy(g).degeneracy);
+  EXPECT_LE(res.orientation.max_outdegree(), 4 * degen);
+  EXPECT_LE(res.phases, 4 * cap_log(g.n()) + 8);
+
+  // Edge direction invariant: lower level -> higher level, id order within.
+  for (const Edge& e : g.edges()) {
+    bool u_to_v = res.orientation.directed_from(e.u, e.v);
+    NodeId from = u_to_v ? e.u : e.v;
+    NodeId to = u_to_v ? e.v : e.u;
+    if (res.level[from] == res.level[to]) {
+      EXPECT_LT(from, to);
+    } else {
+      EXPECT_LT(res.level[from], res.level[to]);
+    }
+  }
+  // Indegree + outdegree account for every incident edge.
+  for (NodeId u = 0; u < g.n(); ++u)
+    EXPECT_EQ(res.orientation.outdegree(u) + res.orientation.indegree(u), g.degree(u));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrientationProperty,
+    ::testing::Values(
+        OriCase{"gnm_sparse", [](Rng& r) { return gnm_graph(80, 120, r); }, 1},
+        OriCase{"gnm_dense", [](Rng& r) { return gnm_graph(64, 640, r); }, 2},
+        OriCase{"forest_a1", [](Rng& r) { return random_forest_union(100, 1, r); }, 3},
+        OriCase{"forest_a5", [](Rng& r) { return random_forest_union(90, 5, r); }, 4},
+        OriCase{"forest_a10", [](Rng& r) { return random_forest_union(64, 10, r); }, 5},
+        OriCase{"powerlaw", [](Rng& r) { return power_law_graph(100, 2.2, 40, r); }, 6},
+        OriCase{"ba_k4", [](Rng& r) { return barabasi_albert_graph(96, 4, r); }, 7},
+        OriCase{"star", [](Rng&) { return star_graph(128); }, 8},
+        OriCase{"complete", [](Rng&) { return complete_graph(32); }, 9},
+        OriCase{"grid", [](Rng&) { return grid_graph(9, 9); }, 10},
+        OriCase{"hypercube", [](Rng&) { return hypercube_graph(6); }, 11},
+        OriCase{"two_seeds_a3_x", [](Rng& r) { return random_forest_union(72, 3, r); },
+                12},
+        OriCase{"two_seeds_a3_y", [](Rng& r) { return random_forest_union(72, 3, r); },
+                13}),
+    [](const ::testing::TestParamInfo<OriCase>& info) {
+      return info.param.name + "_s" + std::to_string(info.param.seed);
+    });
+
+// Coloring quality sweep: colors used stay within the O(a) palette and the
+// palette scales linearly with the exact arboricity parameter.
+TEST(ColoringQuality, PaletteLinearInArboricity) {
+  std::vector<uint32_t> palettes;
+  for (uint32_t a : {1u, 2u, 4u, 8u}) {
+    Rng rng(40 + a);
+    Graph g = random_forest_union(96, a, rng);
+    Network net(NetConfig{.n = g.n(), .capacity_factor = 8, .strict_send = true,
+                          .seed = 40 + a});
+    Shared shared(g.n(), 40 + a);
+    auto orient = run_orientation(shared, net, g);
+    // Palette = 3 * a_hat; a_hat <= d* <= 4a, so palette <= 12a.
+    EXPECT_LE(orient.d_star, 4 * a);
+    palettes.push_back(3 * std::max(1u, orient.d_star));
+  }
+  // Roughly linear growth: palette(8a) < 16 * palette(a).
+  EXPECT_LT(palettes.back(), 16 * palettes.front());
+}

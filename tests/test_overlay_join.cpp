@@ -1,0 +1,76 @@
+// Tests for the restricted-knowledge butterfly overlay construction
+// (Section 6 / footnote 4): starting from ring neighbors + Theta(log n)
+// random contacts, every node gets introduced to its butterfly neighbors.
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "core/overlay_join.hpp"
+
+using namespace ncc;
+
+namespace {
+OverlayJoinResult join(NodeId n, uint64_t seed, OverlayJoinParams params = {}) {
+  NetConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  Network net(cfg);
+  ButterflyTopo topo(n);
+  auto res = build_butterfly_overlay(net, topo, params, seed);
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+  return res;
+}
+}  // namespace
+
+TEST(OverlayJoin, CompletesOnPowerOfTwo) {
+  auto res = join(64, 1);
+  EXPECT_TRUE(res.complete);
+  EXPECT_GT(res.requests, 0u);
+}
+
+TEST(OverlayJoin, CompletesWithNonEmulatingNodes) {
+  auto res = join(100, 2);  // 36 attach-only nodes
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(OverlayJoin, HopCountsAreLogarithmic) {
+  for (NodeId n : {128u, 512u, 2048u}) {
+    auto res = join(n, 3 + n);
+    ASSERT_TRUE(res.complete);
+    double avg_hops = static_cast<double>(res.total_hops) /
+                      static_cast<double>(std::max<uint64_t>(1, res.requests));
+    // Chord-style greedy with Theta(log n) fingers: O(log n) hops.
+    EXPECT_LE(avg_hops, 2.0 * cap_log(n)) << "n=" << n;
+    EXPECT_LE(res.max_hops, 8 * cap_log(n)) << "n=" << n;
+  }
+}
+
+TEST(OverlayJoin, KnowledgeStaysNearLogarithmic) {
+  auto res = join(1024, 7);
+  ASSERT_TRUE(res.complete);
+  // Initial 2 log n contacts + ring + O(log n) introductions.
+  EXPECT_LE(res.max_knowledge, 8 * cap_log(1024));
+  EXPECT_GE(res.min_knowledge, 2u);
+}
+
+TEST(OverlayJoin, RoundsPolylogarithmic) {
+  auto small = join(128, 9);
+  auto large = join(2048, 11);
+  ASSERT_TRUE(small.complete);
+  ASSERT_TRUE(large.complete);
+  // 16x more nodes must not cost anywhere near 16x the rounds.
+  EXPECT_LE(large.rounds, 4 * small.rounds);
+}
+
+TEST(OverlayJoin, FewerContactsStillComplete) {
+  OverlayJoinParams p;
+  p.contacts_factor = 1;
+  auto res = join(256, 13, p);
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(OverlayJoin, DeterministicForSeed) {
+  auto a = join(256, 21);
+  auto b = join(256, 21);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_hops, b.total_hops);
+}

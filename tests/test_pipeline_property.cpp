@@ -1,0 +1,105 @@
+// Parameterized end-to-end property tests: the full pipeline (orientation ->
+// broadcast trees -> BFS/MIS/matching/coloring) over a matrix of generators
+// and seeds. Every output is validated; the network must never drop.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baselines/sequential.hpp"
+#include "core/bfs.hpp"
+#include "core/broadcast_trees.hpp"
+#include "core/coloring.hpp"
+#include "core/matching.hpp"
+#include "core/mis.hpp"
+#include "core/orientation_algo.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+using namespace ncc;
+
+namespace {
+
+struct PipelineCase {
+  std::string name;
+  std::function<Graph(Rng&)> make;
+  uint64_t seed;
+};
+
+class PipelineProperty : public ::testing::TestWithParam<PipelineCase> {};
+
+}  // namespace
+
+TEST_P(PipelineProperty, AllAlgorithmsValid) {
+  const auto& pc = GetParam();
+  Rng graph_rng(pc.seed);
+  Graph g = pc.make(graph_rng);
+  Network net(NetConfig{.n = g.n(), .capacity_factor = 8, .strict_send = true,
+                        .seed = pc.seed});
+  Shared shared(g.n(), pc.seed);
+
+  auto orient = run_orientation(shared, net, g);
+  ASSERT_TRUE(orient.orientation.complete());
+  uint32_t degen = std::max(1u, degeneracy(g).degeneracy);
+  // d* <= 2*avg-degree-of-any-subgraph <= 4*degeneracy (loose but universal).
+  EXPECT_LE(orient.orientation.max_outdegree(), 4 * degen);
+
+  auto bt = build_broadcast_trees(shared, net, g, orient.orientation, pc.seed + 1);
+
+  auto bfs = run_bfs(shared, net, g, bt, 0, pc.seed + 2);
+  auto expect = bfs_distances(g, 0);
+  for (NodeId u = 0; u < g.n(); ++u)
+    ASSERT_EQ(bfs.dist[u] == UINT32_MAX ? kUnreachable : bfs.dist[u], expect[u]) << u;
+
+  auto mis = run_mis(shared, net, g, bt, pc.seed + 3);
+  EXPECT_TRUE(is_maximal_independent_set(g, mis.in_mis));
+
+  auto match = run_matching(shared, net, g, bt, pc.seed + 4);
+  EXPECT_TRUE(is_maximal_matching(g, match.mate));
+
+  auto col = run_coloring(shared, net, g, orient, {}, pc.seed + 5);
+  EXPECT_TRUE(is_proper_coloring(g, col.color));
+
+  EXPECT_EQ(net.stats().messages_dropped, 0u);
+  EXPECT_LE(net.stats().max_send_load, net.cap());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, PipelineProperty,
+    ::testing::Values(
+        PipelineCase{"path", [](Rng&) { return path_graph(48); }, 1},
+        PipelineCase{"cycle", [](Rng&) { return cycle_graph(49); }, 2},
+        PipelineCase{"star", [](Rng&) { return star_graph(64); }, 3},
+        PipelineCase{"grid", [](Rng&) { return grid_graph(7, 7); }, 4},
+        PipelineCase{"tri_grid", [](Rng&) { return triangulated_grid_graph(6, 7); }, 5},
+        PipelineCase{"hypercube", [](Rng&) { return hypercube_graph(6); }, 6},
+        PipelineCase{"tree", [](Rng& r) { return random_tree(80, r); }, 7},
+        PipelineCase{"forest_a2", [](Rng& r) { return random_forest_union(72, 2, r); }, 8},
+        PipelineCase{"forest_a6", [](Rng& r) { return random_forest_union(60, 6, r); }, 9},
+        PipelineCase{"gnm_sparse", [](Rng& r) { return gnm_graph(64, 96, r); }, 10},
+        PipelineCase{"gnm_dense", [](Rng& r) { return gnm_graph(48, 400, r); }, 11},
+        PipelineCase{"power_law",
+                     [](Rng& r) { return power_law_graph(96, 2.5, 24, r); }, 12},
+        PipelineCase{"complete", [](Rng&) { return complete_graph(24); }, 13},
+        PipelineCase{"sparse_isolated", [](Rng& r) { return gnm_graph(64, 20, r); }, 14}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return info.param.name + "_s" + std::to_string(info.param.seed);
+    });
+
+// Determinism: identical seeds give identical executions end to end.
+TEST(PipelineDeterminism, SameSeedSameRoundsSameOutput) {
+  auto run = [](uint64_t seed) {
+    Rng rng(3);
+    Graph g = gnm_graph(64, 160, rng);
+    Network net(NetConfig{.n = g.n(), .capacity_factor = 8, .strict_send = true,
+                          .seed = seed});
+    Shared shared(g.n(), seed);
+    auto orient = run_orientation(shared, net, g);
+    auto bt = build_broadcast_trees(shared, net, g, orient.orientation, 1);
+    auto mis = run_mis(shared, net, g, bt, 2);
+    return std::make_tuple(net.rounds(), net.stats().messages_sent, mis.in_mis);
+  };
+  EXPECT_EQ(run(42), run(42));
+  // A different seed still yields a valid run but (generically) a different
+  // message count — sanity that the seed is actually threaded through.
+  EXPECT_NE(std::get<1>(run(42)), std::get<1>(run(43)));
+}
