@@ -1,0 +1,133 @@
+// Engine scaling bench: wall-clock of the sharded round engine across thread
+// counts on fixed workloads, with a bit-identity check against the
+// single-threaded run (the engine's determinism contract).
+//
+//   ./bench_engine [--quick] [--threads MAX] [--json PATH]
+//
+// Workloads: gossip (clique-saturating all-to-all — stresses the parallel
+// end_round delivery), and the Section 5 BFS/MIS pipelines on a gnm graph
+// (stress the butterfly router's sharded step loop). Emits BENCH_engine.json
+// rows {bench, n, threads, rounds, wall_ms, messages} so future PRs can
+// track the perf trajectory.
+#include "bench_util.hpp"
+
+#include "core/bfs.hpp"
+#include "core/gossip.hpp"
+#include "core/mis.hpp"
+
+using namespace ncc;
+using namespace ncc::bench;
+
+namespace {
+
+uint64_t fold(uint64_t h, uint64_t x) { return mix64(h ^ x); }
+
+struct RunOut {
+  double wall_ms = 0;
+  uint64_t rounds = 0;
+  uint64_t messages = 0;
+  uint64_t checksum = 0;  // folds outputs + NetStats: must match across threads
+};
+
+uint64_t stats_checksum(const NetStats& st) {
+  uint64_t h = 0x5ca1ab1e;
+  h = fold(h, st.rounds);
+  h = fold(h, st.messages_sent);
+  h = fold(h, st.messages_dropped);
+  h = fold(h, st.max_send_load);
+  h = fold(h, st.max_recv_load);
+  return h;
+}
+
+RunOut run_gossip_bench(NodeId n, uint32_t threads) {
+  Network net = make_net(n, 42);
+  std::unique_ptr<Engine> eng;
+  if (threads > 1) eng = std::make_unique<Engine>(net, EngineConfig{threads});
+  WallTimer t;
+  auto res = run_gossip(net);
+  RunOut out;
+  out.wall_ms = t.ms();
+  out.rounds = res.rounds;
+  out.messages = net.stats().messages_sent;
+  out.checksum = fold(stats_checksum(net.stats()), res.complete ? 1 : 0);
+  return out;
+}
+
+RunOut run_bfs_bench(const Graph& g, uint32_t threads) {
+  Pipeline p(g, 7, threads);
+  WallTimer t;
+  auto res = run_bfs(p.shared, p.net, g, p.bt, 0, 3);
+  RunOut out;
+  out.wall_ms = t.ms();
+  out.rounds = res.rounds + p.setup_rounds();
+  out.messages = p.net.stats().messages_sent;
+  out.checksum = stats_checksum(p.net.stats());
+  for (NodeId u = 0; u < g.n(); ++u) {
+    out.checksum = fold(out.checksum, res.dist[u]);
+    out.checksum = fold(out.checksum, res.parent[u]);
+  }
+  return out;
+}
+
+RunOut run_mis_bench(const Graph& g, uint32_t threads) {
+  Pipeline p(g, 11, threads);
+  WallTimer t;
+  auto res = run_mis(p.shared, p.net, g, p.bt, 5);
+  RunOut out;
+  out.wall_ms = t.ms();
+  out.rounds = res.rounds + p.setup_rounds();
+  out.messages = p.net.stats().messages_sent;
+  out.checksum = stats_checksum(p.net.stats());
+  for (NodeId u = 0; u < g.n(); ++u)
+    out.checksum = fold(out.checksum, res.in_mis[u] ? 1 : 0);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOpts o = parse_opts(argc, argv);
+  const NodeId n = o.quick ? 512 : 4096;
+  uint32_t max_threads = o.threads > 1 ? o.threads : (o.quick ? 2 : 8);
+
+  std::vector<uint32_t> sweep{1};
+  for (uint32_t t = 2; t <= max_threads; t *= 2) sweep.push_back(t);
+
+  Rng rng(9);
+  Graph g = gnm_graph(n, 8ull * n, rng);
+
+  BenchJson json;
+  std::printf("== engine scaling at n=%u (gnm m=%llu) ==\n\n", n,
+              static_cast<unsigned long long>(g.m()));
+  Table t({"workload", "threads", "rounds", "wall ms", "speedup", "identical"});
+
+  auto sweep_workload = [&](const char* name,
+                            const std::function<RunOut(uint32_t)>& run) {
+    RunOut base;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      RunOut r = run(sweep[i]);
+      if (i == 0) base = r;
+      json.add(name, n, sweep[i], r.rounds, r.wall_ms, r.messages);
+      t.add_row({name, Table::num(uint64_t{sweep[i]}), Table::num(r.rounds),
+                 Table::num(static_cast<uint64_t>(r.wall_ms)),
+                 sweep[i] == 1 ? "1.00x"
+                              : [&] {
+                                  char b[32];
+                                  std::snprintf(b, sizeof(b), "%.2fx",
+                                                base.wall_ms / std::max(0.001, r.wall_ms));
+                                  return std::string(b);
+                                }(),
+                 r.checksum == base.checksum ? "yes" : "NO"});
+    }
+  };
+
+  sweep_workload("engine_gossip",
+                 [&](uint32_t th) { return run_gossip_bench(n, th); });
+  sweep_workload("engine_bfs", [&](uint32_t th) { return run_bfs_bench(g, th); });
+  sweep_workload("engine_mis", [&](uint32_t th) { return run_mis_bench(g, th); });
+
+  t.print();
+  std::printf("identical = outputs and NetStats bit-match the threads=1 run\n");
+  json.save(o.json.empty() ? "BENCH_engine.json" : o.json);
+  return 0;
+}

@@ -10,19 +10,25 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
 
-  std::printf("== T1-BFS: BFS rounds vs O((a + D + log n) log n) (Section 5.1) ==\n\n");
+  std::printf("== T1-BFS: BFS rounds vs O((a + D + log n) log n) (Section 5.1) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
   Table t({"graph", "n", "a<=", "D", "bfs rounds", "setup rounds", "total",
            "pred (a+D+logn)logn", "ratio"});
   std::vector<double> measured, predicted;
+  BenchJson json;
 
   auto record = [&](const char* name, const Graph& g, uint32_t a_bound, uint64_t seed) {
     uint32_t D = exact_diameter(g);
-    Pipeline p(g, seed);
+    Pipeline p(g, seed, opts.threads);
+    WallTimer timer;
     auto bfs = run_bfs(p.shared, p.net, g, p.bt, 0, seed);
     double pred = (a_bound + D + lg(g.n())) * lg(g.n());
     uint64_t total = bfs.rounds + p.setup_rounds();
+    json.add("table1_bfs", g.n(), opts.threads, total, timer.ms(),
+             p.net.stats().messages_sent);
     t.add_row({name, Table::num(uint64_t{g.n()}), Table::num(uint64_t{a_bound}),
                Table::num(uint64_t{D}), Table::num(bfs.rounds),
                Table::num(p.setup_rounds()), Table::num(total), Table::num(pred, 0),
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   }
   t.print();
   print_fit("total vs (a+D+logn)logn", measured, predicted);
+  json.save(opts.json);
   std::printf("\nExpected shape: grid rows grow ~linearly in D; forest rows grow\n"
               "~linearly in a; the ratio column stays within a small constant band.\n");
   return 0;

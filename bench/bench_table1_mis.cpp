@@ -11,19 +11,25 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
 
-  std::printf("== T1-MIS: MIS rounds vs O((a + log n) log n) (Section 5.2) ==\n\n");
+  std::printf("== T1-MIS: MIS rounds vs O((a + log n) log n) (Section 5.2) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
   Table t({"sweep", "n", "a<=", "phases", "mis rounds", "setup", "total",
            "pred (a+logn)logn", "ratio", "valid"});
   std::vector<double> measured, predicted;
+  BenchJson json;
 
   auto record = [&](const char* name, const Graph& g, uint32_t a_bound, uint64_t seed) {
-    Pipeline p(g, seed);
+    Pipeline p(g, seed, opts.threads);
+    WallTimer timer;
     auto mis = run_mis(p.shared, p.net, g, p.bt, seed);
     bool ok = is_maximal_independent_set(g, mis.in_mis);
     double pred = (a_bound + lg(g.n())) * lg(g.n());
     uint64_t total = mis.rounds + p.setup_rounds();
+    json.add("table1_mis", g.n(), opts.threads, total, timer.ms(),
+             p.net.stats().messages_sent);
     t.add_row({name, Table::num(uint64_t{g.n()}), Table::num(uint64_t{a_bound}),
                Table::num(uint64_t{mis.phases}), Table::num(mis.rounds),
                Table::num(p.setup_rounds()), Table::num(total), Table::num(pred, 0),
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   }
   t.print();
   print_fit("total vs (a+logn)logn", measured, predicted);
+  json.save(opts.json);
   std::printf("\nExpected shape: total grows ~linearly in a at fixed n and\n"
               "~polylogarithmically in n at fixed a.\n");
   return 0;

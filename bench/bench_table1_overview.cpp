@@ -14,12 +14,15 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
   const NodeId n = quick ? 128 : 512;
   const uint32_t a = 4;
 
-  std::printf("== Table 1 (paper) regenerated at n=%u, arboricity<=%u ==\n\n", n, a);
+  std::printf("== Table 1 (paper) regenerated at n=%u, arboricity<=%u ==\n", n, a);
+  std::printf("   engine threads: %u\n\n", opts.threads);
   Table t({"Problem", "Paper bound", "measured rounds", "validated"});
+  BenchJson json;
 
   Rng rng(1);
   Graph forest = random_forest_union(n, a, rng);
@@ -38,8 +41,11 @@ int main(int argc, char** argv) {
   {
     NodeId side = quick ? 11 : 22;
     Graph grid = grid_graph(side, side);
-    Pipeline p(grid, 13);
+    Pipeline p(grid, 13, opts.threads);
+    WallTimer timer;
     auto res = run_bfs(p.shared, p.net, grid, p.bt, 0, 2);
+    json.add("table1_bfs_grid", grid.n(), opts.threads, res.rounds + p.setup_rounds(),
+             timer.ms(), p.net.stats().messages_sent);
     auto expect = bfs_distances(grid, 0);
     bool ok = true;
     for (NodeId u = 0; u < grid.n(); ++u) ok = ok && res.dist[u] == expect[u];
@@ -49,8 +55,11 @@ int main(int argc, char** argv) {
   }
   // MIS (Section 5.2).
   {
-    Pipeline p(forest, 17);
+    Pipeline p(forest, 17, opts.threads);
+    WallTimer timer;
     auto res = run_mis(p.shared, p.net, forest, p.bt, 3);
+    json.add("table1_mis", forest.n(), opts.threads, res.rounds + p.setup_rounds(),
+             timer.ms(), p.net.stats().messages_sent);
     t.add_row({"Maximal Independent Set", "O((a + log n) log n)",
                Table::num(res.rounds + p.setup_rounds()),
                is_maximal_independent_set(forest, res.in_mis) ? "maximal IS"
@@ -58,7 +67,7 @@ int main(int argc, char** argv) {
   }
   // Maximal Matching (Section 5.3).
   {
-    Pipeline p(forest, 19);
+    Pipeline p(forest, 19, opts.threads);
     auto res = run_matching(p.shared, p.net, forest, p.bt, 4);
     t.add_row({"Maximal Matching", "O((a + log n) log n)",
                Table::num(res.rounds + p.setup_rounds()),
@@ -78,6 +87,7 @@ int main(int argc, char** argv) {
                                                      : "INVALID"});
   }
   t.print();
+  json.save(opts.json);
   std::printf("Rounds include orientation/broadcast-tree setup where the paper's\n"
               "bound does. Sweeps over n, a, D: see the bench_table1_* binaries.\n");
   return 0;

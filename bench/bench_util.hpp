@@ -1,10 +1,17 @@
 // Shared helpers for the benchmark harness. Every bench binary prints the
 // rows/series of one paper table/theorem (see DESIGN.md experiment index) and
 // a ratio-fit line showing how flat measured/predicted is across the sweep.
+//
+// Common flags: --quick (shrink sweeps for CI smoke runs), --threads T (run
+// the simulation on T engine threads), --json PATH (write the run's
+// machine-readable result rows, BENCH_engine.json-style, for the
+// perf-trajectory tooling; each run overwrites the file).
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +19,7 @@
 #include "common/table.hpp"
 #include "core/broadcast_trees.hpp"
 #include "core/orientation_algo.hpp"
+#include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
 #include "net/network.hpp"
@@ -37,14 +45,24 @@ inline void print_fit(const std::string& label, const std::vector<double>& measu
 }
 
 /// Orientation + broadcast-tree pipeline used by the Section 5 benches.
+/// `threads > 1` attaches a round engine to the network for the whole
+/// pipeline lifetime (results are bit-identical to threads == 1).
 struct Pipeline {
   Network net;
+  std::unique_ptr<Engine> engine;
   Shared shared;
   OrientationRunResult orient;
   BroadcastTrees bt;
 
-  Pipeline(const Graph& g, uint64_t seed)
+  // Not movable: the engine holds Network& and an address-keyed registry
+  // entry, so a moved Network would dangle both.
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  Pipeline(const Graph& g, uint64_t seed, uint32_t threads = 1)
       : net(make_net(g.n(), seed)),
+        engine(threads > 1 ? std::make_unique<Engine>(net, EngineConfig{threads})
+                           : nullptr),
         shared(g.n(), seed),
         orient(run_orientation(shared, net, g)),
         bt(build_broadcast_trees(shared, net, g, orient.orientation, seed)) {}
@@ -59,5 +77,72 @@ inline bool quick_mode(int argc, char** argv) {
     if (std::string(argv[i]) == "--quick") return true;
   return false;
 }
+
+struct BenchOpts {
+  bool quick = false;
+  uint32_t threads = 1;  // 0 = hardware threads
+  std::string json;      // output path; empty = no JSON emitted
+};
+
+inline BenchOpts parse_opts(int argc, char** argv) {
+  BenchOpts o;
+  for (int i = 1; i < argc; ++i) {
+    std::string k = argv[i];
+    if (k == "--quick") {
+      o.quick = true;
+    } else if (k == "--threads" && i + 1 < argc) {
+      o.threads = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (k == "--json" && i + 1 < argc) {
+      o.json = argv[++i];
+    }
+  }
+  if (o.threads == 0) o.threads = ThreadPool::hardware_threads();
+  return o;
+}
+
+/// Wall-clock stopwatch for the speedup rows.
+struct WallTimer {
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start)
+        .count();
+  }
+};
+
+/// Machine-readable bench output: one JSON object per row with the fields
+/// future PRs track across the perf trajectory (wall-clock, rounds, threads,
+/// n). save() writes a single JSON array, replacing the file — point each
+/// bench at its own path.
+class BenchJson {
+ public:
+  void add(const std::string& bench, uint64_t n, uint32_t threads, uint64_t rounds,
+           double wall_ms, uint64_t messages = 0) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\": \"%s\", \"n\": %llu, \"threads\": %u, "
+                  "\"rounds\": %llu, \"wall_ms\": %.3f, \"messages\": %llu}",
+                  bench.c_str(), static_cast<unsigned long long>(n), threads,
+                  static_cast<unsigned long long>(rounds), wall_ms,
+                  static_cast<unsigned long long>(messages));
+    rows_.emplace_back(buf);
+  }
+
+  bool save(const std::string& path) const {
+    if (path.empty()) return false;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i)
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("json: %zu rows -> %s\n", rows_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 }  // namespace ncc::bench

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "baselines/sequential.hpp"
+#include "engine/engine.hpp"
 #include "core/bfs.hpp"
 #include "core/broadcast_trees.hpp"
 #include "core/coloring.hpp"
@@ -42,17 +43,18 @@ struct Options {
   uint64_t m = 0;     // gnm edges (default 4n)
   Weight w_max = 0;   // 0 = unweighted (MST defaults to 2^16)
   uint64_t seed = 1;
-  NodeId source = 0;  // bfs
-  std::string path;   // graph=file
-  std::string trace;  // CSV output
-  std::string save;   // save generated graph
+  NodeId source = 0;   // bfs
+  uint32_t threads = 1;  // engine threads (0 = hardware); results identical
+  std::string path;    // graph=file
+  std::string trace;   // CSV output
+  std::string save;    // save generated graph
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
                "usage: example_ncc_cli [--algo A] [--graph G] [--n N] [--a A]\n"
-               "       [--m M] [--wmax W] [--seed S] [--source U]\n"
+               "       [--m M] [--wmax W] [--seed S] [--source U] [--threads T]\n"
                "       [--path FILE] [--trace OUT.csv] [--save OUT.txt]\n"
                "algos:  orientation bfs mis matching coloring mst gossip\n"
                "graphs: path cycle star grid trigrid hypercube forest gnm\n"
@@ -76,6 +78,7 @@ Options parse(int argc, char** argv) {
     else if (k == "--wmax") o.w_max = std::stoull(next());
     else if (k == "--seed") o.seed = std::stoull(next());
     else if (k == "--source") o.source = static_cast<NodeId>(std::stoul(next()));
+    else if (k == "--threads") o.threads = static_cast<uint32_t>(std::stoul(next()));
     else if (k == "--path") o.path = next();
     else if (k == "--trace") o.trace = next();
     else if (k == "--save") o.save = next();
@@ -134,6 +137,12 @@ int main(int argc, char** argv) {
   cfg.n = g.n();
   cfg.seed = o.seed;
   Network net(cfg);
+  std::optional<Engine> engine;
+  if (o.threads != 1) {
+    engine.emplace(net, EngineConfig{o.threads});
+    std::printf("engine: %u threads (sharded rounds; results match --threads 1)\n",
+                engine->threads());
+  }
   Shared shared(g.n(), o.seed);
   std::optional<RoundTrace> trace;
   if (!o.trace.empty()) trace.emplace(net);

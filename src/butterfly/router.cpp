@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/assert.hpp"
+#include "engine/engine.hpp"
 
 namespace ncc {
 
@@ -109,7 +110,8 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
   CongestionTracker congestion(topo.node_count());
 
   // Cached group metadata (dest column and rank are hash evaluations that
-  // every node can compute from the shared randomness).
+  // every node can compute from the shared randomness). Populated on deposit
+  // — always sequential — so the parallel step loop reads a frozen map.
   std::unordered_map<uint64_t, std::pair<NodeId, uint64_t>> meta;
   auto group_meta = [&](uint64_t g) -> const std::pair<NodeId, uint64_t>& {
     auto it = meta.find(g);
@@ -118,6 +120,11 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
       NCC_ASSERT(dc < cols);
       it = meta.emplace(g, std::make_pair(dc, rank(g))).first;
     }
+    return it->second;
+  };
+  auto meta_of = [&](uint64_t g) -> const std::pair<NodeId, uint64_t>& {
+    auto it = meta.find(g);
+    NCC_ASSERT(it != meta.end());
     return it->second;
   };
 
@@ -129,6 +136,7 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
   auto deposit = [&](uint32_t level, NodeId col, uint64_t group, const Val& v) {
     uint64_t idx = topo.index(level, col);
     congestion.visit(idx, group);
+    group_meta(group);
     if (level == d) {
       NCC_ASSERT(group_meta(group).first == col);
       auto [it, fresh] = result.root_values.emplace(group, v);
@@ -179,67 +187,110 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
   };
   std::vector<LocalMove> local;
 
+  // The per-round step loop runs shard-parallel over the active butterfly
+  // nodes: each item only mutates its own pending queue / token state, and
+  // every cross-node effect (sends, straight-edge moves, tree recording,
+  // counters, re-activation) is staged per shard and merged in shard order —
+  // which restores the sequential iteration order exactly.
+  struct RecordOp {
+    uint64_t cidx;
+    uint64_t group;
+    uint8_t bit;
+  };
+  struct StepOut {
+    std::vector<Message> sends;
+    std::vector<LocalMove> local;
+    std::vector<RecordOp> rec;
+    std::vector<uint64_t> readd;
+    uint64_t moved = 0, freed = 0, tokens = 0;
+  };
+  std::vector<StepOut> outs(engine_shards(net));
+  std::vector<uint64_t> items;
+
   while (pending_total > 0 || tokens_pending > 0) {
-    local.clear();
-    for (uint64_t idx : active.take()) {
-      uint32_t level = static_cast<uint32_t>(idx / cols);
-      NodeId col = static_cast<NodeId>(idx % cols);
-      NCC_ASSERT(level < d);  // level-d nodes never enqueue work
-      auto& pq = pending[idx];
-      bool edge_used[2] = {false, false};
-      bool edge_wanted[2] = {false, false};
-      for (int e = 0; e < 2; ++e) {
-        bool found = false;
-        Prio best{};
-        uint64_t best_group = 0;
-        for (const auto& [g, v] : pq) {
-          (void)v;
-          bool cross = topo.step_is_cross(level, col, group_meta(g).first);
-          if (static_cast<int>(cross) != e) continue;
-          edge_wanted[e] = true;
-          Prio p{group_meta(g).second, g};
-          if (!found || p < best) {
-            found = true;
-            best = p;
-            best_group = g;
-          }
-        }
-        if (!found) continue;
-        edge_used[e] = true;
-        Val v = pq[best_group];
-        pq.erase(best_group);
-        --pending_total;
-        ++result.stats.packets_moved;
-        NodeId ncol = topo.down_column(level, col, e == 1);
-        if (record) {
-          // Record the reverse (up) edge at the child for the multicast tree.
-          uint64_t cidx = topo.index(level + 1, ncol);
-          uint8_t up_edge_bit = (ncol == col) ? 1 : 2;  // straight : cross
-          record->children[cidx][best_group] |= up_edge_bit;
-        }
-        if (e == 0) {
-          local.push_back({level + 1, ncol, best_group, v, false});
-        } else {
-          net.send(topo.host(col), topo.host(ncol), kTagDownPacket | (level + 1),
-                   {best_group, v[0], v[1]});
-        }
-      }
-      // A packet remaining at the node means another packet of its group may
-      // still arrive and combine; the token waits for the edge to clear.
-      if (token_ready(idx)) {
+    items = active.take();
+    engine_ranges(net, items.size(), [&](uint32_t s, uint64_t ib, uint64_t ie) {
+      StepOut& out = outs[s];  // drained and cleared by the merge below
+      for (uint64_t ii = ib; ii < ie; ++ii) {
+        uint64_t idx = items[ii];
+        uint32_t level = static_cast<uint32_t>(idx / cols);
+        NodeId col = static_cast<NodeId>(idx % cols);
+        NCC_ASSERT(level < d);  // level-d nodes never enqueue work
+        auto& pq = pending[idx];
+        bool edge_used[2] = {false, false};
+        bool edge_wanted[2] = {false, false};
         for (int e = 0; e < 2; ++e) {
-          if (edge_used[e] || edge_wanted[e] || ((token_sent[idx] >> e) & 1)) continue;
-          token_sent[idx] |= static_cast<uint8_t>(1 << e);
-          --tokens_pending;
+          bool found = false;
+          Prio best{};
+          uint64_t best_group = 0;
+          for (const auto& [g, v] : pq) {
+            (void)v;
+            bool cross = topo.step_is_cross(level, col, meta_of(g).first);
+            if (static_cast<int>(cross) != e) continue;
+            edge_wanted[e] = true;
+            Prio p{meta_of(g).second, g};
+            if (!found || p < best) {
+              found = true;
+              best = p;
+              best_group = g;
+            }
+          }
+          if (!found) continue;
+          edge_used[e] = true;
+          Val v = pq[best_group];
+          pq.erase(best_group);
+          ++out.freed;
+          ++out.moved;
           NodeId ncol = topo.down_column(level, col, e == 1);
+          if (record) {
+            // Record the reverse (up) edge at the child for the multicast
+            // tree. The child may belong to another shard, so stage the op.
+            uint64_t cidx = topo.index(level + 1, ncol);
+            uint8_t up_edge_bit = (ncol == col) ? 1 : 2;  // straight : cross
+            out.rec.push_back({cidx, best_group, up_edge_bit});
+          }
           if (e == 0) {
-            local.push_back({level + 1, ncol, 0, {}, true});
+            out.local.push_back({level + 1, ncol, best_group, v, false});
           } else {
-            net.send(topo.host(col), topo.host(ncol), kTagDownToken | (level + 1), {1});
+            out.sends.push_back(Message(topo.host(col), topo.host(ncol),
+                                        kTagDownPacket | (level + 1),
+                                        {best_group, v[0], v[1]}));
           }
         }
+        // A packet remaining at the node means another packet of its group
+        // may still arrive and combine; the token waits for the edge to clear.
+        if (token_ready(idx)) {
+          for (int e = 0; e < 2; ++e) {
+            if (edge_used[e] || edge_wanted[e] || ((token_sent[idx] >> e) & 1)) continue;
+            token_sent[idx] |= static_cast<uint8_t>(1 << e);
+            ++out.tokens;
+            NodeId ncol = topo.down_column(level, col, e == 1);
+            if (e == 0) {
+              out.local.push_back({level + 1, ncol, 0, {}, true});
+            } else {
+              out.sends.push_back(
+                  Message(topo.host(col), topo.host(ncol), kTagDownToken | (level + 1), {1}));
+            }
+          }
+        }
+        if (!pq.empty() || (token_ready(idx) && token_sent[idx] != 3)) out.readd.push_back(idx);
       }
-      if (!pq.empty() || (token_ready(idx) && token_sent[idx] != 3)) active.add(idx);
+    });
+    local.clear();
+    for (StepOut& out : outs) {
+      for (const Message& m : out.sends) net.send(m);
+      local.insert(local.end(), out.local.begin(), out.local.end());
+      if (record)
+        for (const RecordOp& op : out.rec) record->children[op.cidx][op.group] |= op.bit;
+      for (uint64_t idx : out.readd) active.add(idx);
+      result.stats.packets_moved += out.moved;
+      pending_total -= out.freed;
+      tokens_pending -= out.tokens;
+      out.sends.clear();
+      out.local.clear();
+      out.rec.clear();
+      out.readd.clear();
+      out.moved = out.freed = out.tokens = 0;
     }
 
     net.end_round();
@@ -284,10 +335,17 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
   UpResult result;
   result.at_col.assign(cols, {});
 
+  // Populated on arrive() — always sequential — so the parallel step loop
+  // reads a frozen map.
   std::unordered_map<uint64_t, uint64_t> rank_cache;
   auto group_rank = [&](uint64_t g) {
     auto it = rank_cache.find(g);
     if (it == rank_cache.end()) it = rank_cache.emplace(g, rank(g)).first;
+    return it->second;
+  };
+  auto rank_of = [&](uint64_t g) {
+    auto it = rank_cache.find(g);
+    NCC_ASSERT(it != rank_cache.end());
     return it->second;
   };
 
@@ -303,6 +361,7 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
 
   auto arrive = [&](uint32_t level, NodeId col, uint64_t group, const Val& v) {
     uint64_t idx = topo.index(level, col);
+    group_rank(group);
     if (level == 0) {
       result.at_col[col].push_back({group, v});
       return;
@@ -340,59 +399,89 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
   };
   std::vector<LocalMove> local;
 
+  // Shard-parallel step loop; same staging/merge discipline as route_down.
+  struct StepOut {
+    std::vector<Message> sends;
+    std::vector<LocalMove> local;
+    std::vector<uint64_t> readd;
+    uint64_t moved = 0, freed = 0, tokens = 0;
+  };
+  std::vector<StepOut> outs(engine_shards(net));
+  std::vector<uint64_t> items;
+
   while (edges_remaining > 0 || tokens_pending > 0) {
-    local.clear();
-    for (uint64_t idx : active.take()) {
-      uint32_t level = static_cast<uint32_t>(idx / cols);
-      NodeId col = static_cast<NodeId>(idx % cols);
-      NCC_ASSERT(level >= 1);  // level-0 nodes never enqueue up-work
-      auto& sv = serving[idx];
-      bool edge_used[2] = {false, false};
-      bool edge_wanted[2] = {false, false};
-      for (int e = 0; e < 2; ++e) {
-        bool found = false;
-        Prio best{};
-        uint64_t best_group = 0;
-        for (const auto& [g, s] : sv) {
-          if (!((s.mask >> e) & 1)) continue;
-          edge_wanted[e] = true;
-          Prio p{group_rank(g), g};
-          if (!found || p < best) {
-            found = true;
-            best = p;
-            best_group = g;
-          }
-        }
-        if (!found) continue;
-        edge_used[e] = true;
-        auto sit = sv.find(best_group);
-        Val v = sit->second.val;
-        sit->second.mask &= static_cast<uint8_t>(~(1 << e));
-        if (sit->second.mask == 0) sv.erase(sit);
-        --edges_remaining;
-        ++result.stats.packets_moved;
-        NodeId ncol = topo.up_column(level, col, e == 1);
-        if (e == 0) {
-          local.push_back({level - 1, ncol, best_group, v, false});
-        } else {
-          net.send(topo.host(col), topo.host(ncol), kTagUpPacket | (level - 1),
-                   {best_group, v[0], v[1]});
-        }
-      }
-      if (token_ready(level, idx)) {
+    items = active.take();
+    engine_ranges(net, items.size(), [&](uint32_t s, uint64_t ib, uint64_t ie) {
+      StepOut& out = outs[s];  // drained and cleared by the merge below
+      for (uint64_t ii = ib; ii < ie; ++ii) {
+        uint64_t idx = items[ii];
+        uint32_t level = static_cast<uint32_t>(idx / cols);
+        NodeId col = static_cast<NodeId>(idx % cols);
+        NCC_ASSERT(level >= 1);  // level-0 nodes never enqueue up-work
+        auto& sv = serving[idx];
+        bool edge_used[2] = {false, false};
+        bool edge_wanted[2] = {false, false};
         for (int e = 0; e < 2; ++e) {
-          if (edge_used[e] || edge_wanted[e] || ((token_sent[idx] >> e) & 1)) continue;
-          token_sent[idx] |= static_cast<uint8_t>(1 << e);
-          --tokens_pending;
+          bool found = false;
+          Prio best{};
+          uint64_t best_group = 0;
+          for (const auto& [g, srv] : sv) {
+            if (!((srv.mask >> e) & 1)) continue;
+            edge_wanted[e] = true;
+            Prio p{rank_of(g), g};
+            if (!found || p < best) {
+              found = true;
+              best = p;
+              best_group = g;
+            }
+          }
+          if (!found) continue;
+          edge_used[e] = true;
+          auto sit = sv.find(best_group);
+          Val v = sit->second.val;
+          sit->second.mask &= static_cast<uint8_t>(~(1 << e));
+          if (sit->second.mask == 0) sv.erase(sit);
+          ++out.freed;
+          ++out.moved;
           NodeId ncol = topo.up_column(level, col, e == 1);
           if (e == 0) {
-            local.push_back({level - 1, ncol, 0, {}, true});
+            out.local.push_back({level - 1, ncol, best_group, v, false});
           } else {
-            net.send(topo.host(col), topo.host(ncol), kTagUpToken | (level - 1), {1});
+            out.sends.push_back(Message(topo.host(col), topo.host(ncol),
+                                        kTagUpPacket | (level - 1),
+                                        {best_group, v[0], v[1]}));
           }
         }
+        if (token_ready(level, idx)) {
+          for (int e = 0; e < 2; ++e) {
+            if (edge_used[e] || edge_wanted[e] || ((token_sent[idx] >> e) & 1)) continue;
+            token_sent[idx] |= static_cast<uint8_t>(1 << e);
+            ++out.tokens;
+            NodeId ncol = topo.up_column(level, col, e == 1);
+            if (e == 0) {
+              out.local.push_back({level - 1, ncol, 0, {}, true});
+            } else {
+              out.sends.push_back(
+                  Message(topo.host(col), topo.host(ncol), kTagUpToken | (level - 1), {1}));
+            }
+          }
+        }
+        if (!sv.empty() || (token_ready(level, idx) && token_sent[idx] != 3))
+          out.readd.push_back(idx);
       }
-      if (!sv.empty() || (token_ready(level, idx) && token_sent[idx] != 3)) active.add(idx);
+    });
+    local.clear();
+    for (StepOut& out : outs) {
+      for (const Message& m : out.sends) net.send(m);
+      local.insert(local.end(), out.local.begin(), out.local.end());
+      for (uint64_t idx : out.readd) active.add(idx);
+      result.stats.packets_moved += out.moved;
+      edges_remaining -= out.freed;
+      tokens_pending -= out.tokens;
+      out.sends.clear();
+      out.local.clear();
+      out.readd.clear();
+      out.moved = out.freed = out.tokens = 0;
     }
 
     net.end_round();

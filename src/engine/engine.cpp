@@ -1,0 +1,138 @@
+#include "engine/engine.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace ncc {
+
+namespace {
+
+std::mutex g_registry_mu;
+std::unordered_map<const Network*, Engine*>& registry() {
+  static std::unordered_map<const Network*, Engine*> reg;
+  return reg;
+}
+
+class BufferSink final : public MsgSink {
+ public:
+  explicit BufferSink(std::vector<Message>* buf) : buf_(buf) {}
+  void send(const Message& msg) override { buf_->push_back(msg); }
+
+ private:
+  std::vector<Message>* buf_;
+};
+
+class DirectSink final : public MsgSink {
+ public:
+  explicit DirectSink(Network* net) : net_(net) {}
+  void send(const Message& msg) override { net_->send(msg); }
+
+ private:
+  Network* net_;
+};
+
+}  // namespace
+
+Engine::Engine(Network& net, EngineConfig cfg)
+    : net_(net), cfg_(cfg), pool_(cfg.threads) {
+  staged_.resize(pool_.threads());
+  {
+    std::lock_guard<std::mutex> lk(g_registry_mu);
+    auto [it, fresh] = registry().emplace(&net_, this);
+    NCC_ASSERT_MSG(fresh, "network already has an engine attached");
+    (void)it;
+  }
+  NetExecHooks hooks;
+  hooks.shards = pool_.threads();
+  hooks.min_messages = cfg_.delivery_cutoff;
+  hooks.parallel = [this](uint32_t tasks, const std::function<void(uint32_t)>& fn) {
+    pool_.run(tasks, [&fn](uint64_t t) { fn(static_cast<uint32_t>(t)); });
+  };
+  net_.install_exec_hooks(std::move(hooks));
+}
+
+Engine::~Engine() {
+  net_.clear_exec_hooks();
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  registry().erase(&net_);
+}
+
+Engine* Engine::of(const Network& net) {
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  auto it = registry().find(&net);
+  return it == registry().end() ? nullptr : it->second;
+}
+
+void Engine::run_shards(uint32_t shards, const std::function<void(uint32_t)>& fn) {
+  pool_.run(shards, [&fn](uint64_t t) { fn(static_cast<uint32_t>(t)); });
+}
+
+void Engine::ranges(uint64_t count,
+                    const std::function<void(uint32_t, uint64_t, uint64_t)>& fn) {
+  uint32_t want = count >= cfg_.loop_cutoff ? pool_.threads() : 1;
+  ShardPlan plan = ShardPlan::make(count, want);
+  if (count == 0) return;
+  run_shards(plan.shards,
+             [&](uint32_t s) { fn(s, plan.begin(s), plan.end(s)); });
+}
+
+void Engine::for_each(uint64_t count, const std::function<void(uint64_t)>& fn) {
+  ranges(count, [&fn](uint32_t, uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) fn(i);
+  });
+}
+
+void Engine::send_loop(uint64_t count,
+                       const std::function<void(uint64_t, MsgSink&)>& step) {
+  uint32_t want = count >= cfg_.loop_cutoff ? pool_.threads() : 1;
+  ShardPlan plan = ShardPlan::make(count, want);
+  if (count == 0) return;
+  run_shards(plan.shards, [&](uint32_t s) {
+    BufferSink sink(&staged_[s]);
+    for (uint64_t i = plan.begin(s); i < plan.end(s); ++i) step(i, sink);
+  });
+  // Merge in shard order == global item order; net_.send keeps the strict
+  // send accounting on the caller thread.
+  for (uint32_t s = 0; s < plan.shards; ++s) {
+    for (const Message& m : staged_[s]) net_.send(m);
+    staged_[s].clear();
+  }
+}
+
+uint32_t engine_shards(const Network& net) {
+  Engine* eng = Engine::of(net);
+  return eng ? eng->threads() : 1;
+}
+
+void engine_ranges(const Network& net, uint64_t count,
+                   const std::function<void(uint32_t, uint64_t, uint64_t)>& fn) {
+  if (count == 0) return;
+  if (Engine* eng = Engine::of(net)) {
+    eng->ranges(count, fn);
+  } else {
+    fn(0, 0, count);
+  }
+}
+
+void engine_for(const Network& net, uint64_t count,
+                const std::function<void(uint64_t)>& fn) {
+  if (Engine* eng = Engine::of(net)) {
+    eng->for_each(count, fn);
+  } else {
+    for (uint64_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+void engine_send_loop(Network& net, uint64_t count,
+                      const std::function<void(uint64_t, MsgSink&)>& step) {
+  if (Engine* eng = Engine::of(net)) {
+    eng->send_loop(count, step);
+  } else {
+    DirectSink sink(&net);
+    for (uint64_t i = 0; i < count; ++i) step(i, sink);
+  }
+}
+
+}  // namespace ncc

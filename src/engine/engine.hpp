@@ -1,0 +1,108 @@
+// The sharded round engine: runs per-node (or per-column, per-packet)
+// step callbacks of one synchronous round in parallel, staging their
+// outgoing messages in per-shard buffers that are merged into the Network
+// at the barrier.
+//
+// Determinism contract: every observable effect is independent of the
+// thread count. Shards are contiguous index ranges processed in increasing
+// order (ShardPlan), and staged sends are merged in (shard id, item id,
+// send order) — which concatenates back to the plain sequential order — so
+// for a fixed seed, threads=1 and threads=T produce bit-identical message
+// streams, algorithm outputs, and NetStats. Randomness inside parallel
+// loops must be forked per item (Rng::fork / mix64 of the item id), never
+// drawn from a stream shared across items.
+//
+// Attaching an Engine to a Network also installs the network's execution
+// hooks, which parallelize end_round() delivery across destination shards
+// (see net/network.hpp); primitives and algorithms discover the engine via
+// Engine::of(net) and fall back to sequential loops when none is attached.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "engine/shard.hpp"
+#include "engine/thread_pool.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+
+namespace ncc {
+
+struct EngineConfig {
+  /// Total parallelism including the calling thread; 0 = hardware threads.
+  uint32_t threads = 1;
+  /// Below this many items a parallel loop runs single-shard (waking workers
+  /// costs more than the work). Purely a performance knob: results are
+  /// shard-count independent. Tests force 1 to exercise the parallel
+  /// machinery on small inputs.
+  uint64_t loop_cutoff = 512;
+  /// Same cutoff for end_round() delivery, in pending messages per round.
+  uint64_t delivery_cutoff = 1024;
+};
+
+/// Message sink handed to step callbacks: stages into a shard buffer on the
+/// engine path, forwards straight to the network on the sequential fallback.
+/// Both paths produce the same global send order.
+class MsgSink {
+ public:
+  virtual ~MsgSink() = default;
+  virtual void send(const Message& msg) = 0;
+  void send(NodeId src, NodeId dst, uint32_t tag, std::initializer_list<uint64_t> words) {
+    send(Message(src, dst, tag, words));
+  }
+};
+
+class Engine {
+ public:
+  /// Attaches to `net` (installing its exec hooks); at most one engine per
+  /// network at a time.
+  explicit Engine(Network& net, EngineConfig cfg = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Network& net() { return net_; }
+  uint32_t threads() const { return pool_.threads(); }
+
+  /// The engine attached to `net`, or nullptr.
+  static Engine* of(const Network& net);
+
+  /// Run fn(0..shards-1) on the pool (shards <= threads()).
+  void run_shards(uint32_t shards, const std::function<void(uint32_t)>& fn);
+
+  /// Shard [0, count) contiguously and hand each shard its range. `fn` runs
+  /// concurrently across shards; per-shard accumulation indexed by `shard`
+  /// (with a final merge in shard order) keeps results thread-count-free.
+  void ranges(uint64_t count,
+              const std::function<void(uint32_t shard, uint64_t begin, uint64_t end)>& fn);
+
+  /// Plain parallel loop over [0, count); fn(i) may only touch item-i state.
+  void for_each(uint64_t count, const std::function<void(uint64_t)>& fn);
+
+  /// Parallel step loop with staged sends: step(i, sink) runs shard-parallel,
+  /// sinks buffer per shard, and the buffers are merged into the network in
+  /// shard order before returning — the send order equals the sequential
+  /// loop's. The round stays open; the caller ends it with net().end_round().
+  void send_loop(uint64_t count, const std::function<void(uint64_t, MsgSink&)>& step);
+
+ private:
+  Network& net_;
+  EngineConfig cfg_;
+  ThreadPool pool_;
+  std::vector<std::vector<Message>> staged_;  // one buffer per shard
+};
+
+/// Helpers for primitives/ and core/: route the loop through `net`'s
+/// attached engine when present, run it sequentially otherwise. Either way
+/// the observable effects are identical.
+uint32_t engine_shards(const Network& net);
+void engine_ranges(const Network& net, uint64_t count,
+                   const std::function<void(uint32_t shard, uint64_t begin, uint64_t end)>& fn);
+void engine_for(const Network& net, uint64_t count, const std::function<void(uint64_t)>& fn);
+void engine_send_loop(Network& net, uint64_t count,
+                      const std::function<void(uint64_t, MsgSink&)>& step);
+
+}  // namespace ncc

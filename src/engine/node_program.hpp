@@ -1,0 +1,44 @@
+// NodeProgram: a per-node synchronous-round protocol executed by the round
+// engine. Every round, each node reads the inbox delivered at the round
+// start and stages its sends; the engine runs the per-node steps
+// shard-parallel and closes the round at the barrier.
+//
+// Contract: step(u, ...) runs concurrently with steps of other nodes and may
+// only touch node-u state (disjoint writes). Randomness must be derived from
+// (seed, round, u), not drawn from a shared stream. done() runs sequentially
+// between rounds and may inspect global state (inboxes, stats).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+
+namespace ncc {
+
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// One round of node `u`: `inbox` holds the messages delivered to u at the
+  /// start of this round; stage sends via `out`.
+  virtual void step(NodeId u, uint64_t round, const std::vector<Message>& inbox,
+                    MsgSink& out) = 0;
+
+  /// Called after each round barrier (sequentially); return true to stop.
+  virtual bool done(uint64_t rounds_run) = 0;
+};
+
+struct ProgramResult {
+  uint64_t rounds = 0;
+};
+
+/// Run `prog` on every node of `net` until done() returns true (or
+/// max_rounds). Uses the attached engine when present; results are identical
+/// either way.
+ProgramResult run_program(Network& net, NodeProgram& prog,
+                          uint64_t max_rounds = UINT64_MAX);
+
+}  // namespace ncc

@@ -1,0 +1,42 @@
+// Shard partitioning for the round engine: [0, count) is split into
+// `shards` contiguous ranges in index order. Contiguity is what makes the
+// engine deterministic — each shard processes its range in increasing index
+// order, so concatenating the shards' outputs in shard order reproduces the
+// plain sequential order no matter how many shards (threads) there are.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace ncc {
+
+struct ShardPlan {
+  uint64_t count = 0;
+  uint32_t shards = 1;
+
+  static ShardPlan make(uint64_t count, uint32_t shards) {
+    NCC_ASSERT(shards >= 1);
+    ShardPlan p;
+    p.count = count;
+    // Never more shards than items, so every shard range is non-empty
+    // (except when count == 0).
+    p.shards = count < shards ? static_cast<uint32_t>(count ? count : 1) : shards;
+    return p;
+  }
+
+  uint64_t begin(uint32_t s) const { return count * s / shards; }
+  uint64_t end(uint32_t s) const { return count * (s + 1) / shards; }
+
+  uint32_t shard_of(uint64_t i) const {
+    NCC_ASSERT(i < count);
+    // Inverse of the begin/end split: candidate from the uniform estimate,
+    // then correct for rounding.
+    uint32_t s = static_cast<uint32_t>(i * shards / count);
+    while (i < begin(s)) --s;
+    while (i >= end(s)) ++s;
+    return s;
+  }
+};
+
+}  // namespace ncc

@@ -1,15 +1,17 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/bits.hpp"
+#include "engine/shard.hpp"
 
 namespace ncc {
 
 Network::Network(NetConfig config)
     : config_(config),
       cap_(config.capacity_factor * cap_log(config.n)),
-      rng_(mix64(config.seed ^ 0x6e65747730726bULL)) {
+      drop_seed_(mix64(config.seed ^ 0x6e65747730726bULL)) {
   NCC_ASSERT_MSG(config_.n >= 2, "the NCC model needs at least two nodes");
   send_count_.assign(config_.n, 0);
   inboxes_.assign(config_.n, {});
@@ -30,36 +32,100 @@ void Network::send(const Message& msg) {
 }
 
 void Network::end_round() {
-  // Group pending messages by destination.
-  std::vector<uint32_t> recv_count(config_.n, 0);
-  for (const Message& m : pending_) ++recv_count[m.dst];
-  for (NodeId u = 0; u < config_.n; ++u) {
-    stats_.max_recv_load = std::max(stats_.max_recv_load, recv_count[u]);
-    stats_.max_send_load = std::max(stats_.max_send_load, send_count_[u]);
-    inboxes_[u].clear();
+  const NodeId n = config_.n;
+  uint32_t S = 1;
+  if (hooks_.parallel && hooks_.shards > 1 && pending_.size() >= hooks_.min_messages)
+    S = hooks_.shards;
+  ShardPlan nodes = ShardPlan::make(n, S);
+  S = nodes.shards;
+  ShardPlan chunks = ShardPlan::make(pending_.size(), S);
+
+  if (recv_seen_.size() != n) recv_seen_.assign(n, 0);
+
+  // Scatter pending messages by destination shard, preserving arrival order:
+  // chunk p of the pending list lands in scatter_[p*S + shard(dst)]. Chunks
+  // are contiguous and scanned in order, so per destination the
+  // concatenation over p restores the global arrival order for any S. Note
+  // chunks.shards <= S (never more chunks than messages); the delivery loop
+  // below only reads rows p < chunks.shards, so shorter rounds leave stale
+  // higher rows untouched and unread.
+  if (S > 1) {
+    scatter_.resize(static_cast<size_t>(S) * S);
+    hooks_.parallel(chunks.shards, [&](uint32_t p) {
+      for (uint32_t s = 0; s < S; ++s) scatter_[static_cast<size_t>(p) * S + s].clear();
+      for (uint64_t i = chunks.begin(p); i < chunks.end(p); ++i) {
+        const Message& m = pending_[i];
+        scatter_[static_cast<size_t>(p) * S + nodes.shard_of(m.dst)].push_back(m);
+      }
+    });
   }
 
-  // Deliver, enforcing the receive capacity with a uniformly random surviving
-  // subset per overloaded destination (reservoir sampling over arrival order).
-  std::vector<uint32_t> seen(config_.n, 0);
-  for (const Message& m : pending_) {
-    auto& box = inboxes_[m.dst];
-    uint32_t k = seen[m.dst]++;
-    if (box.size() < cap_) {
-      box.push_back(m);
-    } else {
-      // Reservoir: replace a random survivor with probability cap/(k+1).
-      uint64_t j = rng_.next_below(k + 1);
-      ++stats_.messages_dropped;  // one message (old or new) is dropped
-      if (j < cap_) box[j] = m;
+  struct ShardAcc {
+    uint32_t max_send = 0;
+    uint32_t max_recv = 0;
+    uint64_t dropped = 0;
+  };
+  std::vector<ShardAcc> acc(S);
+  const uint64_t round = stats_.rounds;
+
+  auto run_shard = [&](uint32_t s) {
+    ShardAcc& a = acc[s];
+    const NodeId lo = static_cast<NodeId>(nodes.begin(s));
+    const NodeId hi = static_cast<NodeId>(nodes.end(s));
+    for (NodeId u = lo; u < hi; ++u) {
+      inboxes_[u].clear();
+      recv_seen_[u] = 0;
+      a.max_send = std::max(a.max_send, send_count_[u]);
+      send_count_[u] = 0;
     }
+    // Drop RNGs are forked per (round, destination), so the surviving subset
+    // of an overloaded inbox does not depend on the shard layout or on the
+    // traffic at other destinations.
+    std::unordered_map<NodeId, Rng> drop_rng;
+    auto deliver = [&](const Message& m) {
+      auto& box = inboxes_[m.dst];
+      uint32_t k = recv_seen_[m.dst]++;
+      if (box.size() < cap_) {
+        box.push_back(m);
+      } else {
+        // Reservoir over arrival order: replace a random survivor with
+        // probability cap/(k+1).
+        auto it = drop_rng.find(m.dst);
+        if (it == drop_rng.end())
+          it = drop_rng.emplace(m.dst, Rng(mix64(mix64(drop_seed_ ^ round) ^ m.dst))).first;
+        uint64_t j = it->second.next_below(k + 1);
+        if (j < cap_) box[j] = m;
+      }
+    };
+    if (S == 1) {
+      for (const Message& m : pending_) deliver(m);
+    } else {
+      for (uint32_t p = 0; p < chunks.shards; ++p)
+        for (const Message& m : scatter_[static_cast<size_t>(p) * S + s]) deliver(m);
+    }
+    // Stats from the merged (post-barrier) view of the shard's destinations:
+    // after delivery recv_seen_[u] is the full addressed count of u.
+    for (NodeId u = lo; u < hi; ++u) {
+      a.max_recv = std::max(a.max_recv, recv_seen_[u]);
+      if (recv_seen_[u] > cap_) a.dropped += recv_seen_[u] - cap_;
+    }
+  };
+  if (S > 1) {
+    hooks_.parallel(S, run_shard);
+  } else {
+    run_shard(0);
+  }
+
+  for (const ShardAcc& a : acc) {
+    stats_.max_send_load = std::max(stats_.max_send_load, a.max_send);
+    stats_.max_recv_load = std::max(stats_.max_recv_load, a.max_recv);
+    stats_.messages_dropped += a.dropped;
   }
   if (hook_) {
-    for (NodeId u = 0; u < config_.n; ++u)
+    for (NodeId u = 0; u < n; ++u)
       for (const Message& m : inboxes_[u]) hook_(m, stats_.rounds);
   }
   pending_.clear();
-  std::fill(send_count_.begin(), send_count_.end(), 0);
   ++stats_.rounds;
 }
 
@@ -74,6 +140,8 @@ void Network::reset_stats() {
   stats_ = NetStats{};
   pending_.clear();
   std::fill(send_count_.begin(), send_count_.end(), 0);
+  std::fill(recv_seen_.begin(), recv_seen_.end(), 0);
+  for (auto& b : scatter_) b.clear();
   for (auto& b : inboxes_) b.clear();
 }
 

@@ -11,6 +11,12 @@
 // The Network is the single source of truth for round accounting: every
 // primitive and algorithm runs real messages through it, and benches report
 // `rounds()`.
+//
+// Delivery at end_round() is shard-parallel when an engine (src/engine/) is
+// attached: destinations are split into contiguous shards, each shard
+// enforces its nodes' receive capacities independently, and the drop RNG is
+// forked per (round, destination) — so inboxes and NetStats are bit-identical
+// for any thread/shard count, including the sequential fallback.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +52,18 @@ struct NetStats {
   uint64_t total_rounds() const { return rounds + charged_rounds; }
 };
 
+/// Execution hooks installed by an attached engine. The network itself stays
+/// engine-agnostic: `parallel(tasks, fn)` must run fn(0..tasks-1) to
+/// completion (any interleaving — the delivery algorithm is shard-order
+/// independent), `shards` is the preferred shard count.
+struct NetExecHooks {
+  std::function<void(uint32_t, const std::function<void(uint32_t)>&)> parallel;
+  uint32_t shards = 1;
+  /// Rounds with fewer pending messages deliver single-shard (perf knob; the
+  /// delivery result is shard-count independent either way).
+  uint64_t min_messages = 1024;
+};
+
 class Network {
  public:
   explicit Network(NetConfig config);
@@ -62,7 +80,9 @@ class Network {
   }
 
   /// Close the current round: enforce capacities, deliver messages into the
-  /// per-node inboxes, advance the round counter.
+  /// per-node inboxes, advance the round counter. Runs shard-parallel across
+  /// destinations when exec hooks are installed; the result is identical
+  /// either way.
   void end_round();
 
   /// Inbox of `u` holding the messages delivered at the start of the current
@@ -78,21 +98,35 @@ class Network {
   const NetStats& stats() const { return stats_; }
 
   /// Observer invoked for every *delivered* message (k-machine accounting).
-  /// Receives the message and the round in which it was delivered.
+  /// Receives the message and the round in which it was delivered. Always
+  /// invoked sequentially in (destination, arrival) order, engine or not.
   using DeliveryHook = std::function<void(const Message&, uint64_t round)>;
   void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
 
-  /// Reset round/message statistics (topology and config are kept).
+  /// Reset round/message statistics (topology and config are kept). Also
+  /// clears pending traffic and the per-shard delivery staging.
   void reset_stats();
+
+  /// Engine attachment (see src/engine/engine.hpp).
+  void install_exec_hooks(NetExecHooks hooks) { hooks_ = std::move(hooks); }
+  void clear_exec_hooks() { hooks_ = NetExecHooks{}; }
+  const NetExecHooks& exec_hooks() const { return hooks_; }
 
  private:
   NetConfig config_;
   uint32_t cap_;
-  Rng rng_;
+  uint64_t drop_seed_;  // forked per (round, dst) for the drop subsets
   NetStats stats_;
+  NetExecHooks hooks_;
   std::vector<Message> pending_;               // sent this round
   std::vector<uint32_t> send_count_;           // per-node sends this round
   std::vector<std::vector<Message>> inboxes_;  // delivered last end_round
+  // Per-round delivery staging (kept as members so capacity is reused):
+  // scatter_[p * S + s] = chunk p's messages for destination shard s.
+  std::vector<std::vector<Message>> scatter_;
+  // Per-node reservoir progress; after delivery it equals the full
+  // addressed (pre-drop) count, which the merged-view stats read.
+  std::vector<uint32_t> recv_seen_;
   DeliveryHook hook_;
 };
 

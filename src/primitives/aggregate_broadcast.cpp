@@ -1,6 +1,7 @@
 #include "primitives/aggregate_broadcast.hpp"
 
 #include "common/assert.hpp"
+#include "engine/engine.hpp"
 
 namespace ncc {
 
@@ -24,83 +25,85 @@ AbResult aggregate_and_broadcast(const ButterflyTopo& topo, Network& net,
   // Round 1: nodes without a butterfly column hand their input to their
   // level-0 attachment node. (Run unconditionally: A&B has a fixed round
   // schedule, which is what makes it usable as a barrier.)
-  for (NodeId u = cols; u < n; ++u) {
+  engine_send_loop(net, n - cols, [&](uint64_t i, MsgSink& out) {
+    NodeId u = cols + static_cast<NodeId>(i);
     if (inputs[u].has_value()) {
       const Val& v = *inputs[u];
-      net.send(u, topo.host(topo.attach_column(u)), kTagAttach, {v[0], v[1]});
+      out.send(u, topo.host(topo.attach_column(u)), kTagAttach, {v[0], v[1]});
     }
-  }
+  });
   net.end_round();
 
   // Value held at each level-0 column: own input (if emulating host is in A)
-  // combined with the attached node's input.
+  // combined with the attached node's input. Per-column state only — safe to
+  // scan the inboxes shard-parallel.
   std::vector<std::optional<Val>> cur(cols);
-  for (NodeId c = 0; c < cols; ++c) {
+  engine_for(net, cols, [&](uint64_t ci) {
+    NodeId c = static_cast<NodeId>(ci);
     NodeId host = topo.host(c);
     if (inputs[host].has_value()) cur[c] = inputs[host];
-  }
-  for (NodeId c = 0; c < cols; ++c) {
-    for (const Message& m : net.inbox(topo.host(c))) {
+    for (const Message& m : net.inbox(host)) {
       if (m.tag != kTagAttach) continue;
       Val v{m.word(0), m.word(1)};
       cur[c] = cur[c] ? combine(*cur[c], v) : v;
     }
-  }
+  });
 
   // Aggregation phase: d steps toward the level-d node of column 0. At step
   // i the value at column a moves to column a with bit i cleared; clearing a
   // set bit is a cross edge (real message), otherwise the move is local.
   for (uint32_t i = 0; i < d; ++i) {
     std::vector<std::optional<Val>> next(cols);
-    for (NodeId c = 0; c < cols; ++c) {
-      if (!cur[c]) continue;
+    engine_send_loop(net, cols, [&](uint64_t ci, MsgSink& out) {
+      NodeId c = static_cast<NodeId>(ci);
+      if (!cur[c]) return;
       NodeId nc = c & ~(NodeId{1} << i);
       if (nc == c) {
         next[c] = cur[c];
       } else {
         const Val& v = *cur[c];
-        net.send(topo.host(c), topo.host(nc), kTagAggStep | (i + 1), {v[0], v[1]});
+        out.send(topo.host(c), topo.host(nc), kTagAggStep | (i + 1), {v[0], v[1]});
       }
-    }
+    });
     net.end_round();
-    for (NodeId c = 0; c < cols; ++c) {
+    engine_for(net, cols, [&](uint64_t ci) {
+      NodeId c = static_cast<NodeId>(ci);
       for (const Message& m : net.inbox(topo.host(c))) {
         if ((m.tag & 0xff00u) != kTagAggStep) continue;
         Val v{m.word(0), m.word(1)};
         next[c] = next[c] ? combine(*next[c], v) : v;
       }
-    }
+    });
     cur = std::move(next);
   }
   for (NodeId c = 1; c < cols; ++c) NCC_ASSERT(!cur[c].has_value());
   res.value = cur[0];
 
   // Broadcast phase: d steps back up; at step i the set of informed columns
-  // doubles (each informed column keeps the value locally and crosses bit i).
-  std::vector<bool> informed(cols, false);
-  informed[0] = true;
+  // doubles. Informedness is a closed-form predicate of the column id (the
+  // value spreads from column 0 crossing bits d-1..d-step), so each column
+  // decides locally whether it sends — no shared informed[] state.
   bool has = res.value.has_value();
   Val v = has ? *res.value : Val{};
   for (uint32_t step = 0; step < d; ++step) {
     uint32_t bit = d - 1 - step;  // level d-step -> level d-step-1 crosses bit
-    std::vector<bool> next = informed;
-    for (NodeId c = 0; c < cols; ++c) {
-      if (!informed[c]) continue;
+    const NodeId informed_mask = (NodeId{1} << (d - step)) - 1;
+    engine_send_loop(net, cols, [&](uint64_t ci, MsgSink& out) {
+      NodeId c = static_cast<NodeId>(ci);
+      if (c & informed_mask) return;  // not informed before this step
       NodeId nc = c ^ (NodeId{1} << bit);
       if (has)
-        net.send(topo.host(c), topo.host(nc), kTagBcastStep | step, {v[0], v[1]});
-      next[nc] = true;
-    }
+        out.send(topo.host(c), topo.host(nc), kTagBcastStep | step, {v[0], v[1]});
+    });
     net.end_round();
-    informed = std::move(next);
   }
-  for (NodeId c = 0; c < cols; ++c) NCC_ASSERT(informed[c]);
 
   // Final round: level-0 hosts inform their attached non-emulating nodes.
-  for (NodeId u = cols; u < n; ++u) {
+  engine_send_loop(net, n - cols, [&](uint64_t i, MsgSink& out) {
+    NodeId u = cols + static_cast<NodeId>(i);
     if (has)
-      net.send(topo.host(topo.attach_column(u)), u, kTagDetach, {v[0], v[1]});
-  }
+      out.send(topo.host(topo.attach_column(u)), u, kTagDetach, {v[0], v[1]});
+  });
   net.end_round();
 
   res.rounds = net.rounds() - start_rounds;
