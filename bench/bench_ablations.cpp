@@ -17,7 +17,8 @@
 using namespace ncc;
 using namespace ncc::bench;
 
-static void ablate_capacity(bool quick) {
+static void ablate_capacity(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- A1: capacity factor vs drops (aggregation under load) --\n");
   const NodeId n = quick ? 128 : 512;
   Table t({"cap factor", "cap", "rounds", "drops", "max recv load"});
@@ -28,6 +29,7 @@ static void ablate_capacity(bool quick) {
     cfg.strict_send = false;  // measuring overload, not asserting on it
     cfg.seed = f;
     Network net(cfg);
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(n, f);
     Rng rng(f);
     AggregationProblem prob;
@@ -47,7 +49,8 @@ static void ablate_capacity(bool quick) {
               "emulation constant; rounds are insensitive above that point.\n\n");
 }
 
-static void ablate_mst_trials(bool quick) {
+static void ablate_mst_trials(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- A2: MST FindMin sketch trials --\n");
   const NodeId n = quick ? 64 : 128;
   Rng rng(5);
@@ -56,6 +59,7 @@ static void ablate_mst_trials(bool quick) {
   Table t({"trials", "rounds", "phases", "weight ok"});
   for (uint32_t trials : {4u, 8u, 16u, 40u}) {
     Network net = make_net(n, trials);
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(n, 1000 + trials);
     MstParams params;
     params.trials = trials;
@@ -70,7 +74,8 @@ static void ablate_mst_trials(bool quick) {
               "per comparison).\n\n");
 }
 
-static void ablate_identification_c(bool quick) {
+static void ablate_identification_c(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- A3: identification constant c (Section 4.2) --\n");
   const NodeId n = quick ? 128 : 512;
   Rng rng(6);
@@ -78,6 +83,7 @@ static void ablate_identification_c(bool quick) {
   Table t({"c", "orient rounds", "unsucc 1st", "fallbacks", "max outdeg"});
   for (uint32_t c : {2u, 3u, 4u, 6u, 8u}) {
     Network net = make_net(n, c);
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(n, 2000 + c);
     OrientationAlgoParams params;
     params.c = c;
@@ -91,7 +97,8 @@ static void ablate_identification_c(bool quick) {
               "cost q = 4ec d* log n; the paper's c > 6 is conservative here.\n\n");
 }
 
-static void ablate_coloring_eps(bool quick) {
+static void ablate_coloring_eps(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- A4: coloring palette slack eps --\n");
   const NodeId n = quick ? 128 : 256;
   Rng rng(7);
@@ -102,6 +109,7 @@ static void ablate_coloring_eps(bool quick) {
   Table t({"eps", "palette", "repetitions", "rounds", "proper"});
   for (double eps : {0.1, 0.25, 0.5, 1.0, 2.0}) {
     Network net = make_net(n, static_cast<uint64_t>(eps * 100));
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(n, 3000 + static_cast<uint64_t>(eps * 100));
     // Re-run orientation inside this network so the rounds are self-contained.
     auto o = run_orientation(shared, net, g);
@@ -117,7 +125,8 @@ static void ablate_coloring_eps(bool quick) {
               "repetitions; the paper's constant-eps choice is the knee.\n\n");
 }
 
-static void ablate_mst_arity(bool quick) {
+static void ablate_mst_arity(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- A5: FindMin search arity (footnote 3: binary vs Theta(log n)-ary) --\n");
   const NodeId n = quick ? 64 : 128;
   Rng rng(8);
@@ -126,6 +135,7 @@ static void ablate_mst_arity(bool quick) {
   Table t({"arity", "bits/subrange", "rounds", "phases", "weight ok"});
   for (uint32_t arity : {2u, 3u, 4u, 6u, 8u}) {
     Network net = make_net(n, 4000);
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(n, 4000);
     MstParams params;
     params.search_arity = arity;
@@ -145,12 +155,13 @@ static void ablate_mst_arity(bool quick) {
 }
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
-  std::printf("== ABL: design-choice ablations ==\n\n");
-  ablate_capacity(quick);
-  ablate_mst_trials(quick);
-  ablate_mst_arity(quick);
-  ablate_identification_c(quick);
-  ablate_coloring_eps(quick);
+  BenchOpts opts = parse_opts(argc, argv);
+  std::printf("== ABL: design-choice ablations ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
+  ablate_capacity(opts);
+  ablate_mst_trials(opts);
+  ablate_mst_arity(opts);
+  ablate_identification_c(opts);
+  ablate_coloring_eps(opts);
   return 0;
 }

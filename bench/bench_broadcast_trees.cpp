@@ -8,14 +8,16 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
-  std::printf("== BT: broadcast trees (Lemma 5.1) ==\n\n");
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
+  std::printf("== BT: broadcast trees (Lemma 5.1) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
   Table t({"graph", "n", "a<=", "maxdeg", "tree rounds", "congestion",
            "pred a+logn", "exchange rounds"});
   std::vector<double> congestion_measured, congestion_pred;
 
   auto record = [&](const char* name, const Graph& g, uint32_t a_bound, uint64_t seed) {
-    Pipeline p(g, seed);
+    Pipeline p(g, seed, opts.threads);
     // One full neighborhood exchange (Corollary 1) on top.
     std::vector<NodeId> senders;
     std::vector<Val> payload(g.n());

@@ -15,8 +15,10 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
-  std::printf("== KM: k-machine simulation cost ~O(n T / k^2) (Corollary 2) ==\n\n");
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
+  std::printf("== KM: k-machine simulation cost ~O(n T / k^2) (Corollary 2) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
 
   Table t({"algorithm", "n", "k", "NCC rounds T", "k-machine rounds", "nT/k^2",
            "ratio", "remote msg frac"});
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
       Rng rng(1);
       Graph g = random_forest_union(n, 4, rng);
       Network net = make_net(n, 77);
+      auto eng = attach_engine(net, opts.threads);
       KMachineTracker tracker(net, k, 42);
       Shared shared(n, 77);
       auto ori = run_orientation(shared, net, g);
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
       Rng rng(2);
       Graph g = with_random_weights(random_forest_union(nm, 4, rng), 1u << 12, rng);
       Network net = make_net(nm, 88);
+      auto eng = attach_engine(net, opts.threads);
       KMachineTracker tracker(net, k, 43);
       Shared shared(nm, 88);
       auto mst = run_mst(shared, net, g, {}, 11);

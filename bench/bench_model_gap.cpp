@@ -15,7 +15,8 @@ using namespace ncc;
 using namespace ncc::bench;
 
 // MST head-to-head: the same weighted graph solved in both models.
-static void mst_gap(bool quick) {
+static void mst_gap(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- MST in NCC vs Congested Clique (same instances) --\n");
   Table t({"n", "NCC MST rounds", "CC MST rounds", "gap", "both == Kruskal"});
   std::vector<NodeId> sizes = quick ? std::vector<NodeId>{64}
@@ -25,6 +26,7 @@ static void mst_gap(bool quick) {
     Graph g = with_random_weights(random_forest_union(n, 4, rng), 1u << 12, rng);
     uint64_t kw = kruskal_msf(g).total_weight;
     Network net = make_net(n, n + 9);
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(n, n + 9);
     auto ncc_res = run_mst(shared, net, g, {}, n);
     CongestedClique cc(n);
@@ -44,8 +46,10 @@ static void mst_gap(bool quick) {
 }
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
-  std::printf("== GAP: NCC vs Congested Clique (Section 1) ==\n\n");
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
+  std::printf("== GAP: NCC vs Congested Clique (Section 1) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
   Table t({"n", "NCC gossip", "pred n/logn", "ratio", "CC gossip", "NCC bcast",
            "pred logn/loglogn", "CC bcast"});
   std::vector<double> gossip_measured, gossip_pred;
@@ -53,9 +57,11 @@ int main(int argc, char** argv) {
                                     : std::vector<NodeId>{64, 128, 256, 512, 1024, 2048};
   for (NodeId n : sizes) {
     Network net = make_net(n, n);
+    auto eng = attach_engine(net, opts.threads);
     auto gr = run_gossip(net);
     NCC_ASSERT(gr.complete);
     Network net2 = make_net(n, n + 1);
+    auto eng2 = attach_engine(net2, opts.threads);
     auto br = run_broadcast(net2);
     NCC_ASSERT(br.complete);
     CongestedClique cc(std::min<NodeId>(n, quick ? 256 : 1024));
@@ -73,6 +79,6 @@ int main(int argc, char** argv) {
   print_fit("NCC gossip vs n/log n", gossip_measured, gossip_pred);
   std::printf("\nExpected shape: NCC gossip grows ~linearly (n/log n wall), CC stays\n"
               "at 1 round; NCC broadcast grows very slowly (log n / log log n).\n\n");
-  mst_gap(quick);
+  mst_gap(opts);
   return 0;
 }

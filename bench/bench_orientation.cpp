@@ -7,15 +7,18 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
 
-  std::printf("== ORI: O(a)-orientation (Section 4, Theorem 4.12) ==\n\n");
+  std::printf("== ORI: O(a)-orientation (Section 4, Theorem 4.12) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
   Table t({"sweep", "n", "a<=", "phases", "rounds", "max outdeg", "d*",
            "unsucc 1st", "fallbacks", "pred (a+logn)logn", "ratio"});
   std::vector<double> measured, predicted;
 
   auto record = [&](const char* name, const Graph& g, uint32_t a_bound, uint64_t seed) {
     Network net = make_net(g.n(), seed);
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(g.n(), seed);
     auto res = run_orientation(shared, net, g);
     double pred = (a_bound + lg(g.n())) * lg(g.n());

@@ -10,9 +10,11 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
   std::printf("== OVL: butterfly overlay from Theta(log n) random contacts "
-              "(Section 6) ==\n\n");
+              "(Section 6) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
   Table t({"n", "rounds", "requests", "avg hops", "max hops", "knowledge min/max",
            "pred hops=log n", "complete"});
   std::vector<double> hops_measured, hops_pred;
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
                                                           2048, 4096};
   for (NodeId n : sizes) {
     Network net = make_net(n, n * 3);
+    auto eng = attach_engine(net, opts.threads);
     ButterflyTopo topo(n);
     auto res = build_butterfly_overlay(net, topo, {}, n * 3);
     double avg = static_cast<double>(res.total_hops) /

@@ -14,7 +14,8 @@
 using namespace ncc;
 using namespace ncc::bench;
 
-static void bench_ab(bool quick) {
+static void bench_ab(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- P-AB: Aggregate-and-Broadcast rounds vs O(log n) (Thm 2.2) --\n");
   Table t({"n", "rounds", "log n", "ratio"});
   std::vector<double> measured, predicted;
@@ -22,6 +23,7 @@ static void bench_ab(bool quick) {
                                     : std::vector<NodeId>{16, 64, 256, 1024, 4096};
   for (NodeId n : sizes) {
     Network net = make_net(n, n);
+    auto eng = attach_engine(net, opts.threads);
     ButterflyTopo topo(n);
     std::vector<std::optional<Val>> inputs(n, Val{1, 0});
     auto res = aggregate_and_broadcast(topo, net, inputs, agg::sum);
@@ -36,7 +38,8 @@ static void bench_ab(bool quick) {
   std::printf("\n");
 }
 
-static void bench_aggregation(bool quick) {
+static void bench_aggregation(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- P-AGG: Aggregation rounds vs O(L/n + l/log n + log n) (Thm 2.3) --\n");
   const NodeId n = quick ? 128 : 512;
   Table t({"L", "groups", "rounds", "congestion", "pred L/n+l1/logn+logn", "ratio"});
@@ -45,6 +48,7 @@ static void bench_aggregation(bool quick) {
                                std::vector<uint32_t>{1, 2, 4, 8, 16, 32}) {
     uint64_t L = static_cast<uint64_t>(mult) * n;
     Network net = make_net(n, 5 + mult);
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(n, 5 + mult);
     Rng rng(99 + mult);
     AggregationProblem prob;
@@ -72,7 +76,8 @@ static void bench_aggregation(bool quick) {
   std::printf("\n");
 }
 
-static void bench_multicast(bool quick) {
+static void bench_multicast(const BenchOpts& opts) {
+  bool quick = opts.quick;
   std::printf("-- P-MC: Multicast tree setup / multicast / multi-aggregation "
               "(Thms 2.4-2.6) --\n");
   const NodeId n = quick ? 128 : 512;
@@ -81,6 +86,7 @@ static void bench_multicast(bool quick) {
   for (uint32_t gsz : quick ? std::vector<uint32_t>{4, 16} :
                               std::vector<uint32_t>{2, 4, 8, 16, 32, 64}) {
     Network net = make_net(n, 11 + gsz);
+    auto eng = attach_engine(net, opts.threads);
     Shared shared(n, 11 + gsz);
     Rng rng(7 + gsz);
     // n/8 groups of size gsz with random members; sources 0..n/8-1.
@@ -109,10 +115,11 @@ static void bench_multicast(bool quick) {
 }
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
-  std::printf("== Primitive costs (Theorems 2.2-2.6) ==\n\n");
-  bench_ab(quick);
-  bench_aggregation(quick);
-  bench_multicast(quick);
+  BenchOpts opts = parse_opts(argc, argv);
+  std::printf("== Primitive costs (Theorems 2.2-2.6) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
+  bench_ab(opts);
+  bench_aggregation(opts);
+  bench_multicast(opts);
   return 0;
 }

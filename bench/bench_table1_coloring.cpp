@@ -9,7 +9,8 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
 
   std::printf(
       "== T1-COL: O(a)-coloring rounds vs O((a + log n) log^1.5 n) (Section 5.4) ==\n\n");
@@ -18,7 +19,7 @@ int main(int argc, char** argv) {
   std::vector<double> measured, predicted;
 
   auto record = [&](const char* name, const Graph& g, uint32_t a_bound, uint64_t seed) {
-    Pipeline p(g, seed);
+    Pipeline p(g, seed, opts.threads);
     auto col = run_coloring(p.shared, p.net, g, p.orient, {}, seed);
     bool ok = is_proper_coloring(g, col.color);
     double l = lg(g.n());

@@ -7,7 +7,8 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
 
   std::printf(
       "== T1-MM: Maximal Matching rounds vs O((a + log n) log n) (Section 5.3) ==\n\n");
@@ -16,7 +17,7 @@ int main(int argc, char** argv) {
   std::vector<double> measured, predicted;
 
   auto record = [&](const char* name, const Graph& g, uint32_t a_bound, uint64_t seed) {
-    Pipeline p(g, seed);
+    Pipeline p(g, seed, opts.threads);
     auto m = run_matching(p.shared, p.net, g, p.bt, seed);
     bool ok = is_maximal_matching(g, m.mate);
     double pred = (a_bound + lg(g.n())) * lg(g.n());

@@ -13,7 +13,8 @@ using namespace ncc;
 using namespace ncc::bench;
 
 int main(int argc, char** argv) {
-  bool quick = quick_mode(argc, argv);
+  BenchOpts opts = parse_opts(argc, argv);
+  bool quick = opts.quick;
   std::vector<NodeId> sizes = quick ? std::vector<NodeId>{64, 128}
                                     : std::vector<NodeId>{64, 128, 256, 512, 1024};
   const Weight W = 1u << 16;
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
                                   : grid_graph(side, side);
       Graph g = with_random_weights(base, W, rng);
       Network net = make_net(g.n(), 7 + n);
+      auto eng = attach_engine(net, opts.threads);
       Shared shared(g.n(), 7 + n);
       auto res = run_mst(shared, net, g, {}, n);
       bool ok = res.total_weight == kruskal_msf(g).total_weight;

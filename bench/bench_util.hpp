@@ -71,6 +71,13 @@ struct Pipeline {
   uint64_t setup_rounds() const { return orient.rounds + bt.rounds; }
 };
 
+/// Attach a round engine to `net` when threads > 1 (results are bit-identical
+/// either way; see the determinism contract). Keep the returned handle alive
+/// for as long as the network runs.
+inline std::unique_ptr<Engine> attach_engine(Network& net, uint32_t threads) {
+  return threads > 1 ? std::make_unique<Engine>(net, EngineConfig{threads}) : nullptr;
+}
+
 /// True when the binary should shrink its sweeps (CI smoke runs).
 inline bool quick_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)

@@ -205,6 +205,7 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
     uint64_t moved = 0, freed = 0, tokens = 0;
   };
   std::vector<StepOut> outs(engine_shards(net));
+  std::vector<std::vector<LocalMove>> arrivals(engine_shards(net));
   std::vector<uint64_t> items;
 
   while (pending_total > 0 || tokens_pending > 0) {
@@ -278,7 +279,7 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
     });
     local.clear();
     for (StepOut& out : outs) {
-      for (const Message& m : out.sends) net.send(m);
+      net.send_bulk(out.sends);
       local.insert(local.end(), out.local.begin(), out.local.end());
       if (record)
         for (const RecordOp& op : out.rec) record->children[op.cidx][op.group] |= op.bit;
@@ -309,14 +310,33 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
         deposit(mv.level, mv.col, mv.group, mv.val);
       }
     }
-    for (NodeId u = 0; u < cols; ++u) {
-      for (const Message& m : net.inbox(u)) {
-        if (tag_kind(m.tag) == kTagDownPacket) {
-          deposit(tag_level(m.tag), u, m.word(0), Val{m.word(1), m.word(2)});
-        } else if (tag_kind(m.tag) == kTagDownToken) {
-          arrive_token(tag_level(m.tag), u);
+    // Arrival scan, sharded over host columns: each shard decodes its
+    // columns' inboxes into staged arrival records; the merge applies them
+    // in shard order, which concatenates back to the sequential
+    // column-ascending scan order — deposits (which touch shared routing
+    // state) stay on the caller thread and bit-identical for any shard count.
+    engine_ranges(net, cols, [&](uint32_t s, uint64_t ub, uint64_t ue) {
+      std::vector<LocalMove>& arr = arrivals[s];
+      for (uint64_t u = ub; u < ue; ++u) {
+        for (const Message& m : net.inbox(static_cast<NodeId>(u))) {
+          if (tag_kind(m.tag) == kTagDownPacket) {
+            arr.push_back({tag_level(m.tag), static_cast<NodeId>(u), m.word(0),
+                           Val{m.word(1), m.word(2)}, false});
+          } else if (tag_kind(m.tag) == kTagDownToken) {
+            arr.push_back({tag_level(m.tag), static_cast<NodeId>(u), 0, {}, true});
+          }
         }
       }
+    });
+    for (auto& arr : arrivals) {
+      for (const LocalMove& mv : arr) {
+        if (mv.is_token) {
+          arrive_token(mv.level, mv.col);
+        } else {
+          deposit(mv.level, mv.col, mv.group, mv.val);
+        }
+      }
+      arr.clear();
     }
   }
 
@@ -377,7 +397,13 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
 
   for (const auto& [group, val] : payloads) {
     auto rit = trees.root_col.find(group);
-    NCC_ASSERT_MSG(rit != trees.root_col.end(), "multicast for a group without a tree");
+    if (rit == trees.root_col.end()) {
+      // A reliable network always records a root (tree invariant); under
+      // scenario fault injection a group can lose every membership packet,
+      // in which case its multicast is undeliverable — count it, don't abort.
+      ++result.stats.lost_groups;
+      continue;
+    }
     arrive(d, rit->second, group, val);
   }
 
@@ -407,6 +433,7 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
     uint64_t moved = 0, freed = 0, tokens = 0;
   };
   std::vector<StepOut> outs(engine_shards(net));
+  std::vector<std::vector<LocalMove>> arrivals(engine_shards(net));
   std::vector<uint64_t> items;
 
   while (edges_remaining > 0 || tokens_pending > 0) {
@@ -472,7 +499,7 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
     });
     local.clear();
     for (StepOut& out : outs) {
-      for (const Message& m : out.sends) net.send(m);
+      net.send_bulk(out.sends);
       local.insert(local.end(), out.local.begin(), out.local.end());
       for (uint64_t idx : out.readd) active.add(idx);
       result.stats.packets_moved += out.moved;
@@ -500,14 +527,29 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
         arrive(mv.level, mv.col, mv.group, mv.val);
       }
     }
-    for (NodeId u = 0; u < cols; ++u) {
-      for (const Message& m : net.inbox(u)) {
-        if (tag_kind(m.tag) == kTagUpPacket) {
-          arrive(tag_level(m.tag), u, m.word(0), Val{m.word(1), m.word(2)});
-        } else if (tag_kind(m.tag) == kTagUpToken) {
-          arrive_token(tag_level(m.tag), u);
+    // Sharded arrival scan; same decode/merge discipline as route_down.
+    engine_ranges(net, cols, [&](uint32_t s, uint64_t ub, uint64_t ue) {
+      std::vector<LocalMove>& arr = arrivals[s];
+      for (uint64_t u = ub; u < ue; ++u) {
+        for (const Message& m : net.inbox(static_cast<NodeId>(u))) {
+          if (tag_kind(m.tag) == kTagUpPacket) {
+            arr.push_back({tag_level(m.tag), static_cast<NodeId>(u), m.word(0),
+                           Val{m.word(1), m.word(2)}, false});
+          } else if (tag_kind(m.tag) == kTagUpToken) {
+            arr.push_back({tag_level(m.tag), static_cast<NodeId>(u), 0, {}, true});
+          }
         }
       }
+    });
+    for (auto& arr : arrivals) {
+      for (const LocalMove& mv : arr) {
+        if (mv.is_token) {
+          arrive_token(mv.level, mv.col);
+        } else {
+          arrive(mv.level, mv.col, mv.group, mv.val);
+        }
+      }
+      arr.clear();
     }
   }
 

@@ -75,6 +75,11 @@ struct RouteStats {
   uint32_t congestion = 0;   // max distinct groups visiting one butterfly node
   uint64_t packets_moved = 0;
   uint64_t combines = 0;
+  /// Up-phase payloads skipped because the tree build never recorded a root
+  /// for their group. Impossible on a reliable network (the tree-recording
+  /// invariant); nonzero only under scenario fault injection, where the
+  /// membership packets of a group can all be lost.
+  uint64_t lost_groups = 0;
 };
 
 struct DownResult {

@@ -93,10 +93,11 @@ void Engine::send_loop(uint64_t count,
     BufferSink sink(&staged_[s]);
     for (uint64_t i = plan.begin(s); i < plan.end(s); ++i) step(i, sink);
   });
-  // Merge in shard order == global item order; net_.send keeps the strict
-  // send accounting on the caller thread.
+  // Merge in shard order == global item order; send_bulk keeps the strict
+  // send accounting on the caller thread and hands each shard buffer over in
+  // a single staging call.
   for (uint32_t s = 0; s < plan.shards; ++s) {
-    for (const Message& m : staged_[s]) net_.send(m);
+    net_.send_bulk(staged_[s]);
     staged_[s].clear();
   }
 }

@@ -31,8 +31,32 @@ void Network::send(const Message& msg) {
   pending_.push_back(msg);
 }
 
+void Network::send_bulk(std::span<const Message> msgs) {
+  pending_.reserve(pending_.size() + msgs.size());
+  for (const Message& m : msgs) send(m);
+}
+
 void Network::end_round() {
   const NodeId n = config_.n;
+
+  // Fault injection runs before delivery is sharded: the pending order is
+  // thread-count independent, so decisions keyed on (round, index) are too.
+  if (faults_.begin_round) faults_.begin_round(stats_.rounds);
+  if (faults_.drop && !pending_.empty()) {
+    uint64_t kept = 0;
+    for (uint64_t i = 0; i < pending_.size(); ++i) {
+      if (faults_.drop(pending_[i], stats_.rounds, i)) {
+        ++stats_.fault_drops;
+      } else {
+        if (kept != i) pending_[kept] = pending_[i];
+        ++kept;
+      }
+    }
+    pending_.resize(kept);
+  }
+  uint32_t rcap = cap_;
+  if (faults_.recv_cap) rcap = std::max<uint32_t>(1, faults_.recv_cap(stats_.rounds, cap_));
+
   uint32_t S = 1;
   if (hooks_.parallel && hooks_.shards > 1 && pending_.size() >= hooks_.min_messages)
     S = hooks_.shards;
@@ -85,7 +109,7 @@ void Network::end_round() {
     auto deliver = [&](const Message& m) {
       auto& box = inboxes_[m.dst];
       uint32_t k = recv_seen_[m.dst]++;
-      if (box.size() < cap_) {
+      if (box.size() < rcap) {
         box.push_back(m);
       } else {
         // Reservoir over arrival order: replace a random survivor with
@@ -94,7 +118,7 @@ void Network::end_round() {
         if (it == drop_rng.end())
           it = drop_rng.emplace(m.dst, Rng(mix64(mix64(drop_seed_ ^ round) ^ m.dst))).first;
         uint64_t j = it->second.next_below(k + 1);
-        if (j < cap_) box[j] = m;
+        if (j < rcap) box[j] = m;
       }
     };
     if (S == 1) {
@@ -107,7 +131,7 @@ void Network::end_round() {
     // after delivery recv_seen_[u] is the full addressed count of u.
     for (NodeId u = lo; u < hi; ++u) {
       a.max_recv = std::max(a.max_recv, recv_seen_[u]);
-      if (recv_seen_[u] > cap_) a.dropped += recv_seen_[u] - cap_;
+      if (recv_seen_[u] > rcap) a.dropped += recv_seen_[u] - rcap;
     }
   };
   if (S > 1) {
@@ -127,6 +151,7 @@ void Network::end_round() {
   }
   pending_.clear();
   ++stats_.rounds;
+  if (round_hook_) round_hook_(stats_.rounds - 1, stats_);
 }
 
 const std::vector<Message>& Network::inbox(NodeId u) const {

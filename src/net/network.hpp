@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -45,6 +46,7 @@ struct NetStats {
   uint64_t charged_rounds = 0;  // analytically charged (setup broadcasts)
   uint64_t messages_sent = 0;
   uint64_t messages_dropped = 0;  // receive-capacity overflow
+  uint64_t fault_drops = 0;       // removed by an installed fault hook
   uint32_t max_send_load = 0;     // max messages a node sent in any round
   uint32_t max_recv_load = 0;     // max messages addressed to a node (pre-drop)
   uint64_t send_violations = 0;   // only populated when strict_send == false
@@ -64,6 +66,24 @@ struct NetExecHooks {
   uint64_t min_messages = 1024;
 };
 
+/// Fault-injection hooks (installed by scenario::FaultInjector). All three run
+/// on the caller thread at the top of end_round(), *before* delivery is
+/// sharded — the pending-message order is thread-count independent (engine
+/// determinism contract), so fault decisions keyed on (round, pending index)
+/// are too.
+struct FaultHooks {
+  /// Called once per end_round() with the round about to be closed, before
+  /// any filtering; may throw to abort a runaway execution (round limits).
+  std::function<void(uint64_t round)> begin_round;
+  /// Return true to make the network lose this message (crash-stop endpoints,
+  /// random loss). `idx` is the message's position in this round's send order.
+  std::function<bool(const Message& msg, uint64_t round, uint64_t idx)> drop;
+  /// Effective receive capacity for this round (capacity perturbation);
+  /// clamped to >= 1. Send budgets are unaffected: a fault changes what the
+  /// network delivers, not what algorithms are allowed to attempt.
+  std::function<uint32_t(uint64_t round, uint32_t cap)> recv_cap;
+};
+
 class Network {
  public:
   explicit Network(NetConfig config);
@@ -78,6 +98,12 @@ class Network {
   void send(NodeId src, NodeId dst, uint32_t tag, std::initializer_list<uint64_t> words) {
     send(Message(src, dst, tag, words));
   }
+
+  /// Bulk staging: queue a whole buffer of messages in one call, with the
+  /// same per-message accounting and ordering as a send() loop. Used by the
+  /// engine's barrier merge (and the router's per-shard merges) so staged
+  /// shard buffers are handed over wholesale instead of message by message.
+  void send_bulk(std::span<const Message> msgs);
 
   /// Close the current round: enforce capacities, deliver messages into the
   /// per-node inboxes, advance the round counter. Runs shard-parallel across
@@ -103,6 +129,17 @@ class Network {
   using DeliveryHook = std::function<void(const Message&, uint64_t round)>;
   void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
 
+  /// Observer invoked sequentially at the end of every end_round() with the
+  /// index of the round just closed and the cumulative stats (scenario
+  /// metrics sampling). Runs after delivery, on the caller thread.
+  using RoundHook = std::function<void(uint64_t round, const NetStats&)>;
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+
+  /// Fault-injection attachment (see scenario/faults.hpp); at most one set of
+  /// fault hooks at a time.
+  void install_fault_hooks(FaultHooks hooks) { faults_ = std::move(hooks); }
+  void clear_fault_hooks() { faults_ = FaultHooks{}; }
+
   /// Reset round/message statistics (topology and config are kept). Also
   /// clears pending traffic and the per-shard delivery staging.
   void reset_stats();
@@ -118,6 +155,7 @@ class Network {
   uint64_t drop_seed_;  // forked per (round, dst) for the drop subsets
   NetStats stats_;
   NetExecHooks hooks_;
+  FaultHooks faults_;
   std::vector<Message> pending_;               // sent this round
   std::vector<uint32_t> send_count_;           // per-node sends this round
   std::vector<std::vector<Message>> inboxes_;  // delivered last end_round
@@ -128,6 +166,7 @@ class Network {
   // addressed (pre-drop) count, which the merged-view stats read.
   std::vector<uint32_t> recv_seen_;
   DeliveryHook hook_;
+  RoundHook round_hook_;
 };
 
 }  // namespace ncc

@@ -1,0 +1,69 @@
+#include "scenario/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ncc::scenario {
+
+FaultInjector::FaultInjector(Network& net, const FaultModel& model, uint64_t seed,
+                             uint64_t round_limit)
+    : net_(net),
+      model_(model),
+      seed_(mix64(seed ^ 0x6661756c747321ULL)),  // "faults!"
+      round_limit_(round_limit),
+      crashed_(net.n(), 0),
+      crash_schedule_(model.crash_rounds) {
+  std::sort(crash_schedule_.begin(), crash_schedule_.end());
+  FaultHooks hooks;
+  hooks.begin_round = [this](uint64_t round) {
+    if (round_limit_ && round >= round_limit_) throw RoundLimitReached(round);
+    advance_to(round);
+  };
+  if (!crash_schedule_.empty() || model_.drop_rate > 0.0) {
+    // drop_rate < 1 (spec-validated), so the scaled threshold fits 64 bits.
+    const uint64_t threshold =
+        static_cast<uint64_t>(std::ldexp(model_.drop_rate, 64));
+    hooks.drop = [this, threshold](const Message& m, uint64_t round, uint64_t idx) {
+      if (crashed_[m.src] || crashed_[m.dst]) return true;
+      if (threshold == 0) return false;
+      return mix64(mix64(seed_ ^ round) ^ idx) < threshold;
+    };
+  }
+  if (model_.perturb_every > 0) {
+    hooks.recv_cap = [this](uint64_t round, uint32_t cap) {
+      if (round % model_.perturb_every < model_.perturb_for)
+        return cap / model_.perturb_factor;
+      return cap;
+    };
+  }
+  net_.install_fault_hooks(std::move(hooks));
+}
+
+FaultInjector::~FaultInjector() { net_.clear_fault_hooks(); }
+
+void FaultInjector::advance_to(uint64_t round) {
+  const NodeId n = net_.n();
+  while (next_batch_ < crash_schedule_.size() && crash_schedule_[next_batch_] <= round) {
+    // One forked stream per batch, keyed on the scheduled round, so the
+    // victim set depends only on (seed, schedule) — not on how many rounds
+    // the algorithm happened to run before the batch fired.
+    Rng rng(mix64(seed_ ^ (0x6372617368ULL + crash_schedule_[next_batch_])));
+    // Victims are drawn from [1, n): node 0 coordinates several protocols
+    // and crashing it trivially stalls everything (documented in README).
+    uint32_t want = model_.crash_count;
+    uint64_t attempts = 0;
+    while (want > 0 && attempts < 64ull * model_.crash_count + n) {
+      ++attempts;
+      NodeId v = static_cast<NodeId>(1 + rng.next_below(n - 1));
+      if (crashed_[v]) continue;
+      crashed_[v] = 1;
+      ++crashed_count_;
+      --want;
+    }
+    ++next_batch_;
+  }
+}
+
+}  // namespace ncc::scenario

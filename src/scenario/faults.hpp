@@ -1,0 +1,62 @@
+// Network-layer fault injection for scenarios.
+//
+// A FaultInjector installs Network fault hooks realizing the FaultModel of a
+// ScenarioSpec: seeded crash-stop node failures at scheduled rounds, a
+// per-round uniform message-drop rate, and periodic receive-capacity
+// perturbation. Every decision is a stateless hash of (seed, round,
+// pending-index / node id), and all hooks run before end_round() shards
+// delivery — so fault injection is bit-identical for any engine thread count
+// (the threads=1 == threads=T contract extends through faults).
+//
+// The injector also enforces the spec's round limit: the paper's algorithms
+// assume a reliable network, and token-based termination (the butterfly
+// routing of Section 2) can wait forever on a lost token. Exceeding the
+// limit throws RoundLimitReached, which the scenario runner converts into a
+// "round_limit" verdict.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/network.hpp"
+#include "scenario/spec.hpp"
+
+namespace ncc::scenario {
+
+struct RoundLimitReached : std::runtime_error {
+  explicit RoundLimitReached(uint64_t round)
+      : std::runtime_error("round limit reached at round " + std::to_string(round)),
+        round(round) {}
+  uint64_t round;
+};
+
+class FaultInjector {
+ public:
+  /// Installs fault hooks on `net` for the spec's fault model (and round
+  /// limit, if any). `round_limit` == 0 means unlimited.
+  FaultInjector(Network& net, const FaultModel& model, uint64_t seed,
+                uint64_t round_limit);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Nodes crashed so far (crash-stop is permanent).
+  uint32_t crashed_count() const { return crashed_count_; }
+  const std::vector<uint8_t>& crashed() const { return crashed_; }
+
+ private:
+  void advance_to(uint64_t round);  // fire pending crash batches
+
+  Network& net_;
+  FaultModel model_;
+  uint64_t seed_;
+  uint64_t round_limit_;
+  std::vector<uint8_t> crashed_;
+  uint32_t crashed_count_ = 0;
+  size_t next_batch_ = 0;  // index into sorted crash_rounds
+  std::vector<uint64_t> crash_schedule_;
+};
+
+}  // namespace ncc::scenario

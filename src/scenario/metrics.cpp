@@ -1,0 +1,101 @@
+#include "scenario/metrics.hpp"
+
+#include <cstdio>
+
+namespace ncc::scenario {
+
+void JsonWriter::value(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  raw(buf);
+}
+
+void JsonWriter::open(char c) {
+  comma();
+  out_ += c;
+  first_.push_back(true);
+}
+
+void JsonWriter::close(char c) {
+  first_.pop_back();
+  out_ += c;
+}
+
+void JsonWriter::comma() {
+  if (pending_value_) {
+    pending_value_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ", ";
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::append_quoted(const std::string& s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+MetricsCollector::MetricsCollector(Network& net, size_t max_rounds)
+    : net_(net), max_rounds_(max_rounds) {
+  net_.set_round_hook([this](uint64_t, const NetStats& s) {
+    uint64_t sent = s.messages_sent - last_sent_;
+    uint64_t dropped = (s.messages_dropped + s.fault_drops) - last_dropped_;
+    last_sent_ = s.messages_sent;
+    last_dropped_ = s.messages_dropped + s.fault_drops;
+    sent_acc_.add(static_cast<double>(sent));
+    ++series_.rounds;
+    if (series_.sent.size() < max_rounds_) {
+      series_.sent.push_back(sent);
+      series_.dropped.push_back(dropped);
+    } else {
+      series_.truncated = true;
+    }
+  });
+}
+
+MetricsCollector::~MetricsCollector() { net_.set_round_hook(nullptr); }
+
+void MetricsCollector::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("rounds", series_.rounds);
+  w.kv("mean_sent", sent_acc_.mean());
+  w.kv("peak_sent", sent_acc_.max());
+  w.kv("truncated", series_.truncated);
+  w.key("sent");
+  w.begin_array();
+  for (uint64_t v : series_.sent) w.value(v);
+  w.end_array();
+  w.key("dropped");
+  w.begin_array();
+  for (uint64_t v : series_.dropped) w.value(v);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace ncc::scenario

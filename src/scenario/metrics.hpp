@@ -1,0 +1,106 @@
+// Machine-readable metrics for scenario runs.
+//
+// MetricsCollector taps the Network's round hook and records per-round
+// deltas (messages sent, capacity drops, fault drops) plus streaming
+// summaries (common/stats Accumulator). JsonWriter is the single JSON
+// emitter of the subsystem: a tiny ordered writer whose output is a pure
+// function of the values written — runs that produce identical metrics
+// produce byte-identical JSON, which is what the determinism acceptance
+// check (threads=1 vs threads=8) compares.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/network.hpp"
+
+namespace ncc::scenario {
+
+/// Ordered, allocation-light JSON writer. The caller is responsible for
+/// well-formedness (begin/end pairing, key before value inside objects);
+/// commas and indentation-free layout are handled here. Doubles are
+/// formatted with %.6g, so equal doubles give equal bytes.
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& k) {
+    comma();
+    append_quoted(k);
+    out_ += ": ";
+    pending_value_ = true;
+  }
+
+  void value(uint64_t v) { raw(std::to_string(v)); }
+  void value(uint32_t v) { raw(std::to_string(v)); }
+  void value(int64_t v) { raw(std::to_string(v)); }
+  void value(double v);
+  void value(bool v) { raw(v ? "true" : "false"); }
+  void value(const std::string& v) {
+    comma();
+    append_quoted(v);
+  }
+  void value(const char* v) { value(std::string(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void open(char c);
+  void close(char c);
+  void comma();
+  void raw(const std::string& s) {
+    comma();
+    out_ += s;
+  }
+  void append_quoted(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> first_;   // per open container: no element written yet
+  bool pending_value_ = false;  // a key was just written
+};
+
+/// Per-round series; capped at `max_rounds` entries (the `truncated` flag
+/// records that the tail was elided, never silently).
+struct PerRoundSeries {
+  std::vector<uint64_t> sent;
+  std::vector<uint64_t> dropped;  // capacity drops + fault drops
+  uint64_t rounds = 0;
+  bool truncated = false;
+};
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(Network& net, size_t max_rounds = 512);
+  ~MetricsCollector();
+
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+  const PerRoundSeries& series() const { return series_; }
+  const Accumulator& sent_per_round() const { return sent_acc_; }
+
+  /// Emit the per-round section into `w` (an object: series + summary).
+  void write_json(JsonWriter& w) const;
+
+ private:
+  Network& net_;
+  size_t max_rounds_;
+  PerRoundSeries series_;
+  Accumulator sent_acc_;
+  uint64_t last_sent_ = 0;
+  uint64_t last_dropped_ = 0;
+};
+
+}  // namespace ncc::scenario

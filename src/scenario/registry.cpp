@@ -1,0 +1,297 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+
+#include "baselines/sequential.hpp"
+#include "core/bfs.hpp"
+#include "core/broadcast_trees.hpp"
+#include "core/coloring.hpp"
+#include "core/components.hpp"
+#include "core/gossip.hpp"
+#include "core/matching.hpp"
+#include "core/mis.hpp"
+#include "core/mst.hpp"
+#include "core/orientation_algo.hpp"
+#include "graph/properties.hpp"
+#include "primitives/aggregation.hpp"
+#include "primitives/context.hpp"
+#include "primitives/multicast.hpp"
+
+namespace ncc::scenario {
+
+namespace {
+
+ScenarioRunResult verdict_ok() { return {true, "ok", {}}; }
+
+ScenarioRunResult degraded(const std::string& why) { return {false, "degraded:" + why, {}}; }
+
+/// Orientation + broadcast-tree setup shared by the Section 5 algorithms.
+struct TreeSetup {
+  Shared shared;
+  OrientationRunResult orient;
+  BroadcastTrees bt;
+
+  TreeSetup(Network& net, const Graph& g, uint64_t seed)
+      : shared(g.n(), seed),
+        orient(run_orientation(shared, net, g)),
+        bt(build_broadcast_trees(shared, net, g, orient.orientation, seed)) {}
+
+  uint64_t setup_rounds() const { return orient.rounds + bt.rounds; }
+};
+
+ScenarioRunResult run_bfs_scenario(Network& net, const Graph& g,
+                                   const ScenarioSpec& spec) {
+  TreeSetup s(net, g, spec.seed);
+  BfsResult bfs = run_bfs(s.shared, net, g, s.bt, /*source=*/0, spec.seed);
+  std::vector<uint32_t> truth = bfs_distances(g, 0);
+  uint64_t wrong = 0, unreachable = 0;
+  for (NodeId u = 0; u < g.n(); ++u) {
+    if (bfs.dist[u] != truth[u]) ++wrong;
+    if (bfs.dist[u] == kUnreachable) ++unreachable;
+  }
+  ScenarioRunResult r = wrong == 0
+                            ? verdict_ok()
+                            : degraded(std::to_string(wrong) + " wrong distances");
+  r.counters = {{"phases", bfs.phases},
+                {"algo_rounds", bfs.rounds},
+                {"setup_rounds", s.setup_rounds()},
+                {"unreachable", unreachable}};
+  return r;
+}
+
+ScenarioRunResult run_mis_scenario(Network& net, const Graph& g,
+                                   const ScenarioSpec& spec) {
+  TreeSetup s(net, g, spec.seed);
+  MisResult mis = run_mis(s.shared, net, g, s.bt, spec.seed);
+  uint64_t size = 0;
+  for (NodeId u = 0; u < g.n(); ++u) size += mis.in_mis[u];
+  ScenarioRunResult r;
+  if (!is_independent_set(g, mis.in_mis)) {
+    r = degraded("not independent");
+  } else if (!is_maximal_independent_set(g, mis.in_mis)) {
+    r = degraded("not maximal");
+  } else {
+    r = verdict_ok();
+  }
+  r.counters = {{"phases", mis.phases},
+                {"algo_rounds", mis.rounds},
+                {"setup_rounds", s.setup_rounds()},
+                {"mis_size", size}};
+  return r;
+}
+
+ScenarioRunResult run_matching_scenario(Network& net, const Graph& g,
+                                        const ScenarioSpec& spec) {
+  TreeSetup s(net, g, spec.seed);
+  MatchingResult m = run_matching(s.shared, net, g, s.bt, spec.seed);
+  uint64_t matched = 0;
+  for (NodeId u = 0; u < g.n(); ++u) matched += m.mate[u] != kUnmatched;
+  ScenarioRunResult r;
+  if (!is_matching(g, m.mate)) {
+    r = degraded("not a matching");
+  } else if (!is_maximal_matching(g, m.mate)) {
+    r = degraded("not maximal");
+  } else {
+    r = verdict_ok();
+  }
+  r.counters = {{"phases", m.phases},
+                {"algo_rounds", m.rounds},
+                {"setup_rounds", s.setup_rounds()},
+                {"matched_nodes", matched}};
+  return r;
+}
+
+ScenarioRunResult run_coloring_scenario(Network& net, const Graph& g,
+                                        const ScenarioSpec& spec) {
+  Shared shared(g.n(), spec.seed);
+  OrientationRunResult orient = run_orientation(shared, net, g);
+  ColoringResult c = run_coloring(shared, net, g, orient, {}, spec.seed);
+  uint32_t used = 0;
+  for (NodeId u = 0; u < g.n(); ++u) used = std::max(used, c.color[u] + 1);
+  ScenarioRunResult r = is_proper_coloring(g, c.color)
+                            ? verdict_ok()
+                            : degraded("not a proper coloring");
+  r.counters = {{"phases", c.phases},
+                {"algo_rounds", c.rounds},
+                {"setup_rounds", orient.rounds},
+                {"palette_size", c.palette_size},
+                {"colors_used", used}};
+  return r;
+}
+
+ScenarioRunResult run_mst_scenario(Network& net, const Graph& g,
+                                   const ScenarioSpec& spec) {
+  Shared shared(g.n(), spec.seed);
+  MstResult mst = run_mst(shared, net, g, {}, spec.seed);
+  KruskalResult truth = kruskal_msf(g);
+  ScenarioRunResult r;
+  if (!is_spanning_forest(g, mst.edges)) {
+    r = degraded("not a spanning forest");
+  } else if (mst.total_weight != truth.total_weight) {
+    r = degraded("weight " + std::to_string(mst.total_weight) + " != optimal " +
+                 std::to_string(truth.total_weight));
+  } else {
+    r = verdict_ok();
+  }
+  r.counters = {{"phases", mst.phases},
+                {"algo_rounds", mst.rounds},
+                {"mst_edges", mst.edges.size()},
+                {"mst_weight", mst.total_weight}};
+  return r;
+}
+
+ScenarioRunResult run_components_scenario(Network& net, const Graph& g,
+                                          const ScenarioSpec& spec) {
+  Shared shared(g.n(), spec.seed);
+  ComponentsResult cc = run_components(shared, net, g, spec.seed);
+  uint64_t wrong = 0;
+  for (NodeId u = 0; u < g.n(); ++u)
+    for (NodeId v : g.neighbors(u))
+      if (u < v && cc.leader[u] != cc.leader[v]) ++wrong;
+  uint32_t truth = component_count(g);
+  ScenarioRunResult r;
+  if (wrong > 0) {
+    r = degraded(std::to_string(wrong) + " edges cross labels");
+  } else if (cc.count != truth) {
+    r = degraded("component count " + std::to_string(cc.count) + " != " +
+                 std::to_string(truth));
+  } else {
+    r = verdict_ok();
+  }
+  r.counters = {{"phases", cc.phases},
+                {"algo_rounds", cc.rounds},
+                {"components", cc.count},
+                {"forest_edges", cc.forest.size()}};
+  return r;
+}
+
+ScenarioRunResult run_gossip_scenario(Network& net, const Graph&,
+                                      const ScenarioSpec&) {
+  GossipResult res = run_gossip(net);
+  ScenarioRunResult r = res.complete ? verdict_ok() : degraded("tokens lost");
+  r.counters = {{"algo_rounds", res.rounds}};
+  return r;
+}
+
+ScenarioRunResult run_broadcast_scenario(Network& net, const Graph&,
+                                         const ScenarioSpec&) {
+  BroadcastResult res = run_broadcast(net);
+  ScenarioRunResult r = res.complete ? verdict_ok() : degraded("nodes uninformed");
+  r.counters = {{"algo_rounds", res.rounds}};
+  return r;
+}
+
+ScenarioRunResult run_orientation_scenario(Network& net, const Graph& g,
+                                           const ScenarioSpec& spec) {
+  Shared shared(g.n(), spec.seed);
+  OrientationRunResult o = run_orientation(shared, net, g);
+  ScenarioRunResult r = o.orientation.complete()
+                            ? verdict_ok()
+                            : degraded(std::to_string(o.orientation.unoriented_count()) +
+                                       " edges unoriented");
+  r.counters = {{"phases", o.phases},
+                {"algo_rounds", o.rounds},
+                {"max_outdegree", o.orientation.max_outdegree()},
+                {"d_star", o.d_star}};
+  return r;
+}
+
+/// Primitives microbench: every node contributes 1 to group (u mod G); the
+/// per-group sums must come back exact (SUM aggregation, Theorem 2.3).
+ScenarioRunResult run_aggregate_scenario(Network& net, const Graph& g,
+                                         const ScenarioSpec& spec) {
+  const NodeId n = g.n();
+  const uint64_t groups = std::min<uint64_t>(n, 16);
+  Shared shared(n, spec.seed);
+  AggregationProblem prob;
+  prob.combine = agg::sum;
+  prob.target = [n](uint64_t grp) { return static_cast<NodeId>(grp % n); };
+  prob.ell2_hat = 1;
+  for (NodeId u = 0; u < n; ++u) prob.items.push_back({u, u % groups, Val{1, 0}});
+  AggregationResult res = run_aggregation(shared, net, prob, spec.seed);
+  uint64_t received = 0, exact = 0;
+  for (uint64_t grp = 0; grp < groups; ++grp) {
+    uint64_t expect = n / groups + (grp < n % groups ? 1 : 0);
+    auto it = res.at_target.find(grp);
+    uint64_t got = it == res.at_target.end() ? 0 : it->second[0];
+    received += got;
+    exact += got == expect;
+  }
+  ScenarioRunResult r = exact == groups
+                            ? verdict_ok()
+                            : degraded(std::to_string(groups - exact) +
+                                       " of " + std::to_string(groups) +
+                                       " aggregates inexact");
+  r.counters = {{"algo_rounds", res.rounds},
+                {"groups", groups},
+                {"values_received", received}};
+  return r;
+}
+
+/// Primitives microbench: node g multicasts a payload to group g's members
+/// {u : u mod G == g}; every member must receive its group's payload.
+ScenarioRunResult run_multicast_scenario(Network& net, const Graph& g,
+                                         const ScenarioSpec& spec) {
+  const NodeId n = g.n();
+  const uint64_t groups = std::min<uint64_t>(n, 8);
+  Shared shared(n, spec.seed);
+  std::vector<MulticastMembership> members;
+  for (NodeId u = 0; u < n; ++u) members.push_back({u, u % groups});
+  MulticastSetupResult setup = setup_multicast_trees(shared, net, members, spec.seed);
+  std::vector<MulticastSend> sends;
+  for (uint64_t grp = 0; grp < groups; ++grp)
+    sends.push_back({grp, static_cast<NodeId>(grp), Val{0x900d + grp, 0}});
+  MulticastResult res = run_multicast(shared, net, setup.trees, sends,
+                                      /*ell_hat=*/1, spec.seed);
+  uint64_t missing = 0, delivered = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    bool got = false;
+    for (const AggPacket& p : res.received[u])
+      if (p.group == u % groups && p.val[0] == 0x900d + u % groups) got = true;
+    if (got) {
+      ++delivered;
+    } else {
+      ++missing;
+    }
+  }
+  ScenarioRunResult r = missing == 0
+                            ? verdict_ok()
+                            : degraded(std::to_string(missing) + " members missed payload");
+  r.counters = {{"setup_rounds", setup.rounds},
+                {"algo_rounds", res.rounds},
+                {"delivered", delivered}};
+  return r;
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, ScenarioRunFn>>& algorithm_registry() {
+  static const std::vector<std::pair<std::string, ScenarioRunFn>> reg = {
+      {"bfs", run_bfs_scenario},
+      {"mis", run_mis_scenario},
+      {"matching", run_matching_scenario},
+      {"coloring", run_coloring_scenario},
+      {"mst", run_mst_scenario},
+      {"components", run_components_scenario},
+      {"gossip", run_gossip_scenario},
+      {"broadcast", run_broadcast_scenario},
+      {"orientation", run_orientation_scenario},
+      {"aggregate", run_aggregate_scenario},
+      {"multicast", run_multicast_scenario},
+  };
+  return reg;
+}
+
+ScenarioRunFn find_algorithm(const std::string& name) {
+  for (const auto& [n, fn] : algorithm_registry())
+    if (n == name) return fn;
+  return nullptr;
+}
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& [n, fn] : algorithm_registry()) names.push_back(n);
+  return names;
+}
+
+}  // namespace ncc::scenario

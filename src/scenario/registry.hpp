@@ -1,0 +1,43 @@
+// Algorithm registry: maps scenario algorithm names to uniform run adapters
+// over the existing src/core and src/primitives entry points.
+//
+// Every adapter builds whatever shared state its algorithm needs (butterfly
+// context, orientation, broadcast trees), runs the algorithm through the
+// given Network (so an attached engine and installed fault hooks apply), and
+// verifies the output against the sequential baselines / predicate checkers
+// of src/baselines — the verdict is "ok" or a "degraded:<why>" description.
+// Under fault injection a degraded verdict is the *expected* honest result:
+// the paper's algorithms assume a reliable network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/network.hpp"
+#include "scenario/spec.hpp"
+
+namespace ncc::scenario {
+
+struct ScenarioRunResult {
+  bool ok = false;
+  std::string verdict;  // "ok" or "degraded:<why>"
+  /// Deterministic algorithm-specific outputs (all integral so the JSON is
+  /// byte-stable), e.g. phases, solution sizes, setup rounds.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+using ScenarioRunFn = ScenarioRunResult (*)(Network&, const Graph&,
+                                            const ScenarioSpec&);
+
+/// All registered algorithms, in registration (= documentation) order.
+const std::vector<std::pair<std::string, ScenarioRunFn>>& algorithm_registry();
+
+/// nullptr if `name` is not registered.
+ScenarioRunFn find_algorithm(const std::string& name);
+
+std::vector<std::string> algorithm_names();
+
+}  // namespace ncc::scenario

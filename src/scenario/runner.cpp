@@ -1,0 +1,125 @@
+#include "scenario/runner.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "engine/engine.hpp"
+#include "scenario/faults.hpp"
+#include "scenario/metrics.hpp"
+#include "scenario/registry.hpp"
+
+namespace ncc::scenario {
+
+namespace {
+
+void write_spec_fields(JsonWriter& w, const ScenarioSpec& spec) {
+  w.kv("scenario", spec.name);
+  w.kv("algorithm", spec.algorithm);
+  w.kv("graph", std::string(family_name(spec.family)));
+  w.kv("seed", spec.seed);
+  w.kv("capacity_factor", spec.capacity_factor);
+  w.key("faults");
+  w.begin_object();
+  w.kv("crash_batches", static_cast<uint64_t>(spec.faults.crash_rounds.size()));
+  w.kv("crash_count", spec.faults.crash_count);
+  w.kv("drop_rate", spec.faults.drop_rate);
+  w.kv("perturb_every", spec.faults.perturb_every);
+  w.end_object();
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
+  ScenarioOutcome out;
+  std::string error;
+
+  auto fail_early = [&](const std::string& why) {
+    out.verdict = "error:" + why;
+    JsonWriter w;
+    w.begin_object();
+    write_spec_fields(w, spec);
+    w.kv("verdict", out.verdict);
+    w.kv("ok", false);
+    w.end_object();
+    out.json = w.str();
+    return out;
+  };
+
+  ScenarioRunFn algo = find_algorithm(spec.algorithm);
+  if (!algo) return fail_early("unknown algorithm `" + spec.algorithm + "`");
+  auto graph = build_graph(spec, &error);
+  if (!graph) return fail_early(error);
+
+  NetConfig cfg;
+  cfg.n = graph->n();
+  cfg.capacity_factor = spec.capacity_factor;
+  cfg.seed = spec.seed;
+  // Under fault injection, over-budget sends are counted instead of aborting:
+  // a degraded algorithm reacting to losses is a scenario result, not a bug.
+  cfg.strict_send = !spec.faults.any();
+  Network net(cfg);
+  uint32_t threads = opts.threads_override ? opts.threads_override : spec.threads;
+  std::unique_ptr<Engine> engine =
+      threads > 1 ? std::make_unique<Engine>(net, EngineConfig{threads}) : nullptr;
+  FaultInjector faults(net, spec.faults, spec.seed, spec.round_limit);
+  MetricsCollector metrics(net, opts.max_series_rounds);
+
+  ScenarioRunResult result;
+  auto t0 = std::chrono::steady_clock::now();
+  try {
+    result = algo(net, *graph, spec);
+    out.verdict = result.verdict;
+    out.ok = result.ok;
+  } catch (const RoundLimitReached&) {
+    out.verdict = "round_limit";
+    out.ok = false;
+  } catch (const std::exception& e) {
+    out.verdict = std::string("error:") + e.what();
+    out.ok = false;
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  out.ran = true;
+  const NetStats& st = net.stats();
+  out.rounds = st.rounds;
+  out.messages = st.messages_sent;
+  out.fault_drops = st.fault_drops;
+  out.crashed = faults.crashed_count();
+
+  JsonWriter w;
+  w.begin_object();
+  write_spec_fields(w, spec);
+  w.kv("n", uint64_t{graph->n()});
+  w.kv("m", graph->m());
+  w.kv("cap", net.cap());
+  w.kv("verdict", out.verdict);
+  w.kv("ok", out.ok);
+  w.kv("rounds", st.rounds);
+  w.kv("charged_rounds", st.charged_rounds);
+  w.kv("total_rounds", st.total_rounds());
+  w.kv("messages", st.messages_sent);
+  w.kv("dropped", st.messages_dropped);
+  w.kv("fault_drops", st.fault_drops);
+  w.kv("crashed", out.crashed);
+  w.kv("max_send_load", st.max_send_load);
+  w.kv("max_recv_load", st.max_recv_load);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [k, v] : result.counters) w.kv(k, v);
+  w.end_object();
+  w.key("per_round");
+  metrics.write_json(w);
+  if (opts.timing) {
+    w.key("timing");
+    w.begin_object();
+    w.kv("wall_ms", out.wall_ms);
+    w.kv("threads", threads);
+    w.end_object();
+  }
+  w.end_object();
+  out.json = w.str();
+  return out;
+}
+
+}  // namespace ncc::scenario

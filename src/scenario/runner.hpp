@@ -1,0 +1,42 @@
+// One-scenario executor: materializes the spec's graph, wires up the network
+// (engine threads, fault injection, metrics), dispatches to the algorithm
+// registry, and renders the machine-readable result object.
+//
+// The emitted JSON is a pure function of (spec, seed) when `timing` is off:
+// the determinism acceptance check compares the bytes of threads=1 vs
+// threads=8 runs. With `timing` on, a trailing "timing" section adds
+// wall-clock and thread count (excluded from the determinism contract, since
+// wall time is inherently non-reproducible).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace ncc::scenario {
+
+struct RunOptions {
+  /// 0 = use spec.threads.
+  uint32_t threads_override = 0;
+  /// Emit the non-deterministic "timing" section (wall_ms, threads).
+  bool timing = true;
+  /// Cap on the per-round series length in the JSON.
+  size_t max_series_rounds = 512;
+};
+
+struct ScenarioOutcome {
+  bool ran = false;      // false = spec/graph/algorithm-level error
+  bool ok = false;       // correctness verdict
+  std::string verdict;   // ok | degraded:<why> | round_limit | error:<why>
+  uint64_t rounds = 0;   // simulated rounds
+  uint64_t messages = 0;
+  uint64_t fault_drops = 0;
+  uint32_t crashed = 0;
+  double wall_ms = 0.0;
+  std::string json;  // one JSON object describing the run
+};
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts = {});
+
+}  // namespace ncc::scenario

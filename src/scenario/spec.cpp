@@ -1,0 +1,382 @@
+#include "scenario/spec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace ncc::scenario {
+
+namespace {
+
+const struct {
+  GraphFamily family;
+  const char* name;
+} kFamilies[] = {
+    {GraphFamily::kPath, "path"},
+    {GraphFamily::kCycle, "cycle"},
+    {GraphFamily::kStar, "star"},
+    {GraphFamily::kClique, "clique"},
+    {GraphFamily::kGrid, "grid"},
+    {GraphFamily::kHypercube, "hypercube"},
+    {GraphFamily::kTree, "tree"},
+    {GraphFamily::kForestUnion, "forest_union"},
+    {GraphFamily::kGnm, "gnm"},
+    {GraphFamily::kGnp, "gnp"},
+    {GraphFamily::kPowerLaw, "powerlaw"},
+    {GraphFamily::kBarabasiAlbert, "barabasi_albert"},
+};
+
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool parse_u64(const std::string& v, uint64_t* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size()) return false;
+  if (!v.empty() && (v[0] == '-' || v[0] == '+')) return false;
+  *out = x;
+  return true;
+}
+
+bool parse_u32(const std::string& v, uint32_t* out) {
+  uint64_t x;
+  if (!parse_u64(v, &x) || x > UINT32_MAX) return false;
+  *out = static_cast<uint32_t>(x);
+  return true;
+}
+
+bool parse_double(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double x = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end != v.c_str() + v.size()) return false;
+  *out = x;
+  return true;
+}
+
+bool parse_bool(const std::string& v, bool* out) {
+  if (v == "true" || v == "1") return *out = true, true;
+  if (v == "false" || v == "0") return *out = false, true;
+  return false;
+}
+
+bool parse_u64_list(const std::string& v, std::vector<uint64_t>* out) {
+  out->clear();
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    uint64_t x;
+    if (!parse_u64(trim(item), &x)) return false;
+    out->push_back(x);
+  }
+  return !out->empty();
+}
+
+std::string fmt_double(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+}  // namespace
+
+const char* family_name(GraphFamily f) {
+  for (const auto& e : kFamilies)
+    if (e.family == f) return e.name;
+  return "?";
+}
+
+std::optional<GraphFamily> family_from_name(const std::string& name) {
+  for (const auto& e : kFamilies)
+    if (name == e.name) return e.family;
+  return std::nullopt;
+}
+
+std::string ScenarioSpec::to_string() const {
+  std::ostringstream os;
+  os << "name = " << name << "\n";
+  os << "graph = " << family_name(family) << "\n";
+  os << "n = " << n << "\n";
+  switch (family) {
+    case GraphFamily::kGnm:
+      os << "m = " << m << "\n";
+      break;
+    case GraphFamily::kGnp:
+      os << "p = " << fmt_double(p) << "\n";
+      break;
+    case GraphFamily::kForestUnion:
+      os << "a = " << a << "\n";
+      break;
+    case GraphFamily::kBarabasiAlbert:
+      os << "k = " << k << "\n";
+      break;
+    case GraphFamily::kPowerLaw:
+      os << "beta = " << fmt_double(beta) << "\n";
+      os << "max_deg = " << max_deg << "\n";
+      break;
+    case GraphFamily::kGrid:
+      os << "rows = " << rows << "\n";
+      os << "cols = " << cols << "\n";
+      break;
+    case GraphFamily::kHypercube:
+      os << "dim = " << dim << "\n";
+      break;
+    default:
+      break;
+  }
+  if (connect) os << "connect = true\n";
+  if (weights != WeightMode::kUnit) {
+    os << "weights = " << (weights == WeightMode::kRandom ? "random" : "distinct")
+       << "\n";
+    if (weights == WeightMode::kRandom) os << "w_max = " << w_max << "\n";
+  }
+  os << "algorithm = " << algorithm << "\n";
+  os << "seed = " << seed << "\n";
+  os << "capacity_factor = " << capacity_factor << "\n";
+  os << "threads = " << threads << "\n";
+  if (round_limit) os << "round_limit = " << round_limit << "\n";
+  if (!faults.crash_rounds.empty()) {
+    os << "crash_rounds = ";
+    for (size_t i = 0; i < faults.crash_rounds.size(); ++i)
+      os << (i ? "," : "") << faults.crash_rounds[i];
+    os << "\n";
+    os << "crash_count = " << faults.crash_count << "\n";
+  }
+  if (faults.drop_rate > 0.0) os << "drop_rate = " << fmt_double(faults.drop_rate) << "\n";
+  if (faults.perturb_every) {
+    os << "perturb_every = " << faults.perturb_every << "\n";
+    os << "perturb_for = " << faults.perturb_for << "\n";
+    os << "perturb_factor = " << faults.perturb_factor << "\n";
+  }
+  return os.str();
+}
+
+std::optional<ScenarioSpec> parse_spec(const std::string& text, std::string* error) {
+  ScenarioSpec spec;
+  bool have_graph = false, have_algorithm = false, have_n = false;
+  auto fail = [&](int line, const std::string& why) {
+    if (error) *error = "line " + std::to_string(line) + ": " + why;
+    return std::nullopt;
+  };
+
+  std::stringstream ss(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(ss, raw)) {
+    ++lineno;
+    std::string line = raw;
+    if (size_t h = line.find('#'); h != std::string::npos) line.resize(h);
+    line = trim(line);
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail(lineno, "expected `key = value`: " + raw);
+    std::string key = trim(line.substr(0, eq));
+    std::string val = trim(line.substr(eq + 1));
+    if (key.empty() || val.empty())
+      return fail(lineno, "empty key or value: " + raw);
+
+    bool ok = true;
+    if (key == "name") {
+      spec.name = val;
+    } else if (key == "graph") {
+      auto f = family_from_name(val);
+      if (!f) return fail(lineno, "unknown graph family `" + val + "`");
+      spec.family = *f;
+      have_graph = true;
+    } else if (key == "n") {
+      ok = parse_u32(val, &spec.n);
+      have_n = ok;
+    } else if (key == "m") {
+      ok = parse_u64(val, &spec.m);
+    } else if (key == "p") {
+      ok = parse_double(val, &spec.p) && spec.p >= 0.0 && spec.p <= 1.0;
+    } else if (key == "a") {
+      ok = parse_u32(val, &spec.a) && spec.a >= 1;
+    } else if (key == "k") {
+      ok = parse_u32(val, &spec.k) && spec.k >= 1;
+    } else if (key == "beta") {
+      ok = parse_double(val, &spec.beta) && spec.beta > 0.0;
+    } else if (key == "max_deg") {
+      ok = parse_u32(val, &spec.max_deg) && spec.max_deg >= 1;
+    } else if (key == "rows") {
+      ok = parse_u32(val, &spec.rows) && spec.rows >= 1;
+    } else if (key == "cols") {
+      ok = parse_u32(val, &spec.cols) && spec.cols >= 1;
+    } else if (key == "dim") {
+      ok = parse_u32(val, &spec.dim) && spec.dim >= 1 && spec.dim < 31;
+    } else if (key == "connect") {
+      ok = parse_bool(val, &spec.connect);
+    } else if (key == "weights") {
+      if (val == "unit") {
+        spec.weights = WeightMode::kUnit;
+      } else if (val == "random") {
+        spec.weights = WeightMode::kRandom;
+      } else if (val == "distinct") {
+        spec.weights = WeightMode::kDistinct;
+      } else {
+        return fail(lineno, "weights must be unit|random|distinct, got `" + val + "`");
+      }
+    } else if (key == "w_max") {
+      ok = parse_u64(val, &spec.w_max) && spec.w_max >= 1;
+    } else if (key == "algorithm") {
+      spec.algorithm = val;
+      have_algorithm = true;
+    } else if (key == "seed") {
+      ok = parse_u64(val, &spec.seed);
+    } else if (key == "capacity_factor") {
+      ok = parse_u32(val, &spec.capacity_factor) && spec.capacity_factor >= 1;
+    } else if (key == "threads") {
+      ok = parse_u32(val, &spec.threads);
+    } else if (key == "round_limit") {
+      ok = parse_u64(val, &spec.round_limit);
+    } else if (key == "crash_rounds") {
+      ok = parse_u64_list(val, &spec.faults.crash_rounds);
+    } else if (key == "crash_count") {
+      ok = parse_u32(val, &spec.faults.crash_count) && spec.faults.crash_count >= 1;
+    } else if (key == "drop_rate") {
+      ok = parse_double(val, &spec.faults.drop_rate) && spec.faults.drop_rate >= 0.0 &&
+           spec.faults.drop_rate < 1.0;
+    } else if (key == "perturb_every") {
+      ok = parse_u64(val, &spec.faults.perturb_every);
+    } else if (key == "perturb_for") {
+      ok = parse_u64(val, &spec.faults.perturb_for) && spec.faults.perturb_for >= 1;
+    } else if (key == "perturb_factor") {
+      ok = parse_u32(val, &spec.faults.perturb_factor) && spec.faults.perturb_factor >= 2;
+    } else {
+      return fail(lineno, "unknown key `" + key + "`");
+    }
+    if (!ok) return fail(lineno, "malformed value for `" + key + "`: " + val);
+  }
+
+  // Cross-field validation.
+  if (!have_graph) return fail(lineno, "missing required key `graph`");
+  if (!have_algorithm) return fail(lineno, "missing required key `algorithm`");
+  if (spec.family == GraphFamily::kGrid) {
+    if (!spec.rows || !spec.cols)
+      return fail(lineno, "grid requires `rows` and `cols`");
+    uint64_t rc = static_cast<uint64_t>(spec.rows) * spec.cols;
+    if (rc > UINT32_MAX) return fail(lineno, "grid: rows*cols overflows the node id space");
+    if (have_n && spec.n != rc)
+      return fail(lineno, "grid: n contradicts rows*cols");
+    spec.n = static_cast<NodeId>(rc);
+  } else if (spec.family == GraphFamily::kHypercube) {
+    if (!spec.dim) return fail(lineno, "hypercube requires `dim`");
+    NodeId hn = NodeId{1} << spec.dim;
+    if (have_n && spec.n != hn) return fail(lineno, "hypercube: n contradicts 2^dim");
+    spec.n = hn;
+  } else if (!have_n) {
+    return fail(lineno, "missing required key `n`");
+  }
+  if (spec.n < 2) return fail(lineno, "n must be >= 2");
+  if (spec.family == GraphFamily::kGnm && spec.m == 0)
+    return fail(lineno, "gnm requires `m`");
+  if (spec.family == GraphFamily::kGnp && spec.p == 0.0)
+    return fail(lineno, "gnp requires `p` > 0");
+  if (spec.faults.perturb_every &&
+      spec.faults.perturb_for >= spec.faults.perturb_every)
+    return fail(lineno, "perturb_for must be < perturb_every");
+  if (spec.faults.any() && spec.round_limit == 0)
+    return fail(lineno,
+                "fault injection requires a `round_limit` (lost protocol "
+                "tokens can jam termination detection forever)");
+  return spec;
+}
+
+std::optional<ScenarioSpec> parse_spec_file(const std::string& path, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string text = buf.str();
+  auto spec = parse_spec(text, error);
+  if (spec && spec->name == "scenario") {
+    // No explicit name: default to the file stem.
+    size_t slash = path.find_last_of('/');
+    std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+    if (size_t dot = stem.find_last_of('.'); dot != std::string::npos) stem.resize(dot);
+    spec->name = stem;
+  }
+  if (!spec && error) *error = path + ": " + *error;
+  return spec;
+}
+
+std::optional<Graph> build_graph(const ScenarioSpec& spec, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = "graph build failed: " + why;
+    return std::nullopt;
+  };
+  Rng rng(mix64(spec.seed ^ 0x7363656e5f677261ULL));  // "scen_gra"
+  Graph g;
+  switch (spec.family) {
+    case GraphFamily::kPath:
+      g = path_graph(spec.n);
+      break;
+    case GraphFamily::kCycle:
+      if (spec.n < 3) return fail("cycle needs n >= 3");
+      g = cycle_graph(spec.n);
+      break;
+    case GraphFamily::kStar:
+      g = star_graph(spec.n);
+      break;
+    case GraphFamily::kClique:
+      g = complete_graph(spec.n);
+      break;
+    case GraphFamily::kGrid:
+      g = grid_graph(spec.rows, spec.cols);
+      break;
+    case GraphFamily::kHypercube:
+      g = hypercube_graph(spec.dim);
+      break;
+    case GraphFamily::kTree:
+      g = random_tree(spec.n, rng);
+      break;
+    case GraphFamily::kForestUnion:
+      g = random_forest_union(spec.n, spec.a, rng);
+      break;
+    case GraphFamily::kGnm: {
+      uint64_t max_m = static_cast<uint64_t>(spec.n) * (spec.n - 1) / 2;
+      if (spec.m > max_m) return fail("gnm: m exceeds n*(n-1)/2");
+      g = gnm_graph(spec.n, spec.m, rng);
+      break;
+    }
+    case GraphFamily::kGnp:
+      g = gnp_graph(spec.n, spec.p, rng);
+      break;
+    case GraphFamily::kPowerLaw:
+      g = power_law_graph(spec.n, spec.beta, spec.max_deg, rng);
+      break;
+    case GraphFamily::kBarabasiAlbert:
+      if (spec.k >= spec.n) return fail("barabasi_albert needs k < n");
+      g = barabasi_albert_graph(spec.n, spec.k, rng);
+      break;
+  }
+  if (spec.connect) g = connectify(g, rng);
+  switch (spec.weights) {
+    case WeightMode::kUnit:
+      break;
+    case WeightMode::kRandom:
+      g = with_random_weights(g, spec.w_max, rng);
+      break;
+    case WeightMode::kDistinct:
+      g = with_distinct_weights(g, rng);
+      break;
+  }
+  return g;
+}
+
+}  // namespace ncc::scenario

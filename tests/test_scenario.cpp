@@ -1,0 +1,268 @@
+// Scenario subsystem tests: spec parse round-trip and strict rejection of
+// malformed specs, registry coverage, and the determinism contract extended
+// through fault injection — the same spec + seed must produce bit-identical
+// machine-readable output at threads=1 and threads=8, crashes and all.
+#include <gtest/gtest.h>
+
+#include "scenario/faults.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+using namespace ncc;
+using namespace ncc::scenario;
+
+namespace {
+
+ScenarioSpec parse_ok(const std::string& text) {
+  std::string error;
+  auto spec = parse_spec(text, &error);
+  EXPECT_TRUE(spec.has_value()) << error;
+  return spec.value_or(ScenarioSpec{});
+}
+
+void expect_reject(const std::string& text, const std::string& why_contains) {
+  std::string error;
+  auto spec = parse_spec(text, &error);
+  EXPECT_FALSE(spec.has_value()) << "accepted:\n" << text;
+  EXPECT_NE(error.find(why_contains), std::string::npos)
+      << "error `" << error << "` does not mention `" << why_contains << "`";
+}
+
+}  // namespace
+
+TEST(ScenarioSpec, ParsesFullSpec) {
+  ScenarioSpec s = parse_ok(
+      "# a comment\n"
+      "name = crash_test\n"
+      "graph = gnm\n"
+      "n = 128\n"
+      "m = 512   # trailing comment\n"
+      "connect = true\n"
+      "weights = distinct\n"
+      "algorithm = mst\n"
+      "seed = 42\n"
+      "capacity_factor = 6\n"
+      "threads = 4\n"
+      "round_limit = 500\n"
+      "crash_rounds = 10,25\n"
+      "crash_count = 2\n"
+      "drop_rate = 0.01\n"
+      "perturb_every = 16\n"
+      "perturb_for = 4\n"
+      "perturb_factor = 2\n");
+  EXPECT_EQ(s.name, "crash_test");
+  EXPECT_EQ(s.family, GraphFamily::kGnm);
+  EXPECT_EQ(s.n, 128u);
+  EXPECT_EQ(s.m, 512u);
+  EXPECT_TRUE(s.connect);
+  EXPECT_EQ(s.weights, WeightMode::kDistinct);
+  EXPECT_EQ(s.algorithm, "mst");
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_EQ(s.capacity_factor, 6u);
+  EXPECT_EQ(s.threads, 4u);
+  EXPECT_EQ(s.round_limit, 500u);
+  ASSERT_EQ(s.faults.crash_rounds.size(), 2u);
+  EXPECT_EQ(s.faults.crash_rounds[1], 25u);
+  EXPECT_EQ(s.faults.crash_count, 2u);
+  EXPECT_DOUBLE_EQ(s.faults.drop_rate, 0.01);
+  EXPECT_EQ(s.faults.perturb_every, 16u);
+  EXPECT_TRUE(s.faults.any());
+}
+
+TEST(ScenarioSpec, RoundTripsExactly) {
+  const char* texts[] = {
+      "graph = clique\nn = 64\nalgorithm = bfs\n",
+      "graph = grid\nrows = 6\ncols = 9\nalgorithm = mis\nseed = 7\n",
+      "graph = powerlaw\nn = 100\nbeta = 2.25\nmax_deg = 16\nalgorithm = "
+      "coloring\n",
+      "graph = gnm\nn = 90\nm = 300\nweights = random\nw_max = 99\nalgorithm = "
+      "mst\nround_limit = 400\ndrop_rate = 0.125\n",
+      "graph = forest_union\nn = 80\na = 3\nalgorithm = matching\nround_limit = "
+      "200\ncrash_rounds = 5,9\ncrash_count = 4\nperturb_every = 8\nperturb_for "
+      "= 2\nperturb_factor = 3\n",
+  };
+  for (const char* text : texts) {
+    ScenarioSpec a = parse_ok(text);
+    ScenarioSpec b = parse_ok(a.to_string());
+    EXPECT_EQ(a.to_string(), b.to_string()) << text;
+  }
+}
+
+TEST(ScenarioSpec, RejectsMalformedSpecs) {
+  expect_reject("graph = clique\nn = 64\n", "algorithm");
+  expect_reject("n = 64\nalgorithm = bfs\n", "graph");
+  expect_reject("graph = clique\nalgorithm = bfs\n", "n");
+  expect_reject("graph = klein_bottle\nn = 8\nalgorithm = bfs\n", "graph family");
+  expect_reject("graph = clique\nn = 64\nalgorithm = bfs\nbogus_key = 1\n",
+                "unknown key");
+  expect_reject("graph = clique\nn = sixty\nalgorithm = bfs\n", "malformed");
+  expect_reject("graph = clique\nn = 64\nalgorithm = bfs\nseed\n", "key = value");
+  expect_reject("graph = clique\nn = 64\nalgorithm = bfs\ndrop_rate = 1.5\n",
+                "malformed");
+  expect_reject("graph = clique\nn = 1\nalgorithm = bfs\n", "n must be");
+  expect_reject("graph = gnm\nn = 64\nalgorithm = bfs\n", "requires `m`");
+  expect_reject("graph = grid\nrows = 4\nalgorithm = bfs\n", "rows");
+  expect_reject("graph = grid\nrows = 4\ncols = 4\nn = 99\nalgorithm = bfs\n",
+                "contradicts");
+  // Faults without a round limit would let a jammed protocol spin forever.
+  expect_reject("graph = clique\nn = 64\nalgorithm = bfs\ndrop_rate = 0.1\n",
+                "round_limit");
+  expect_reject(
+      "graph = clique\nn = 64\nalgorithm = bfs\nround_limit = 100\n"
+      "perturb_every = 4\nperturb_for = 4\n",
+      "perturb_for");
+}
+
+TEST(ScenarioSpec, BuildsEveryFamily) {
+  struct Case {
+    const char* text;
+    NodeId n;
+  } cases[] = {
+      {"graph = path\nn = 10\nalgorithm = bfs\n", 10},
+      {"graph = cycle\nn = 12\nalgorithm = bfs\n", 12},
+      {"graph = star\nn = 9\nalgorithm = bfs\n", 9},
+      {"graph = clique\nn = 8\nalgorithm = bfs\n", 8},
+      {"graph = grid\nrows = 3\ncols = 5\nalgorithm = bfs\n", 15},
+      {"graph = hypercube\ndim = 4\nalgorithm = bfs\n", 16},
+      {"graph = tree\nn = 20\nalgorithm = bfs\n", 20},
+      {"graph = forest_union\nn = 24\na = 2\nalgorithm = bfs\n", 24},
+      {"graph = gnm\nn = 16\nm = 30\nalgorithm = bfs\n", 16},
+      {"graph = gnp\nn = 16\np = 0.3\nalgorithm = bfs\n", 16},
+      {"graph = powerlaw\nn = 32\nalgorithm = bfs\n", 32},
+      {"graph = barabasi_albert\nn = 32\nk = 2\nalgorithm = bfs\n", 32},
+  };
+  for (const Case& c : cases) {
+    ScenarioSpec spec = parse_ok(c.text);
+    std::string error;
+    auto g = build_graph(spec, &error);
+    ASSERT_TRUE(g.has_value()) << c.text << error;
+    EXPECT_EQ(g->n(), c.n) << c.text;
+  }
+}
+
+TEST(ScenarioRegistry, KnowsTheCatalogAlgorithms) {
+  EXPECT_GE(algorithm_names().size(), 10u);
+  for (const char* name : {"bfs", "mis", "mst", "coloring", "matching",
+                           "components", "gossip", "broadcast", "orientation",
+                           "aggregate", "multicast"})
+    EXPECT_NE(find_algorithm(name), nullptr) << name;
+  EXPECT_EQ(find_algorithm("quantum_sort"), nullptr);
+}
+
+TEST(ScenarioRunner, CleanRunIsOk) {
+  ScenarioSpec spec = parse_ok("graph = clique\nn = 48\nalgorithm = mis\nseed = 5\n");
+  RunOptions opts;
+  opts.timing = false;
+  ScenarioOutcome out = run_scenario(spec, opts);
+  EXPECT_TRUE(out.ran);
+  EXPECT_TRUE(out.ok) << out.verdict;
+  EXPECT_EQ(out.verdict, "ok");
+  EXPECT_EQ(out.fault_drops, 0u);
+  EXPECT_EQ(out.crashed, 0u);
+  EXPECT_GT(out.rounds, 0u);
+}
+
+TEST(ScenarioRunner, UnknownAlgorithmIsAnError) {
+  ScenarioSpec spec = parse_ok("graph = clique\nn = 16\nalgorithm = bfs\n");
+  spec.algorithm = "quantum_sort";
+  ScenarioOutcome out = run_scenario(spec, {});
+  EXPECT_FALSE(out.ran);
+  EXPECT_NE(out.verdict.find("error:"), std::string::npos);
+  EXPECT_NE(out.json.find("\"ok\": false"), std::string::npos);
+}
+
+TEST(ScenarioRunner, CrashFaultsFire) {
+  ScenarioSpec spec = parse_ok(
+      "graph = clique\nn = 48\nalgorithm = gossip\nseed = 3\n"
+      "round_limit = 100\ncrash_rounds = 0\ncrash_count = 5\n");
+  RunOptions opts;
+  opts.timing = false;
+  ScenarioOutcome out = run_scenario(spec, opts);
+  EXPECT_TRUE(out.ran);
+  EXPECT_EQ(out.crashed, 5u);
+  EXPECT_GT(out.fault_drops, 0u);  // crashed nodes' traffic is lost
+  EXPECT_FALSE(out.ok);            // gossip cannot complete without them
+}
+
+TEST(ScenarioRunner, RoundLimitAborts) {
+  // 60% loss jams the butterfly's token-based termination; the injector must
+  // convert the would-be livelock into a round_limit verdict.
+  ScenarioSpec spec = parse_ok(
+      "graph = clique\nn = 32\nalgorithm = aggregate\nseed = 2\n"
+      "round_limit = 50\ndrop_rate = 0.6\n");
+  RunOptions opts;
+  opts.timing = false;
+  ScenarioOutcome out = run_scenario(spec, opts);
+  EXPECT_TRUE(out.ran);
+  EXPECT_EQ(out.verdict, "round_limit");
+  EXPECT_EQ(out.rounds, 50u);
+}
+
+TEST(ScenarioRunner, PerturbationCausesCapacityDrops) {
+  // Gossip saturates the receive capacity exactly; halving it every round
+  // must produce capacity drops (not fault drops — perturbation shrinks the
+  // reservoir, the reservoir does the dropping).
+  ScenarioSpec spec = parse_ok(
+      "graph = clique\nn = 64\nalgorithm = gossip\nseed = 4\nround_limit = 60\n"
+      "perturb_every = 2\nperturb_for = 1\nperturb_factor = 2\n");
+  RunOptions opts;
+  opts.timing = false;
+  ScenarioOutcome out = run_scenario(spec, opts);
+  EXPECT_TRUE(out.ran);
+  EXPECT_EQ(out.json.find("\"dropped\": 0,"), std::string::npos)
+      << "expected nonzero capacity drops: " << out.json;
+  EXPECT_FALSE(out.ok);
+}
+
+// The determinism acceptance check: same spec + seed => byte-identical JSON
+// at threads=1 and threads=8, including under every fault model at once.
+TEST(ScenarioRunner, FaultInjectionIsThreadCountInvariant) {
+  const char* specs[] = {
+      // all three fault models at once
+      "graph = gnm\nn = 96\nm = 400\nalgorithm = mis\nseed = 11\n"
+      "round_limit = 300\ncrash_rounds = 8,20\ncrash_count = 3\n"
+      "drop_rate = 0.03\nperturb_every = 10\nperturb_for = 2\nperturb_factor = 2\n",
+      // crash-only, different algorithm
+      "graph = forest_union\nn = 96\na = 3\nalgorithm = matching\nseed = 12\n"
+      "round_limit = 300\ncrash_rounds = 15\ncrash_count = 4\n",
+      // fault-free control
+      "graph = clique\nn = 64\nalgorithm = bfs\nseed = 13\n",
+  };
+  for (const char* text : specs) {
+    ScenarioSpec spec = parse_ok(text);
+    RunOptions t1, t8;
+    t1.timing = t8.timing = false;
+    t1.threads_override = 1;
+    t8.threads_override = 8;
+    ScenarioOutcome a = run_scenario(spec, t1);
+    ScenarioOutcome b = run_scenario(spec, t8);
+    EXPECT_EQ(a.json, b.json) << text;
+    // And re-running is reproducible outright.
+    ScenarioOutcome c = run_scenario(spec, t1);
+    EXPECT_EQ(a.json, c.json) << text;
+  }
+}
+
+TEST(ScenarioFaults, DropDecisionsAreSeedDeterministic) {
+  FaultModel model;
+  model.drop_rate = 0.5;
+  auto run = [&](uint64_t seed) {
+    NetConfig cfg;
+    cfg.n = 64;
+    cfg.seed = seed;
+    Network net(cfg);
+    FaultInjector inj(net, model, seed, 1000);
+    for (int round = 0; round < 5; ++round) {
+      for (NodeId u = 0; u < 64; ++u)
+        net.send(u, (u + 1) % 64, 1, {u});
+      net.end_round();
+    }
+    return net.stats().fault_drops;
+  };
+  uint64_t a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 50u);   // ~160 of 320 at rate 0.5
+  EXPECT_LT(a, 270u);
+  EXPECT_NE(a, c);  // different seed, different subset (overwhelmingly likely)
+}

@@ -1,0 +1,139 @@
+// ncc_run — the scenario driver: executes declarative workload specs from
+// scenarios/ (or any paths given) and emits machine-readable results.
+//
+//   ncc_run [options] spec.scn [spec2.scn ...]
+//   ncc_run --dir scenarios            # run every *.scn in a directory
+//
+// Options:
+//   --dir DIR        run all *.scn files under DIR (sorted by name)
+//   --threads T      override every spec's engine thread count
+//   --json PATH      write results as a JSON array (default BENCH_scenarios.json)
+//   --no-timing      omit the wall-clock section — output is then a pure
+//                    function of (spec, seed), byte-identical across thread
+//                    counts (the determinism contract extends through faults)
+//   --list           print the registered algorithms and exit
+//
+// Exit status: 0 when every spec parsed and executed (degraded verdicts under
+// fault injection are results, not failures); 1 on parse/config errors.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+using namespace ncc;
+using namespace ncc::scenario;
+
+namespace {
+
+/// Strict decimal parse for CLI values; config errors must exit 1 with a
+/// message, never terminate on an exception or wrap a negative around.
+bool parse_cli_u32(const std::string& v, uint32_t* out) {
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  try {
+    unsigned long x = std::stoul(v);
+    if (x > UINT32_MAX) return false;
+    *out = static_cast<uint32_t>(x);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  RunOptions opts;
+  std::string json_path = "BENCH_scenarios.json";
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      std::string dir = argv[++i];
+      std::error_code ec;
+      for (const auto& e : std::filesystem::directory_iterator(dir, ec))
+        if (e.path().extension() == ".scn") paths.push_back(e.path().string());
+      if (ec) {
+        std::fprintf(stderr, "ncc_run: cannot read directory %s\n", dir.c_str());
+        return 1;
+      }
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!parse_cli_u32(argv[++i], &opts.threads_override) ||
+          opts.threads_override == 0 || opts.threads_override > 1024) {
+        std::fprintf(stderr, "ncc_run: --threads wants an integer in [1, 1024], got %s\n",
+                     argv[i]);
+        return 1;
+      }
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--no-timing") {
+      opts.timing = false;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ncc_run: unknown option %s\n", arg.c_str());
+      return 1;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list) {
+    std::printf("registered algorithms:\n");
+    for (const std::string& name : algorithm_names())
+      std::printf("  %s\n", name.c_str());
+    return 0;
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: ncc_run [--dir DIR] [--threads T] [--json PATH] "
+                 "[--no-timing] [--list] [spec.scn ...]\n");
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+
+  Table t({"scenario", "algorithm", "graph", "n", "verdict", "rounds", "messages",
+           "fault drops", "crashed", "wall ms"});
+  std::vector<std::string> rows;
+  int failures = 0;
+  for (const std::string& path : paths) {
+    std::string error;
+    auto spec = parse_spec_file(path, &error);
+    if (!spec) {
+      std::fprintf(stderr, "ncc_run: %s\n", error.c_str());
+      ++failures;
+      continue;
+    }
+    ScenarioOutcome out = run_scenario(*spec, opts);
+    if (!out.ran) ++failures;
+    rows.push_back(out.json);
+    t.add_row({spec->name, spec->algorithm, family_name(spec->family),
+               Table::num(uint64_t{spec->n}), out.verdict, Table::num(out.rounds),
+               Table::num(out.messages), Table::num(out.fault_drops),
+               Table::num(uint64_t{out.crashed}), Table::num(out.wall_ms, 1)});
+  }
+  t.print("== scenario results ==");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "ncc_run: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows.size(); ++i)
+      std::fprintf(f, "  %s%s\n", rows[i].c_str(), i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("json: %zu scenarios -> %s\n", rows.size(), json_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
