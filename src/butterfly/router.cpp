@@ -138,7 +138,17 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
     congestion.visit(idx, group);
     group_meta(group);
     if (level == d) {
-      NCC_ASSERT(group_meta(group).first == col);
+      // A reliable network never misroutes (the destination-driven descent
+      // ends at the group's root column), so there a mismatch is still a hard
+      // routing-invariant violation; under byzantine corruption a rewritten
+      // group id can land a packet at a foreign root on its last hop — then
+      // it is network behaviour: count it and drop, don't abort.
+      if (group_meta(group).first != col) {
+        NCC_ASSERT_MSG(net.corruption_possible(),
+                       "packet misrouted on a reliable network");
+        ++result.stats.misrouted;
+        return;
+      }
       auto [it, fresh] = result.root_values.emplace(group, v);
       if (!fresh) {
         it->second = combine(it->second, v);
@@ -387,10 +397,24 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
       return;
     }
     auto it = trees.children[idx].find(group);
-    NCC_ASSERT_MSG(it != trees.children[idx].end() && it->second != 0,
-                   "multicast packet strayed off its recorded tree");
-    bool fresh = serving[idx].emplace(group, Serving{v, it->second}).second;
-    NCC_ASSERT_MSG(fresh, "duplicate multicast arrival for a group");
+    if (it == trees.children[idx].end() || it->second == 0) {
+      // Off-tree arrival: on a reliable network packets only follow recorded
+      // tree edges, so this stays a hard invariant there; byzantine
+      // corruption can rewrite a packet's group id in flight — then it is
+      // network behaviour: count it and drop, don't abort.
+      NCC_ASSERT_MSG(net.corruption_possible(),
+                     "multicast packet strayed off its recorded tree");
+      ++result.stats.misrouted;
+      return;
+    }
+    if (!serving[idx].emplace(group, Serving{v, it->second}).second) {
+      // Duplicate arrival for a group already being served at this node:
+      // same story — only a corrupted group id can collide like this.
+      NCC_ASSERT_MSG(net.corruption_possible(),
+                     "duplicate multicast arrival on a reliable network");
+      ++result.stats.misrouted;
+      return;
+    }
     edges_remaining += std::popcount(static_cast<unsigned>(it->second));
     active.add(idx);
   };

@@ -80,6 +80,12 @@ struct RouteStats {
   /// invariant); nonzero only under scenario fault injection, where the
   /// membership packets of a group can all be lost.
   uint64_t lost_groups = 0;
+  /// Packets dropped because they arrived somewhere their group does not
+  /// belong: a level-d deposit at the wrong root column (down phase) or an
+  /// arrival off the group's recorded tree (up phase). Impossible on a
+  /// reliable network; nonzero only under byzantine payload corruption, which
+  /// can rewrite a packet's group id in flight.
+  uint64_t misrouted = 0;
 };
 
 struct DownResult {

@@ -72,32 +72,42 @@ GossipResult run_gossip(Network& net) {
 BroadcastResult run_broadcast(Network& net) {
   const NodeId n = net.n();
   const uint32_t cap = net.cap();
+  // The broadcast payload: a fixed magic well above any node id, so a
+  // corrupted copy is a bit-flipped 64-bit value that never collides with it.
+  constexpr uint64_t kPayload = 0xb40adca57'0000b07ULL;
   BroadcastResult res;
   std::vector<bool> informed(n, false);
+  std::vector<uint64_t> token(n, 0);
   informed[0] = true;
+  token[0] = kPayload;
   NodeId informed_cnt = 1;
   while (informed_cnt < n) {
     // Each informed node adopts `cap` uninformed successors, carved out of
     // the id space deterministically (informed nodes are always a prefix of
-    // the doubling schedule, so ranks are locally computable).
+    // the doubling schedule, so ranks are locally computable). Nodes forward
+    // the token they received, not a constant, so in-flight corruption
+    // propagates down the fan-out tree like a real rumor would.
     std::vector<NodeId> informed_ids, uninformed_ids;
     for (NodeId u = 0; u < n; ++u)
       (informed[u] ? informed_ids : uninformed_ids).push_back(u);
     size_t next = 0;
     for (NodeId u : informed_ids) {
       for (uint32_t j = 0; j < cap && next < uninformed_ids.size(); ++j, ++next)
-        net.send(u, uninformed_ids[next], kTagToken, {0});
+        net.send(u, uninformed_ids[next], kTagToken, {token[u]});
     }
     net.end_round();
     ++res.rounds;
     for (NodeId u = 0; u < n; ++u) {
       if (!informed[u] && !net.inbox(u).empty()) {
         informed[u] = true;
+        token[u] = net.inbox(u).front().word(0);
         ++informed_cnt;
       }
     }
   }
   res.complete = true;
+  for (NodeId u = 0; u < n; ++u)
+    if (informed[u] && token[u] != kPayload) ++res.corrupted_tokens;
   return res;
 }
 

@@ -23,6 +23,10 @@ GossipResult run_gossip(Network& net);
 struct BroadcastResult {
   uint64_t rounds = 0;
   bool complete = false;
+  /// Nodes that were informed but hold a token != node 0's original (each
+  /// node forwards the token it *received*, so byzantine payload corruption
+  /// propagates through the fan-out tree and is detectable here).
+  uint64_t corrupted_tokens = 0;
 };
 
 /// Node 0's token to everyone with (cap+1)-ary fan-out per round.

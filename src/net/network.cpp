@@ -42,15 +42,17 @@ void Network::end_round() {
   // Fault injection runs before delivery is sharded: the pending order is
   // thread-count independent, so decisions keyed on (round, index) are too.
   if (faults_.begin_round) faults_.begin_round(stats_.rounds);
-  if (faults_.drop && !pending_.empty()) {
+  if ((faults_.drop || faults_.corrupt) && !pending_.empty()) {
     uint64_t kept = 0;
     for (uint64_t i = 0; i < pending_.size(); ++i) {
-      if (faults_.drop(pending_[i], stats_.rounds, i)) {
+      if (faults_.drop && faults_.drop(pending_[i], stats_.rounds, i)) {
         ++stats_.fault_drops;
-      } else {
-        if (kept != i) pending_[kept] = pending_[i];
-        ++kept;
+        continue;
       }
+      if (faults_.corrupt && faults_.corrupt(pending_[i], stats_.rounds, i))
+        ++stats_.corrupted;
+      if (kept != i) pending_[kept] = pending_[i];
+      ++kept;
     }
     pending_.resize(kept);
   }

@@ -47,6 +47,7 @@ struct NetStats {
   uint64_t messages_sent = 0;
   uint64_t messages_dropped = 0;  // receive-capacity overflow
   uint64_t fault_drops = 0;       // removed by an installed fault hook
+  uint64_t corrupted = 0;         // payloads mutated by an installed fault hook
   uint32_t max_send_load = 0;     // max messages a node sent in any round
   uint32_t max_recv_load = 0;     // max messages addressed to a node (pre-drop)
   uint64_t send_violations = 0;   // only populated when strict_send == false
@@ -78,6 +79,10 @@ struct FaultHooks {
   /// Return true to make the network lose this message (crash-stop endpoints,
   /// random loss). `idx` is the message's position in this round's send order.
   std::function<bool(const Message& msg, uint64_t round, uint64_t idx)> drop;
+  /// May mutate the message's payload in place (byzantine corruption); return
+  /// true iff the message was changed (counted in stats.corrupted). Runs on
+  /// survivors of the drop hook, still keyed on the original send index.
+  std::function<bool(Message& msg, uint64_t round, uint64_t idx)> corrupt;
   /// Effective receive capacity for this round (capacity perturbation);
   /// clamped to >= 1. Send budgets are unaffected: a fault changes what the
   /// network delivers, not what algorithms are allowed to attempt.
@@ -139,6 +144,11 @@ class Network {
   /// fault hooks at a time.
   void install_fault_hooks(FaultHooks hooks) { faults_ = std::move(hooks); }
   void clear_fault_hooks() { faults_ = FaultHooks{}; }
+  /// True when an installed fault hook can mutate payloads in flight. Routing
+  /// layers keep their hard misroute asserts on reliable networks (a strayed
+  /// packet there is an algorithm bug) and tolerate-and-count only when this
+  /// is set (there it is network behaviour).
+  bool corruption_possible() const { return static_cast<bool>(faults_.corrupt); }
 
   /// Reset round/message statistics (topology and config are kept). Also
   /// clears pending traffic and the per-shard delivery staging.

@@ -16,19 +16,54 @@ FaultInjector::FaultInjector(Network& net, const FaultModel& model, uint64_t see
       crashed_(net.n(), 0),
       crash_schedule_(model.crash_rounds) {
   std::sort(crash_schedule_.begin(), crash_schedule_.end());
+  if (!model_.partition_windows.empty()) {
+    // The bipartition is fixed up front: healing restores connectivity, it
+    // does not reshuffle sides (the same cut re-opens at the next window).
+    const uint64_t part_seed = mix64(seed_ ^ 0x706172746974ULL);  // "partit"
+    const uint64_t threshold =
+        static_cast<uint64_t>(std::ldexp(model_.partition_frac, 64));
+    side_.resize(net.n());
+    for (NodeId u = 0; u < net.n(); ++u)
+      side_[u] = mix64(part_seed ^ u) < threshold ? 1 : 0;
+  }
   FaultHooks hooks;
   hooks.begin_round = [this](uint64_t round) {
     if (round_limit_ && round >= round_limit_) throw RoundLimitReached(round);
     advance_to(round);
+    cut_active_ = partition_active(round);
   };
-  if (!crash_schedule_.empty() || model_.drop_rate > 0.0) {
+  if (!crash_schedule_.empty() || model_.drop_rate > 0.0 || !side_.empty()) {
     // drop_rate < 1 (spec-validated), so the scaled threshold fits 64 bits.
     const uint64_t threshold =
         static_cast<uint64_t>(std::ldexp(model_.drop_rate, 64));
     hooks.drop = [this, threshold](const Message& m, uint64_t round, uint64_t idx) {
       if (crashed_[m.src] || crashed_[m.dst]) return true;
+      if (cut_active_ && side_[m.src] != side_[m.dst]) return true;
       if (threshold == 0) return false;
       return mix64(mix64(seed_ ^ round) ^ idx) < threshold;
+    };
+  }
+  if (model_.byzantine_rate > 0.0) {
+    const uint64_t threshold =
+        static_cast<uint64_t>(std::ldexp(model_.byzantine_rate, 64));
+    const uint64_t byz_seed = mix64(seed_ ^ 0x62797a616e74ULL);  // "byzant"
+    const NodeId n = net.n();
+    hooks.corrupt = [threshold, byz_seed, n](Message& m, uint64_t round,
+                                             uint64_t idx) {
+      if (m.nwords == 0) return false;
+      uint64_t h = mix64(mix64(byz_seed ^ round) ^ idx);
+      if (h >= threshold) return false;
+      uint64_t h2 = mix64(h);
+      uint8_t w = static_cast<uint8_t>(h2 % m.nwords);
+      uint64_t& word = m.words[w];
+      if (word < n) {
+        // Node-id-plausible: lie within the protocol alphabet — a different
+        // value in [0, n) — so decoders see wrong-but-well-formed fields.
+        word = (word + 1 + (h2 >> 8) % (n - 1)) % n;
+      } else {
+        word ^= uint64_t{1} << ((h2 >> 8) % 64);
+      }
+      return true;
     };
   }
   if (model_.perturb_every > 0) {
@@ -42,6 +77,13 @@ FaultInjector::FaultInjector(Network& net, const FaultModel& model, uint64_t see
 }
 
 FaultInjector::~FaultInjector() { net_.clear_fault_hooks(); }
+
+bool FaultInjector::partition_active(uint64_t round) const {
+  if (side_.empty()) return false;
+  for (const RoundWindow& w : model_.partition_windows)
+    if (round >= w.lo && round < w.hi) return true;
+  return false;
+}
 
 void FaultInjector::advance_to(uint64_t round) {
   const NodeId n = net_.n();

@@ -2,11 +2,16 @@
 //
 // A FaultInjector installs Network fault hooks realizing the FaultModel of a
 // ScenarioSpec: seeded crash-stop node failures at scheduled rounds, a
-// per-round uniform message-drop rate, and periodic receive-capacity
-// perturbation. Every decision is a stateless hash of (seed, round,
-// pending-index / node id), and all hooks run before end_round() shards
-// delivery — so fault injection is bit-identical for any engine thread count
-// (the threads=1 == threads=T contract extends through faults).
+// per-round uniform message-drop rate, periodic receive-capacity
+// perturbation, a partition/heal schedule (a seeded bipartition of the node
+// set drops cross-cut messages while one of the declared round windows is
+// open), and byzantine payload corruption (seeded per-message mutations that
+// keep the message well-formed — node-id-plausible words are remapped within
+// [0, n), larger words get one bit flipped). Every decision is a stateless
+// hash of (seed, round, pending-index / node id), and all hooks run before
+// end_round() shards delivery — so fault injection is bit-identical for any
+// engine thread count (the threads=1 == threads=T contract extends through
+// faults).
 //
 // The injector also enforces the spec's round limit: the paper's algorithms
 // assume a reliable network, and token-based termination (the butterfly
@@ -46,6 +51,13 @@ class FaultInjector {
   uint32_t crashed_count() const { return crashed_count_; }
   const std::vector<uint8_t>& crashed() const { return crashed_; }
 
+  /// The seeded bipartition (1 = side A); fixed for the whole run, only
+  /// *enforced* while a partition window is open. Empty when the model has no
+  /// partition schedule.
+  const std::vector<uint8_t>& partition_side() const { return side_; }
+  /// Whether the partition cut is active in `round`.
+  bool partition_active(uint64_t round) const;
+
  private:
   void advance_to(uint64_t round);  // fire pending crash batches
 
@@ -57,6 +69,8 @@ class FaultInjector {
   uint32_t crashed_count_ = 0;
   size_t next_batch_ = 0;  // index into sorted crash_rounds
   std::vector<uint64_t> crash_schedule_;
+  std::vector<uint8_t> side_;       // partition bipartition (1 = side A)
+  bool cut_active_ = false;         // partition window open this round
 };
 
 }  // namespace ncc::scenario

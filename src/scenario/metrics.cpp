@@ -66,13 +66,16 @@ MetricsCollector::MetricsCollector(Network& net, size_t max_rounds)
   net_.set_round_hook([this](uint64_t, const NetStats& s) {
     uint64_t sent = s.messages_sent - last_sent_;
     uint64_t dropped = (s.messages_dropped + s.fault_drops) - last_dropped_;
+    uint64_t corrupted = s.corrupted - last_corrupted_;
     last_sent_ = s.messages_sent;
     last_dropped_ = s.messages_dropped + s.fault_drops;
+    last_corrupted_ = s.corrupted;
     sent_acc_.add(static_cast<double>(sent));
     ++series_.rounds;
     if (series_.sent.size() < max_rounds_) {
       series_.sent.push_back(sent);
       series_.dropped.push_back(dropped);
+      series_.corrupted.push_back(corrupted);
     } else {
       series_.truncated = true;
     }
@@ -94,6 +97,10 @@ void MetricsCollector::write_json(JsonWriter& w) const {
   w.key("dropped");
   w.begin_array();
   for (uint64_t v : series_.dropped) w.value(v);
+  w.end_array();
+  w.key("corrupted");
+  w.begin_array();
+  for (uint64_t v : series_.corrupted) w.value(v);
   w.end_array();
   w.end_object();
 }

@@ -75,7 +75,8 @@ class JsonWriter {
 /// records that the tail was elided, never silently).
 struct PerRoundSeries {
   std::vector<uint64_t> sent;
-  std::vector<uint64_t> dropped;  // capacity drops + fault drops
+  std::vector<uint64_t> dropped;    // capacity drops + fault drops
+  std::vector<uint64_t> corrupted;  // byzantine payload corruptions
   uint64_t rounds = 0;
   bool truncated = false;
 };
@@ -101,6 +102,7 @@ class MetricsCollector {
   Accumulator sent_acc_;
   uint64_t last_sent_ = 0;
   uint64_t last_dropped_ = 0;
+  uint64_t last_corrupted_ = 0;
 };
 
 }  // namespace ncc::scenario

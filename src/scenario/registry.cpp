@@ -176,8 +176,18 @@ ScenarioRunResult run_gossip_scenario(Network& net, const Graph&,
 ScenarioRunResult run_broadcast_scenario(Network& net, const Graph&,
                                          const ScenarioSpec&) {
   BroadcastResult res = run_broadcast(net);
-  ScenarioRunResult r = res.complete ? verdict_ok() : degraded("nodes uninformed");
-  r.counters = {{"algo_rounds", res.rounds}};
+  ScenarioRunResult r;
+  if (!res.complete) {
+    r = degraded("nodes uninformed");
+  } else if (res.corrupted_tokens > 0) {
+    // The honest verdict under byzantine payload corruption: everyone was
+    // informed, but not everyone heard the truth.
+    r = degraded(std::to_string(res.corrupted_tokens) + " corrupted tokens");
+  } else {
+    r = verdict_ok();
+  }
+  r.counters = {{"algo_rounds", res.rounds},
+                {"corrupted_tokens", res.corrupted_tokens}};
   return r;
 }
 
@@ -222,9 +232,12 @@ ScenarioRunResult run_aggregate_scenario(Network& net, const Graph& g,
                             : degraded(std::to_string(groups - exact) +
                                        " of " + std::to_string(groups) +
                                        " aggregates inexact");
+  // misrouted distinguishes a router regression from ordinary fault loss: on
+  // a fault-free spec (expect ok) a nonzero value fails CI with a diagnostic.
   r.counters = {{"algo_rounds", res.rounds},
                 {"groups", groups},
-                {"values_received", received}};
+                {"values_received", received},
+                {"misrouted", res.route.misrouted}};
   return r;
 }
 
@@ -259,7 +272,9 @@ ScenarioRunResult run_multicast_scenario(Network& net, const Graph& g,
                             : degraded(std::to_string(missing) + " members missed payload");
   r.counters = {{"setup_rounds", setup.rounds},
                 {"algo_rounds", res.rounds},
-                {"delivered", delivered}};
+                {"delivered", delivered},
+                {"misrouted", res.route.misrouted},
+                {"lost_groups", res.route.lost_groups}};
   return r;
 }
 

@@ -24,7 +24,29 @@ void write_spec_fields(JsonWriter& w, const ScenarioSpec& spec) {
   w.kv("crash_count", spec.faults.crash_count);
   w.kv("drop_rate", spec.faults.drop_rate);
   w.kv("perturb_every", spec.faults.perturb_every);
+  w.kv("partition_windows",
+       static_cast<uint64_t>(spec.faults.partition_windows.size()));
+  w.kv("byzantine_rate", spec.faults.byzantine_rate);
   w.end_object();
+}
+
+/// The spec's expectation class, resolved even for hand-built specs that
+/// never went through validate_spec (empty expect = auto).
+std::string effective_expect(const ScenarioSpec& spec) {
+  if (!spec.expect.empty()) return spec.expect;
+  return spec.faults.any() ? "any" : "ok";
+}
+
+/// The regression gate: does the verdict satisfy the expectation class?
+/// error:* verdicts (and runs that never executed) always fail.
+bool verdict_failed(const std::string& expect, const ScenarioOutcome& out) {
+  if (!out.ran) return true;
+  if (out.verdict.rfind("error:", 0) == 0) return true;
+  if (expect == "any") return false;
+  if (expect == "ok") return !out.ok;
+  if (expect == "degraded") return out.verdict.rfind("degraded", 0) != 0;
+  if (expect == "round_limit") return out.verdict != "round_limit";
+  return true;
 }
 
 }  // namespace
@@ -33,15 +55,21 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   ScenarioOutcome out;
   std::string error;
 
+  out.expect = effective_expect(spec);
   auto fail_early = [&](const std::string& why) {
     out.verdict = "error:" + why;
-    JsonWriter w;
-    w.begin_object();
-    write_spec_fields(w, spec);
-    w.kv("verdict", out.verdict);
-    w.kv("ok", false);
-    w.end_object();
-    out.json = w.str();
+    out.failed = true;
+    if (opts.build_json) {
+      JsonWriter w;
+      w.begin_object();
+      write_spec_fields(w, spec);
+      w.kv("verdict", out.verdict);
+      w.kv("ok", false);
+      w.kv("expect", out.expect);
+      w.kv("failed", true);
+      w.end_object();
+      out.json = w.str();
+    }
     return out;
   };
 
@@ -85,7 +113,10 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   out.rounds = st.rounds;
   out.messages = st.messages_sent;
   out.fault_drops = st.fault_drops;
+  out.corrupted = st.corrupted;
   out.crashed = faults.crashed_count();
+  out.failed = verdict_failed(out.expect, out);
+  if (!opts.build_json) return out;
 
   JsonWriter w;
   w.begin_object();
@@ -95,12 +126,15 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   w.kv("cap", net.cap());
   w.kv("verdict", out.verdict);
   w.kv("ok", out.ok);
+  w.kv("expect", out.expect);
+  w.kv("failed", out.failed);
   w.kv("rounds", st.rounds);
   w.kv("charged_rounds", st.charged_rounds);
   w.kv("total_rounds", st.total_rounds());
   w.kv("messages", st.messages_sent);
   w.kv("dropped", st.messages_dropped);
   w.kv("fault_drops", st.fault_drops);
+  w.kv("corrupted", st.corrupted);
   w.kv("crashed", out.crashed);
   w.kv("max_send_load", st.max_send_load);
   w.kv("max_recv_load", st.max_recv_load);

@@ -23,15 +23,27 @@ struct RunOptions {
   bool timing = true;
   /// Cap on the per-round series length in the JSON.
   size_t max_series_rounds = 512;
+  /// Assemble the full per-run JSON document. The sweep driver turns this
+  /// off — it builds compact per-cell records from the outcome fields and
+  /// would otherwise pay for a per-round series it never reads.
+  bool build_json = true;
 };
 
 struct ScenarioOutcome {
   bool ran = false;      // false = spec/graph/algorithm-level error
   bool ok = false;       // correctness verdict
+  /// The regression-gate bit: true when the verdict does not satisfy the
+  /// spec's `expect` class (error:* verdicts always fail). This is what makes
+  /// ncc_run exit non-zero — a degraded verdict under declared fault
+  /// injection is an expected result, the same verdict on a fault-free spec
+  /// is a regression.
+  bool failed = false;
   std::string verdict;   // ok | degraded:<why> | round_limit | error:<why>
+  std::string expect;    // resolved expectation class the verdict was held to
   uint64_t rounds = 0;   // simulated rounds
   uint64_t messages = 0;
   uint64_t fault_drops = 0;
+  uint64_t corrupted = 0;  // payloads mutated by byzantine fault injection
   uint32_t crashed = 0;
   double wall_ms = 0.0;
   std::string json;  // one JSON object describing the run

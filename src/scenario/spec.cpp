@@ -31,12 +31,6 @@ const struct {
     {GraphFamily::kBarabasiAlbert, "barabasi_albert"},
 };
 
-std::string trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return "";
-  size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
-}
 
 bool parse_u64(const std::string& v, uint64_t* out) {
   if (v.empty()) return false;
@@ -78,8 +72,26 @@ bool parse_u64_list(const std::string& v, std::vector<uint64_t>* out) {
   std::string item;
   while (std::getline(ss, item, ',')) {
     uint64_t x;
-    if (!parse_u64(trim(item), &x)) return false;
+    if (!parse_u64(spec_trim(item), &x)) return false;
     out->push_back(x);
+  }
+  return !out->empty();
+}
+
+/// `lo-hi,lo-hi,...` with lo < hi (half-open round windows).
+bool parse_window_list(const std::string& v, std::vector<RoundWindow>* out) {
+  out->clear();
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = spec_trim(item);
+    size_t dash = item.find('-');
+    if (dash == std::string::npos) return false;
+    RoundWindow w;
+    if (!parse_u64(spec_trim(item.substr(0, dash)), &w.lo)) return false;
+    if (!parse_u64(spec_trim(item.substr(dash + 1)), &w.hi)) return false;
+    if (w.lo >= w.hi) return false;
+    out->push_back(w);
   }
   return !out->empty();
 }
@@ -91,6 +103,13 @@ std::string fmt_double(double x) {
 }
 
 }  // namespace
+
+std::string spec_trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
 
 const char* family_name(GraphFamily f) {
   for (const auto& e : kFamilies)
@@ -147,6 +166,7 @@ std::string ScenarioSpec::to_string() const {
   os << "capacity_factor = " << capacity_factor << "\n";
   os << "threads = " << threads << "\n";
   if (round_limit) os << "round_limit = " << round_limit << "\n";
+  if (!expect.empty()) os << "expect = " << expect << "\n";
   if (!faults.crash_rounds.empty()) {
     os << "crash_rounds = ";
     for (size_t i = 0; i < faults.crash_rounds.size(); ++i)
@@ -160,137 +180,193 @@ std::string ScenarioSpec::to_string() const {
     os << "perturb_for = " << faults.perturb_for << "\n";
     os << "perturb_factor = " << faults.perturb_factor << "\n";
   }
+  if (!faults.partition_windows.empty()) {
+    os << "partition_windows = ";
+    for (size_t i = 0; i < faults.partition_windows.size(); ++i)
+      os << (i ? "," : "") << faults.partition_windows[i].lo << "-"
+         << faults.partition_windows[i].hi;
+    os << "\n";
+    os << "partition_frac = " << fmt_double(faults.partition_frac) << "\n";
+  }
+  if (faults.byzantine_rate > 0.0)
+    os << "byzantine_rate = " << fmt_double(faults.byzantine_rate) << "\n";
   return os.str();
+}
+
+bool lex_spec_line(const std::string& raw, std::string* key, std::string* val,
+                   std::string* error) {
+  key->clear();
+  val->clear();
+  std::string line = raw;
+  if (size_t h = line.find('#'); h != std::string::npos) line.resize(h);
+  line = spec_trim(line);
+  if (line.empty()) return true;
+  size_t eq = line.find('=');
+  if (eq == std::string::npos) {
+    if (error) *error = "expected `key = value`: " + raw;
+    return false;
+  }
+  *key = spec_trim(line.substr(0, eq));
+  *val = spec_trim(line.substr(eq + 1));
+  if (key->empty() || val->empty()) {
+    if (error) *error = "empty key or value: " + raw;
+    return false;
+  }
+  return true;
+}
+
+bool apply_spec_key(ScenarioSpec& spec, const std::string& key,
+                    const std::string& val, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  bool ok = true;
+  if (key == "name") {
+    spec.name = val;
+  } else if (key == "graph") {
+    auto f = family_from_name(val);
+    if (!f) return fail("unknown graph family `" + val + "`");
+    spec.family = *f;
+    spec.provided.graph = true;
+  } else if (key == "n") {
+    ok = parse_u32(val, &spec.n);
+    spec.provided.n = ok;
+  } else if (key == "m") {
+    ok = parse_u64(val, &spec.m);
+  } else if (key == "p") {
+    ok = parse_double(val, &spec.p) && spec.p >= 0.0 && spec.p <= 1.0;
+  } else if (key == "a") {
+    ok = parse_u32(val, &spec.a) && spec.a >= 1;
+  } else if (key == "k") {
+    ok = parse_u32(val, &spec.k) && spec.k >= 1;
+  } else if (key == "beta") {
+    ok = parse_double(val, &spec.beta) && spec.beta > 0.0;
+  } else if (key == "max_deg") {
+    ok = parse_u32(val, &spec.max_deg) && spec.max_deg >= 1;
+  } else if (key == "rows") {
+    ok = parse_u32(val, &spec.rows) && spec.rows >= 1;
+  } else if (key == "cols") {
+    ok = parse_u32(val, &spec.cols) && spec.cols >= 1;
+  } else if (key == "dim") {
+    ok = parse_u32(val, &spec.dim) && spec.dim >= 1 && spec.dim < 31;
+  } else if (key == "connect") {
+    ok = parse_bool(val, &spec.connect);
+  } else if (key == "weights") {
+    if (val == "unit") {
+      spec.weights = WeightMode::kUnit;
+    } else if (val == "random") {
+      spec.weights = WeightMode::kRandom;
+    } else if (val == "distinct") {
+      spec.weights = WeightMode::kDistinct;
+    } else {
+      return fail("weights must be unit|random|distinct, got `" + val + "`");
+    }
+  } else if (key == "w_max") {
+    ok = parse_u64(val, &spec.w_max) && spec.w_max >= 1;
+  } else if (key == "algorithm") {
+    spec.algorithm = val;
+    spec.provided.algorithm = true;
+  } else if (key == "seed") {
+    ok = parse_u64(val, &spec.seed);
+  } else if (key == "capacity_factor") {
+    ok = parse_u32(val, &spec.capacity_factor) && spec.capacity_factor >= 1;
+  } else if (key == "threads") {
+    ok = parse_u32(val, &spec.threads);
+  } else if (key == "round_limit") {
+    ok = parse_u64(val, &spec.round_limit);
+  } else if (key == "expect") {
+    if (val != "ok" && val != "degraded" && val != "round_limit" && val != "any")
+      return fail("expect must be ok|degraded|round_limit|any, got `" + val + "`");
+    spec.expect = val;
+  } else if (key == "crash_rounds") {
+    ok = parse_u64_list(val, &spec.faults.crash_rounds);
+  } else if (key == "crash_count") {
+    ok = parse_u32(val, &spec.faults.crash_count) && spec.faults.crash_count >= 1;
+  } else if (key == "drop_rate") {
+    ok = parse_double(val, &spec.faults.drop_rate) && spec.faults.drop_rate >= 0.0 &&
+         spec.faults.drop_rate < 1.0;
+  } else if (key == "perturb_every") {
+    ok = parse_u64(val, &spec.faults.perturb_every);
+  } else if (key == "perturb_for") {
+    ok = parse_u64(val, &spec.faults.perturb_for) && spec.faults.perturb_for >= 1;
+  } else if (key == "perturb_factor") {
+    ok = parse_u32(val, &spec.faults.perturb_factor) && spec.faults.perturb_factor >= 2;
+  } else if (key == "partition_windows") {
+    ok = parse_window_list(val, &spec.faults.partition_windows);
+  } else if (key == "partition_frac") {
+    ok = parse_double(val, &spec.faults.partition_frac) &&
+         spec.faults.partition_frac > 0.0 && spec.faults.partition_frac < 1.0;
+    spec.provided.partition_frac = ok;
+  } else if (key == "byzantine_rate") {
+    ok = parse_double(val, &spec.faults.byzantine_rate) &&
+         spec.faults.byzantine_rate >= 0.0 && spec.faults.byzantine_rate < 1.0;
+  } else {
+    return fail("unknown key `" + key + "`");
+  }
+  if (!ok) return fail("malformed value for `" + key + "`: " + val);
+  return true;
+}
+
+bool validate_spec(ScenarioSpec& spec, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  if (!spec.provided.graph) return fail("missing required key `graph`");
+  if (!spec.provided.algorithm) return fail("missing required key `algorithm`");
+  if (spec.family == GraphFamily::kGrid) {
+    if (!spec.rows || !spec.cols) return fail("grid requires `rows` and `cols`");
+    uint64_t rc = static_cast<uint64_t>(spec.rows) * spec.cols;
+    if (rc > UINT32_MAX) return fail("grid: rows*cols overflows the node id space");
+    if (spec.provided.n && spec.n != rc) return fail("grid: n contradicts rows*cols");
+    spec.n = static_cast<NodeId>(rc);
+  } else if (spec.family == GraphFamily::kHypercube) {
+    if (!spec.dim) return fail("hypercube requires `dim`");
+    NodeId hn = NodeId{1} << spec.dim;
+    if (spec.provided.n && spec.n != hn) return fail("hypercube: n contradicts 2^dim");
+    spec.n = hn;
+  } else if (!spec.provided.n) {
+    return fail("missing required key `n`");
+  }
+  if (spec.n < 2) return fail("n must be >= 2");
+  if (spec.family == GraphFamily::kGnm && spec.m == 0)
+    return fail("gnm requires `m`");
+  if (spec.family == GraphFamily::kGnp && spec.p == 0.0)
+    return fail("gnp requires `p` > 0");
+  if (spec.faults.perturb_every &&
+      spec.faults.perturb_for >= spec.faults.perturb_every)
+    return fail("perturb_for must be < perturb_every");
+  if (spec.provided.partition_frac && spec.faults.partition_windows.empty())
+    return fail("partition_frac without `partition_windows`");
+  if (spec.faults.any() && spec.round_limit == 0)
+    return fail(
+        "fault injection requires a `round_limit` (lost protocol "
+        "tokens can jam termination detection forever)");
+  if (spec.expect.empty()) spec.expect = spec.faults.any() ? "any" : "ok";
+  return true;
 }
 
 std::optional<ScenarioSpec> parse_spec(const std::string& text, std::string* error) {
   ScenarioSpec spec;
-  bool have_graph = false, have_algorithm = false, have_n = false;
   auto fail = [&](int line, const std::string& why) {
     if (error) *error = "line " + std::to_string(line) + ": " + why;
     return std::nullopt;
   };
 
   std::stringstream ss(text);
-  std::string raw;
+  std::string raw, key, val;
   int lineno = 0;
   while (std::getline(ss, raw)) {
     ++lineno;
-    std::string line = raw;
-    if (size_t h = line.find('#'); h != std::string::npos) line.resize(h);
-    line = trim(line);
-    if (line.empty()) continue;
-    size_t eq = line.find('=');
-    if (eq == std::string::npos) return fail(lineno, "expected `key = value`: " + raw);
-    std::string key = trim(line.substr(0, eq));
-    std::string val = trim(line.substr(eq + 1));
-    if (key.empty() || val.empty())
-      return fail(lineno, "empty key or value: " + raw);
-
-    bool ok = true;
-    if (key == "name") {
-      spec.name = val;
-    } else if (key == "graph") {
-      auto f = family_from_name(val);
-      if (!f) return fail(lineno, "unknown graph family `" + val + "`");
-      spec.family = *f;
-      have_graph = true;
-    } else if (key == "n") {
-      ok = parse_u32(val, &spec.n);
-      have_n = ok;
-    } else if (key == "m") {
-      ok = parse_u64(val, &spec.m);
-    } else if (key == "p") {
-      ok = parse_double(val, &spec.p) && spec.p >= 0.0 && spec.p <= 1.0;
-    } else if (key == "a") {
-      ok = parse_u32(val, &spec.a) && spec.a >= 1;
-    } else if (key == "k") {
-      ok = parse_u32(val, &spec.k) && spec.k >= 1;
-    } else if (key == "beta") {
-      ok = parse_double(val, &spec.beta) && spec.beta > 0.0;
-    } else if (key == "max_deg") {
-      ok = parse_u32(val, &spec.max_deg) && spec.max_deg >= 1;
-    } else if (key == "rows") {
-      ok = parse_u32(val, &spec.rows) && spec.rows >= 1;
-    } else if (key == "cols") {
-      ok = parse_u32(val, &spec.cols) && spec.cols >= 1;
-    } else if (key == "dim") {
-      ok = parse_u32(val, &spec.dim) && spec.dim >= 1 && spec.dim < 31;
-    } else if (key == "connect") {
-      ok = parse_bool(val, &spec.connect);
-    } else if (key == "weights") {
-      if (val == "unit") {
-        spec.weights = WeightMode::kUnit;
-      } else if (val == "random") {
-        spec.weights = WeightMode::kRandom;
-      } else if (val == "distinct") {
-        spec.weights = WeightMode::kDistinct;
-      } else {
-        return fail(lineno, "weights must be unit|random|distinct, got `" + val + "`");
-      }
-    } else if (key == "w_max") {
-      ok = parse_u64(val, &spec.w_max) && spec.w_max >= 1;
-    } else if (key == "algorithm") {
-      spec.algorithm = val;
-      have_algorithm = true;
-    } else if (key == "seed") {
-      ok = parse_u64(val, &spec.seed);
-    } else if (key == "capacity_factor") {
-      ok = parse_u32(val, &spec.capacity_factor) && spec.capacity_factor >= 1;
-    } else if (key == "threads") {
-      ok = parse_u32(val, &spec.threads);
-    } else if (key == "round_limit") {
-      ok = parse_u64(val, &spec.round_limit);
-    } else if (key == "crash_rounds") {
-      ok = parse_u64_list(val, &spec.faults.crash_rounds);
-    } else if (key == "crash_count") {
-      ok = parse_u32(val, &spec.faults.crash_count) && spec.faults.crash_count >= 1;
-    } else if (key == "drop_rate") {
-      ok = parse_double(val, &spec.faults.drop_rate) && spec.faults.drop_rate >= 0.0 &&
-           spec.faults.drop_rate < 1.0;
-    } else if (key == "perturb_every") {
-      ok = parse_u64(val, &spec.faults.perturb_every);
-    } else if (key == "perturb_for") {
-      ok = parse_u64(val, &spec.faults.perturb_for) && spec.faults.perturb_for >= 1;
-    } else if (key == "perturb_factor") {
-      ok = parse_u32(val, &spec.faults.perturb_factor) && spec.faults.perturb_factor >= 2;
-    } else {
-      return fail(lineno, "unknown key `" + key + "`");
-    }
-    if (!ok) return fail(lineno, "malformed value for `" + key + "`: " + val);
+    std::string why;
+    if (!lex_spec_line(raw, &key, &val, &why)) return fail(lineno, why);
+    if (key.empty()) continue;
+    if (!apply_spec_key(spec, key, val, &why)) return fail(lineno, why);
   }
 
-  // Cross-field validation.
-  if (!have_graph) return fail(lineno, "missing required key `graph`");
-  if (!have_algorithm) return fail(lineno, "missing required key `algorithm`");
-  if (spec.family == GraphFamily::kGrid) {
-    if (!spec.rows || !spec.cols)
-      return fail(lineno, "grid requires `rows` and `cols`");
-    uint64_t rc = static_cast<uint64_t>(spec.rows) * spec.cols;
-    if (rc > UINT32_MAX) return fail(lineno, "grid: rows*cols overflows the node id space");
-    if (have_n && spec.n != rc)
-      return fail(lineno, "grid: n contradicts rows*cols");
-    spec.n = static_cast<NodeId>(rc);
-  } else if (spec.family == GraphFamily::kHypercube) {
-    if (!spec.dim) return fail(lineno, "hypercube requires `dim`");
-    NodeId hn = NodeId{1} << spec.dim;
-    if (have_n && spec.n != hn) return fail(lineno, "hypercube: n contradicts 2^dim");
-    spec.n = hn;
-  } else if (!have_n) {
-    return fail(lineno, "missing required key `n`");
-  }
-  if (spec.n < 2) return fail(lineno, "n must be >= 2");
-  if (spec.family == GraphFamily::kGnm && spec.m == 0)
-    return fail(lineno, "gnm requires `m`");
-  if (spec.family == GraphFamily::kGnp && spec.p == 0.0)
-    return fail(lineno, "gnp requires `p` > 0");
-  if (spec.faults.perturb_every &&
-      spec.faults.perturb_for >= spec.faults.perturb_every)
-    return fail(lineno, "perturb_for must be < perturb_every");
-  if (spec.faults.any() && spec.round_limit == 0)
-    return fail(lineno,
-                "fault injection requires a `round_limit` (lost protocol "
-                "tokens can jam termination detection forever)");
+  std::string why;
+  if (!validate_spec(spec, &why)) return fail(lineno, why);
   return spec;
 }
 

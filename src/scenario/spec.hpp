@@ -42,6 +42,12 @@ std::optional<GraphFamily> family_from_name(const std::string& name);
 /// Edge-weight assignment applied after generation.
 enum class WeightMode { kUnit, kRandom, kDistinct };
 
+/// A half-open round interval [lo, hi) during which a fault is active.
+struct RoundWindow {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
 /// The fault model of one scenario; all knobs default to "no fault". Faults
 /// are injected at the network layer by scenario::FaultInjector and are
 /// deterministic in (spec, seed) — independent of the engine thread count.
@@ -59,9 +65,22 @@ struct FaultModel {
   uint64_t perturb_every = 0;
   uint64_t perturb_for = 1;
   uint32_t perturb_factor = 2;
+  /// Partition/heal schedule: a seeded bipartition of the node set (each node
+  /// lands on side A with probability `partition_frac`) is active during the
+  /// listed round windows; messages crossing the cut are dropped while a
+  /// window is open, and the network heals when it closes.
+  std::vector<RoundWindow> partition_windows;
+  double partition_frac = 0.5;
+  /// Byzantine payload corruption: each message independently has its payload
+  /// corrupted with this probability. Corruption keeps the message well-formed
+  /// (a byzantine participant lies inside the protocol alphabet, it does not
+  /// break the transport): a payload word below n is remapped to a different
+  /// value in [0, n), anything larger gets one random bit flipped.
+  double byzantine_rate = 0.0;
 
   bool any() const {
-    return !crash_rounds.empty() || drop_rate > 0.0 || perturb_every > 0;
+    return !crash_rounds.empty() || drop_rate > 0.0 || perturb_every > 0 ||
+           !partition_windows.empty() || byzantine_rate > 0.0;
   }
 };
 
@@ -91,12 +110,48 @@ struct ScenarioSpec {
   uint64_t round_limit = 0;  // 0 = unlimited; runs past it abort with verdict
                              // "round_limit" (mandatory when faults are on:
                              // token-based terminations can jam under loss)
+  /// Expected verdict class, the regression gate ncc_run enforces:
+  /// ok | degraded | round_limit | any. Empty = auto, resolved by validation
+  /// to "ok" for fault-free specs and "any" when faults are on ("any" accepts
+  /// every honest verdict but still fails on error:* outcomes).
+  std::string expect;
 
   FaultModel faults;
+
+  /// Which keys were explicitly provided (parse-time metadata; drives the
+  /// cross-field validation, ignored by to_string / comparisons).
+  struct ProvidedKeys {
+    bool graph = false, n = false, algorithm = false, partition_frac = false;
+  };
+  ProvidedKeys provided;
 
   /// Canonical serialization; parse(to_string()) round-trips exactly.
   std::string to_string() const;
 };
+
+/// The .scn whitespace trim, shared with the sweep parser (sweep-axis value
+/// lists must tokenize exactly like every other value).
+std::string spec_trim(const std::string& s);
+
+/// Lex one line of the .scn format (the shared tokenizer of parse_spec and
+/// parse_sweep, so flat and sweep parsing can never drift): strips a `#`
+/// comment and surrounding whitespace, then splits at `=`. Returns false on
+/// a malformed line (sets `error`); returns true with *key/*val left empty
+/// for blank or comment-only lines, filled otherwise.
+bool lex_spec_line(const std::string& raw, std::string* key, std::string* val,
+                   std::string* error);
+
+/// Apply one `key = value` assignment to a spec (the shared primitive behind
+/// parse_spec and sweep-axis substitution). Returns false and sets `error`
+/// for unknown keys or malformed values; no cross-field validation here.
+bool apply_spec_key(ScenarioSpec& spec, const std::string& key,
+                    const std::string& value, std::string* error);
+
+/// Cross-field validation (grid/hypercube n derivation, per-family required
+/// keys, fault-model consistency, expect resolution). Mutates `spec` (derives
+/// n, resolves auto expect). Returns false and sets `error` on the first
+/// violation.
+bool validate_spec(ScenarioSpec& spec, std::string* error);
 
 /// Parse a spec from text. On failure returns nullopt and sets `error` to a
 /// line-numbered description of the first problem.

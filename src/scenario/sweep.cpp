@@ -1,0 +1,169 @@
+#include "scenario/sweep.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ncc::scenario {
+
+namespace {
+
+/// The one odometer decode (last axis fastest): pick[i] is the value index
+/// of axis i in cell `index`. Labels and expansion both derive from this.
+std::vector<size_t> decode_cell(const SweepSpec& sweep, uint64_t index) {
+  std::vector<size_t> pick(sweep.axes.size(), 0);
+  for (size_t i = sweep.axes.size(); i-- > 0;) {
+    pick[i] = index % sweep.axes[i].values.size();
+    index /= sweep.axes[i].values.size();
+  }
+  return pick;
+}
+
+}  // namespace
+
+uint64_t SweepSpec::cells() const {
+  // Saturating product: an absurd grid must trip the cell cap with its real
+  // magnitude, not wrap modulo 2^64 underneath it.
+  uint64_t total = 1;
+  for (const SweepAxis& a : axes) {
+    uint64_t k = a.values.size();
+    if (k != 0 && total > UINT64_MAX / k) return UINT64_MAX;
+    total *= k;
+  }
+  return total;
+}
+
+std::string SweepSpec::to_string() const {
+  std::ostringstream os;
+  os << "name = " << name << "\n";
+  for (const auto& [k, v] : base) os << k << " = " << v << "\n";
+  for (const SweepAxis& a : axes) {
+    os << "sweep." << a.key << " = ";
+    for (size_t i = 0; i < a.values.size(); ++i) os << (i ? "," : "") << a.values[i];
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<SweepSpec> parse_sweep(const std::string& text, std::string* error) {
+  SweepSpec sweep;
+  auto fail = [&](int line, const std::string& why) {
+    if (error) *error = "line " + std::to_string(line) + ": " + why;
+    return std::nullopt;
+  };
+
+  std::stringstream ss(text);
+  std::string raw, key, val;
+  int lineno = 0;
+  while (std::getline(ss, raw)) {
+    ++lineno;
+    std::string why;
+    if (!lex_spec_line(raw, &key, &val, &why)) return fail(lineno, why);
+    if (key.empty()) continue;
+
+    if (key.rfind("sweep.", 0) == 0) {
+      SweepAxis axis;
+      axis.key = key.substr(6);
+      if (axis.key.empty()) return fail(lineno, "empty sweep axis key");
+      if (axis.key == "name") return fail(lineno, "`name` cannot be a sweep axis");
+      for (const SweepAxis& a : sweep.axes)
+        if (a.key == axis.key)
+          return fail(lineno, "duplicate sweep axis `" + axis.key + "`");
+      std::stringstream vs(val);
+      std::string item;
+      while (std::getline(vs, item, ',')) {
+        item = spec_trim(item);
+        if (item.empty()) return fail(lineno, "empty value in sweep axis `" + axis.key + "`");
+        // Every axis value must parse for its key in isolation, so a bad
+        // grid fails at parse time, not N cells into a CI run.
+        ScenarioSpec scratch;
+        std::string why;
+        if (!apply_spec_key(scratch, axis.key, item, &why))
+          return fail(lineno, "sweep axis `" + axis.key + "`: " + why);
+        axis.values.push_back(item);
+      }
+      if (axis.values.empty())
+        return fail(lineno, "sweep axis `" + axis.key + "` has no values");
+      sweep.axes.push_back(std::move(axis));
+    } else if (key == "name") {
+      sweep.name = val;
+    } else {
+      // Base assignment: checked now (same strictness as parse_spec), stored
+      // as the literal pair so cells can re-apply it under axis overrides.
+      ScenarioSpec scratch;
+      std::string why;
+      if (!apply_spec_key(scratch, key, val, &why)) return fail(lineno, why);
+      sweep.base.emplace_back(key, val);
+    }
+  }
+
+  if (sweep.cells() > kMaxSweepCells)
+    return fail(lineno, "sweep expands to " + std::to_string(sweep.cells()) +
+                            " cells (cap " + std::to_string(kMaxSweepCells) + ")");
+  // The first cell must validate; per-cell validation still runs on every
+  // expansion (later cells can legitimately differ, e.g. drop_rate = 0 needs
+  // no round_limit but drop_rate = 0.05 does — the base must carry one).
+  std::string why;
+  if (!expand_sweep_cell(sweep, 0, &why)) return fail(lineno, why);
+  return sweep;
+}
+
+std::optional<SweepSpec> parse_sweep_file(const std::string& path, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  auto sweep = parse_sweep(buf.str(), error);
+  if (sweep && sweep->name == "sweep") {
+    size_t slash = path.find_last_of('/');
+    std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+    if (size_t dot = stem.find_last_of('.'); dot != std::string::npos) stem.resize(dot);
+    sweep->name = stem;
+  }
+  if (!sweep && error) *error = path + ": " + *error;
+  return sweep;
+}
+
+std::string sweep_cell_label(const SweepSpec& sweep, uint64_t index) {
+  std::vector<size_t> pick = decode_cell(sweep, index);
+  std::string label;
+  for (size_t i = 0; i < sweep.axes.size(); ++i) {
+    if (i) label += ",";
+    label += sweep.axes[i].key + "=" + sweep.axes[i].values[pick[i]];
+  }
+  return label;
+}
+
+std::optional<ScenarioSpec> expand_sweep_cell(const SweepSpec& sweep, uint64_t index,
+                                              std::string* error) {
+  if (index >= sweep.cells()) {
+    if (error) *error = "cell index out of range";
+    return std::nullopt;
+  }
+  ScenarioSpec spec;
+  std::string why;
+  for (const auto& [k, v] : sweep.base) {
+    if (!apply_spec_key(spec, k, v, &why)) {
+      if (error) *error = why;
+      return std::nullopt;
+    }
+  }
+  std::string label = sweep_cell_label(sweep, index);
+  std::vector<size_t> pick = decode_cell(sweep, index);
+  for (size_t i = 0; i < sweep.axes.size(); ++i) {
+    if (!apply_spec_key(spec, sweep.axes[i].key, sweep.axes[i].values[pick[i]], &why)) {
+      if (error) *error = "cell " + label + ": " + why;
+      return std::nullopt;
+    }
+  }
+  if (!validate_spec(spec, &why)) {
+    if (error) *error = label.empty() ? why : "cell " + label + ": " + why;
+    return std::nullopt;
+  }
+  spec.name = label.empty() ? sweep.name : sweep.name + "/" + label;
+  return spec;
+}
+
+}  // namespace ncc::scenario

@@ -1,13 +1,16 @@
-// Scenario subsystem tests: spec parse round-trip and strict rejection of
-// malformed specs, registry coverage, and the determinism contract extended
-// through fault injection — the same spec + seed must produce bit-identical
-// machine-readable output at threads=1 and threads=8, crashes and all.
+// Scenario subsystem tests: spec/sweep parse round-trips and strict rejection
+// of malformed specs and sweep axes, registry coverage, expectation gating,
+// and the determinism contract extended through fault injection — the same
+// spec + seed must produce bit-identical machine-readable output at
+// threads=1 and threads=8; crashes, partitions, and byzantine corruption all
+// included.
 #include <gtest/gtest.h>
 
 #include "scenario/faults.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace ncc;
 using namespace ncc::scenario;
@@ -81,12 +84,54 @@ TEST(ScenarioSpec, RoundTripsExactly) {
       "graph = forest_union\nn = 80\na = 3\nalgorithm = matching\nround_limit = "
       "200\ncrash_rounds = 5,9\ncrash_count = 4\nperturb_every = 8\nperturb_for "
       "= 2\nperturb_factor = 3\n",
+      "graph = clique\nn = 64\nalgorithm = bfs\nround_limit = 300\n"
+      "partition_windows = 10-20,40-80\npartition_frac = 0.25\n"
+      "byzantine_rate = 0.125\nexpect = degraded\n",
   };
   for (const char* text : texts) {
     ScenarioSpec a = parse_ok(text);
     ScenarioSpec b = parse_ok(a.to_string());
     EXPECT_EQ(a.to_string(), b.to_string()) << text;
   }
+}
+
+TEST(ScenarioSpec, ParsesPartitionAndByzantineFaults) {
+  ScenarioSpec s = parse_ok(
+      "graph = clique\nn = 64\nalgorithm = bfs\nround_limit = 500\n"
+      "partition_windows = 5-15,30-60\npartition_frac = 0.3\n"
+      "byzantine_rate = 0.05\n");
+  ASSERT_EQ(s.faults.partition_windows.size(), 2u);
+  EXPECT_EQ(s.faults.partition_windows[0].lo, 5u);
+  EXPECT_EQ(s.faults.partition_windows[0].hi, 15u);
+  EXPECT_EQ(s.faults.partition_windows[1].lo, 30u);
+  EXPECT_EQ(s.faults.partition_windows[1].hi, 60u);
+  EXPECT_DOUBLE_EQ(s.faults.partition_frac, 0.3);
+  EXPECT_DOUBLE_EQ(s.faults.byzantine_rate, 0.05);
+  EXPECT_TRUE(s.faults.any());
+  EXPECT_EQ(s.expect, "any");  // auto-resolved: faults are on
+
+  // Empty window, inverted window, out-of-range knobs, orphan frac, and the
+  // round_limit mandate all reject.
+  expect_reject(
+      "graph = clique\nn = 64\nalgorithm = bfs\nround_limit = 100\n"
+      "partition_windows = 20-10\n",
+      "malformed");
+  expect_reject(
+      "graph = clique\nn = 64\nalgorithm = bfs\nround_limit = 100\n"
+      "partition_windows = 10\n",
+      "malformed");
+  expect_reject(
+      "graph = clique\nn = 64\nalgorithm = bfs\nround_limit = 100\n"
+      "partition_frac = 0.5\n",
+      "partition_frac");
+  expect_reject(
+      "graph = clique\nn = 64\nalgorithm = bfs\nround_limit = 100\n"
+      "byzantine_rate = 1.5\n",
+      "malformed");
+  expect_reject("graph = clique\nn = 64\nalgorithm = bfs\npartition_windows = 1-9\n",
+                "round_limit");
+  expect_reject("graph = clique\nn = 64\nalgorithm = bfs\nexpect = maybe\n",
+                "expect");
 }
 
 TEST(ScenarioSpec, RejectsMalformedSpecs) {
@@ -219,10 +264,11 @@ TEST(ScenarioRunner, PerturbationCausesCapacityDrops) {
 // at threads=1 and threads=8, including under every fault model at once.
 TEST(ScenarioRunner, FaultInjectionIsThreadCountInvariant) {
   const char* specs[] = {
-      // all three fault models at once
+      // all five fault models at once
       "graph = gnm\nn = 96\nm = 400\nalgorithm = mis\nseed = 11\n"
       "round_limit = 300\ncrash_rounds = 8,20\ncrash_count = 3\n"
-      "drop_rate = 0.03\nperturb_every = 10\nperturb_for = 2\nperturb_factor = 2\n",
+      "drop_rate = 0.03\nperturb_every = 10\nperturb_for = 2\nperturb_factor = 2\n"
+      "partition_windows = 30-50\npartition_frac = 0.5\nbyzantine_rate = 0.02\n",
       // crash-only, different algorithm
       "graph = forest_union\nn = 96\na = 3\nalgorithm = matching\nseed = 12\n"
       "round_limit = 300\ncrash_rounds = 15\ncrash_count = 4\n",
@@ -242,6 +288,265 @@ TEST(ScenarioRunner, FaultInjectionIsThreadCountInvariant) {
     ScenarioOutcome c = run_scenario(spec, t1);
     EXPECT_EQ(a.json, c.json) << text;
   }
+}
+
+// Dedicated byte-identity checks for the two new fault models, run over the
+// algorithms whose decode paths they stress hardest: partition/heal across a
+// healing broadcast and a jamming BFS, byzantine corruption across the
+// broadcast rumor chain and the butterfly's combining/spreading phases
+// (where corrupted group ids force the misrouted-packet handling).
+TEST(ScenarioRunner, PartitionHealIsThreadCountInvariant) {
+  const char* specs[] = {
+      "graph = gnm\nn = 96\nm = 480\nconnect = true\nalgorithm = broadcast\n"
+      "seed = 21\nround_limit = 400\npartition_windows = 0-8\n"
+      "partition_frac = 0.5\n",
+      "graph = gnm\nn = 96\nm = 480\nconnect = true\nalgorithm = bfs\n"
+      "seed = 22\nround_limit = 400\npartition_windows = 10-60,120-150\n"
+      "partition_frac = 0.25\n",
+  };
+  for (const char* text : specs) {
+    ScenarioSpec spec = parse_ok(text);
+    RunOptions t1, t8;
+    t1.timing = t8.timing = false;
+    t1.threads_override = 1;
+    t8.threads_override = 8;
+    ScenarioOutcome a = run_scenario(spec, t1);
+    ScenarioOutcome b = run_scenario(spec, t8);
+    EXPECT_EQ(a.json, b.json) << text;
+    EXPECT_GT(a.fault_drops, 0u) << text;  // the cut actually dropped traffic
+  }
+}
+
+TEST(ScenarioRunner, ByzantineCorruptionIsThreadCountInvariant) {
+  const char* specs[] = {
+      "graph = hypercube\ndim = 6\nalgorithm = broadcast\nseed = 31\n"
+      "round_limit = 200\nbyzantine_rate = 0.1\n",
+      "graph = powerlaw\nn = 96\nbeta = 2.5\nmax_deg = 24\n"
+      "algorithm = aggregate\nseed = 32\nround_limit = 500\n"
+      "byzantine_rate = 0.05\n",
+      "graph = clique\nn = 48\nalgorithm = multicast\nseed = 33\n"
+      "round_limit = 500\nbyzantine_rate = 0.05\n",
+  };
+  for (const char* text : specs) {
+    ScenarioSpec spec = parse_ok(text);
+    RunOptions t1, t8;
+    t1.timing = t8.timing = false;
+    t1.threads_override = 1;
+    t8.threads_override = 8;
+    ScenarioOutcome a = run_scenario(spec, t1);
+    ScenarioOutcome b = run_scenario(spec, t8);
+    EXPECT_EQ(a.json, b.json) << text;
+    EXPECT_GT(a.corrupted, 0u) << text;  // corruption actually fired
+  }
+}
+
+TEST(ScenarioRunner, BroadcastReportsCorruptedTokens) {
+  ScenarioSpec spec = parse_ok(
+      "graph = hypercube\ndim = 6\nalgorithm = broadcast\nseed = 31\n"
+      "round_limit = 200\nbyzantine_rate = 0.2\n");
+  RunOptions opts;
+  opts.timing = false;
+  ScenarioOutcome out = run_scenario(spec, opts);
+  EXPECT_TRUE(out.ran);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.verdict.find("corrupted tokens"), std::string::npos) << out.verdict;
+  EXPECT_FALSE(out.failed);  // byzantine faults are declared: degraded is expected
+}
+
+// The regression gate: `expect` decides whether a verdict fails the run.
+TEST(ScenarioRunner, ExpectClassGatesTheFailedBit) {
+  // A fault-free clean run expects ok and delivers it.
+  ScenarioSpec clean = parse_ok("graph = clique\nn = 48\nalgorithm = mis\nseed = 5\n");
+  EXPECT_EQ(clean.expect, "ok");
+  RunOptions opts;
+  opts.timing = false;
+  ScenarioOutcome out = run_scenario(clean, opts);
+  EXPECT_FALSE(out.failed);
+  EXPECT_NE(out.json.find("\"failed\": false"), std::string::npos);
+
+  // A lossy run that jams into round_limit: expected under `any` (the
+  // faulted default) and under an explicit `round_limit`, a regression
+  // under an explicit `ok`.
+  const std::string lossy =
+      "graph = clique\nn = 32\nalgorithm = aggregate\nseed = 2\n"
+      "round_limit = 50\ndrop_rate = 0.6\n";
+  ScenarioSpec spec = parse_ok(lossy);
+  EXPECT_EQ(spec.expect, "any");
+  EXPECT_FALSE(run_scenario(spec, opts).failed);
+  spec = parse_ok(lossy + "expect = round_limit\n");
+  EXPECT_FALSE(run_scenario(spec, opts).failed);
+  spec = parse_ok(lossy + "expect = ok\n");
+  ScenarioOutcome gated = run_scenario(spec, opts);
+  EXPECT_TRUE(gated.failed);
+  EXPECT_EQ(gated.verdict, "round_limit");
+  spec = parse_ok(lossy + "expect = degraded\n");
+  EXPECT_TRUE(run_scenario(spec, opts).failed);  // round_limit != degraded
+
+  // Unknown algorithms are error verdicts and always fail.
+  ScenarioSpec bad = parse_ok("graph = clique\nn = 16\nalgorithm = bfs\n");
+  bad.algorithm = "quantum_sort";
+  EXPECT_TRUE(run_scenario(bad, {}).failed);
+}
+
+TEST(SweepSpec, ExpandsTheCrossProduct) {
+  std::string error;
+  auto sweep = parse_sweep(
+      "name = grid\n"
+      "graph = clique\n"
+      "algorithm = bfs\n"
+      "seed = 9\n"
+      "sweep.n = 16,32\n"
+      "sweep.capacity_factor = 4,8,16\n",
+      &error);
+  ASSERT_TRUE(sweep.has_value()) << error;
+  ASSERT_EQ(sweep->axes.size(), 2u);
+  EXPECT_EQ(sweep->cells(), 6u);
+  // Odometer order: last axis fastest.
+  EXPECT_EQ(sweep_cell_label(*sweep, 0), "n=16,capacity_factor=4");
+  EXPECT_EQ(sweep_cell_label(*sweep, 1), "n=16,capacity_factor=8");
+  EXPECT_EQ(sweep_cell_label(*sweep, 3), "n=32,capacity_factor=4");
+  EXPECT_EQ(sweep_cell_label(*sweep, 5), "n=32,capacity_factor=16");
+  auto cell = expand_sweep_cell(*sweep, 5, &error);
+  ASSERT_TRUE(cell.has_value()) << error;
+  EXPECT_EQ(cell->name, "grid/n=32,capacity_factor=16");
+  EXPECT_EQ(cell->n, 32u);
+  EXPECT_EQ(cell->capacity_factor, 16u);
+  EXPECT_EQ(cell->seed, 9u);  // base keys carry into every cell
+
+  // Axis values override a base assignment for the same key.
+  auto over = parse_sweep(
+      "graph = clique\nn = 8\nalgorithm = bfs\nsweep.n = 48,64\n", &error);
+  ASSERT_TRUE(over.has_value()) << error;
+  auto c0 = expand_sweep_cell(*over, 0, &error);
+  ASSERT_TRUE(c0.has_value()) << error;
+  EXPECT_EQ(c0->n, 48u);
+
+  // A plain spec is a one-cell sweep whose cell keeps the bare name.
+  auto plain = parse_sweep("name = solo\ngraph = clique\nn = 8\nalgorithm = bfs\n",
+                           &error);
+  ASSERT_TRUE(plain.has_value()) << error;
+  EXPECT_EQ(plain->cells(), 1u);
+  EXPECT_EQ(sweep_cell_label(*plain, 0), "");
+  auto solo = expand_sweep_cell(*plain, 0, &error);
+  ASSERT_TRUE(solo.has_value()) << error;
+  EXPECT_EQ(solo->name, "solo");
+}
+
+TEST(SweepSpec, RoundTripsExactly) {
+  const char* texts[] = {
+      "graph = clique\nn = 16\nalgorithm = bfs\n",
+      "name = grid\ngraph = gnm\nm = 480\nconnect = true\nalgorithm = mis\n"
+      "round_limit = 4000\nsweep.n = 96,192\nsweep.drop_rate = 0,0.01,0.05\n"
+      "sweep.threads = 1,8\n",
+      "graph = hypercube\nalgorithm = broadcast\nround_limit = 200\n"
+      "sweep.dim = 5,7\nsweep.byzantine_rate = 0.02,0.1\n",
+  };
+  for (const char* text : texts) {
+    std::string error;
+    auto a = parse_sweep(text, &error);
+    ASSERT_TRUE(a.has_value()) << error;
+    auto b = parse_sweep(a->to_string(), &error);
+    ASSERT_TRUE(b.has_value()) << error;
+    EXPECT_EQ(a->to_string(), b->to_string()) << text;
+  }
+}
+
+TEST(SweepSpec, RejectsMalformedAxes) {
+  auto reject = [](const std::string& text, const std::string& why_contains) {
+    std::string error;
+    auto sweep = parse_sweep(text, &error);
+    EXPECT_FALSE(sweep.has_value()) << "accepted:\n" << text;
+    EXPECT_NE(error.find(why_contains), std::string::npos)
+        << "error `" << error << "` does not mention `" << why_contains << "`";
+  };
+  const std::string base = "graph = clique\nn = 16\nalgorithm = bfs\n";
+  reject(base + "sweep.bogus_key = 1,2\n", "unknown key");
+  reject(base + "sweep.n = 8,banana\n", "malformed");
+  reject(base + "sweep.name = a,b\n", "cannot be a sweep axis");
+  reject(base + "sweep.n = 24,32\nsweep.n = 48\n", "duplicate sweep axis");
+  reject(base + "sweep.n = 24,,32\n", "empty value");
+  reject(base + "sweep. = 1\n", "empty sweep axis key");
+  // The first cell must validate: sweeping drop_rate over nonzero values
+  // without a base round_limit is a grid-wide mistake, caught at parse time.
+  reject(base + "sweep.drop_rate = 0.01,0.05\n", "round_limit");
+  // Cross-products above the cap are a parse error, not an hour of CI.
+  std::string big = base;
+  for (const char* axis : {"n", "m", "k", "a", "seed"})
+    big += std::string("sweep.") + axis + " = 1,2,3,4,5,6,7,8\n";
+  reject(big, "cells");
+}
+
+TEST(ScenarioFaults, PartitionBlocksCrossCutTrafficThenHeals) {
+  FaultModel model;
+  model.partition_windows = {{0, 3}, {5, 6}};
+  model.partition_frac = 0.5;
+  NetConfig cfg;
+  cfg.n = 64;
+  cfg.seed = 17;
+  Network net(cfg);
+  FaultInjector inj(net, model, /*seed=*/17, /*round_limit=*/1000);
+  const auto& side = inj.partition_side();
+  ASSERT_EQ(side.size(), 64u);
+  uint64_t side_a = 0;
+  for (uint8_t s : side) side_a += s;
+  EXPECT_GT(side_a, 0u);   // both sides populated at frac 0.5, n = 64
+  EXPECT_LT(side_a, 64u);  // (overwhelmingly likely, and fixed by the seed)
+
+  uint64_t cross = 0;
+  for (NodeId u = 0; u < 64; ++u) cross += side[u] != side[(u + 1) % 64];
+  ASSERT_GT(cross, 0u);
+
+  for (uint64_t round = 0; round < 8; ++round) {
+    uint64_t before = net.stats().fault_drops;
+    for (NodeId u = 0; u < 64; ++u) net.send(u, (u + 1) % 64, 1, {u});
+    net.end_round();
+    uint64_t dropped = net.stats().fault_drops - before;
+    if (inj.partition_active(round)) {
+      // Exactly the cross-cut messages are lost while a window is open...
+      EXPECT_EQ(dropped, cross) << "round " << round;
+    } else {
+      // ...and the network heals completely in between and after.
+      EXPECT_EQ(dropped, 0u) << "round " << round;
+    }
+  }
+}
+
+TEST(ScenarioFaults, ByzantineCorruptionIsSeededAndWellFormed) {
+  FaultModel model;
+  model.byzantine_rate = 0.5;
+  auto run = [&](uint64_t seed) {
+    NetConfig cfg;
+    cfg.n = 64;
+    cfg.seed = seed;
+    Network net(cfg);
+    FaultInjector inj(net, model, seed, 1000);
+    std::vector<uint64_t> words;
+    for (int round = 0; round < 5; ++round) {
+      for (NodeId u = 0; u < 64; ++u)
+        net.send(u, (u + 1) % 64, 7, {u, 0xdeadbeef12345678ULL});
+      net.end_round();
+      for (NodeId u = 0; u < 64; ++u) {
+        for (const Message& m : net.inbox(u)) {
+          EXPECT_EQ(m.tag, 7u);      // corruption never touches the framing
+          EXPECT_EQ(m.nwords, 2u);   // nor the payload arity
+          EXPECT_LT(m.word(0), 64u); // id-plausible words stay in [0, n)
+          words.push_back(m.word(0));
+          words.push_back(m.word(1));
+        }
+      }
+    }
+    return std::make_pair(net.stats().corrupted, words);
+  };
+  auto [c1, w1] = run(11);
+  auto [c2, w2] = run(11);
+  auto [c3, w3] = run(12);
+  EXPECT_EQ(c1, c2);  // same seed: identical corruption decisions
+  EXPECT_EQ(w1, w2);  // ...and identical corrupted payloads
+  EXPECT_GT(c1, 50u);   // ~160 of 320 messages at rate 0.5
+  EXPECT_LT(c1, 270u);
+  EXPECT_NE(w1, w3);  // different seed, different mutations
+  // No message was dropped — byzantine participants lie, they don't mute.
+  EXPECT_EQ(w1.size(), 2u * 5u * 64u);
 }
 
 TEST(ScenarioFaults, DropDecisionsAreSeedDeterministic) {

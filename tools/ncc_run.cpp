@@ -2,19 +2,29 @@
 // scenarios/ (or any paths given) and emits machine-readable results.
 //
 //   ncc_run [options] spec.scn [spec2.scn ...]
-//   ncc_run --dir scenarios            # run every *.scn in a directory
+//   ncc_run --dir scenarios                   # run every *.scn in a directory
+//   ncc_run --sweep --dir scenarios/sweeps    # grid mode -> BENCH_sweeps.json
+//
+// Every spec is parsed as a sweep spec (`sweep.key = v1,v2,...` lines declare
+// grid axes; a file without them is a one-cell sweep), the cross-product is
+// expanded, and every cell runs through the scenario registry/verify path.
 //
 // Options:
-//   --dir DIR        run all *.scn files under DIR (sorted by name)
-//   --threads T      override every spec's engine thread count
-//   --json PATH      write results as a JSON array (default BENCH_scenarios.json)
-//   --no-timing      omit the wall-clock section — output is then a pure
+//   --dir DIR        run all *.scn files under DIR (sorted; repeatable)
+//   --sweep          group output per sweep file with axis metadata and write
+//                    it to BENCH_sweeps.json (default name in this mode)
+//   --threads T      override every cell's engine thread count
+//   --json PATH      write results as JSON (default BENCH_scenarios.json)
+//   --no-timing      omit the wall-clock sections — output is then a pure
 //                    function of (spec, seed), byte-identical across thread
 //                    counts (the determinism contract extends through faults)
 //   --list           print the registered algorithms and exit
 //
-// Exit status: 0 when every spec parsed and executed (degraded verdicts under
-// fault injection are results, not failures); 1 on parse/config errors.
+// Exit status: 0 only when every spec parsed and every cell's verdict
+// satisfies its spec's `expect` class (degraded verdicts under declared fault
+// injection are expected results; anything else — error:* verdicts, a
+// fault-free spec degrading, an expectation mismatch — is a regression and
+// exits 1). The per-spec summary table at the end shows the verdict mix.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -22,9 +32,11 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "scenario/metrics.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace ncc;
 using namespace ncc::scenario;
@@ -46,13 +58,54 @@ bool parse_cli_u32(const std::string& v, uint32_t* out) {
   }
 }
 
+/// Per-spec verdict mix for the summary table and the exit-status gate.
+struct SpecSummary {
+  std::string name;
+  uint64_t cells = 0, ok = 0, degraded = 0, round_limit = 0, errors = 0,
+           failed = 0;
+
+  void account(const ScenarioOutcome& out) {
+    ++cells;
+    if (out.verdict == "ok") {
+      ++ok;
+    } else if (out.verdict.rfind("degraded", 0) == 0) {
+      ++degraded;
+    } else if (out.verdict == "round_limit") {
+      ++round_limit;
+    } else {
+      ++errors;
+    }
+    if (out.failed) ++failed;
+  }
+};
+
+/// Compact per-cell record for the sweep JSON: verdict + headline counters,
+/// no per-round series (BENCH_sweeps.json is a grid, not a trace).
+void write_cell_json(JsonWriter& w, const std::string& label,
+                     const ScenarioOutcome& out, bool timing) {
+  w.begin_object();
+  w.kv("cell", label);
+  w.kv("verdict", out.verdict);
+  w.kv("ok", out.ok);
+  w.kv("expect", out.expect);
+  w.kv("failed", out.failed);
+  w.kv("rounds", out.rounds);
+  w.kv("messages", out.messages);
+  w.kv("fault_drops", out.fault_drops);
+  w.kv("corrupted", out.corrupted);
+  w.kv("crashed", out.crashed);
+  if (timing) w.kv("wall_ms", out.wall_ms);
+  w.end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   RunOptions opts;
-  std::string json_path = "BENCH_scenarios.json";
+  std::string json_path;
   bool list = false;
+  bool sweep_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -65,6 +118,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "ncc_run: cannot read directory %s\n", dir.c_str());
         return 1;
       }
+    } else if (arg == "--sweep") {
+      sweep_mode = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       if (!parse_cli_u32(argv[++i], &opts.threads_override) ||
           opts.threads_override == 0 || opts.threads_override > 1024) {
@@ -85,6 +140,11 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (json_path.empty())
+    json_path = sweep_mode ? "BENCH_sweeps.json" : "BENCH_scenarios.json";
+  // Sweep cells are reported as compact records built from outcome fields;
+  // skip assembling the full per-run JSON nobody reads in this mode.
+  opts.build_json = !sweep_mode;
 
   if (list) {
     std::printf("registered algorithms:\n");
@@ -94,7 +154,7 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) {
     std::fprintf(stderr,
-                 "usage: ncc_run [--dir DIR] [--threads T] [--json PATH] "
+                 "usage: ncc_run [--dir DIR] [--sweep] [--threads T] [--json PATH] "
                  "[--no-timing] [--list] [spec.scn ...]\n");
     return 1;
   }
@@ -102,38 +162,128 @@ int main(int argc, char** argv) {
 
   Table t({"scenario", "algorithm", "graph", "n", "verdict", "rounds", "messages",
            "fault drops", "crashed", "wall ms"});
-  std::vector<std::string> rows;
-  int failures = 0;
+  std::vector<std::string> rows;         // flat mode: full per-cell JSON objects
+  std::vector<std::string> sweep_rows;   // sweep mode: one grouped object per file
+  std::vector<SpecSummary> summaries;
+  int parse_failures = 0;
+  uint64_t total_failed = 0;
+
   for (const std::string& path : paths) {
     std::string error;
-    auto spec = parse_spec_file(path, &error);
-    if (!spec) {
+    auto sweep = parse_sweep_file(path, &error);
+    if (!sweep) {
       std::fprintf(stderr, "ncc_run: %s\n", error.c_str());
-      ++failures;
+      ++parse_failures;
       continue;
     }
-    ScenarioOutcome out = run_scenario(*spec, opts);
-    if (!out.ran) ++failures;
-    rows.push_back(out.json);
-    t.add_row({spec->name, spec->algorithm, family_name(spec->family),
-               Table::num(uint64_t{spec->n}), out.verdict, Table::num(out.rounds),
-               Table::num(out.messages), Table::num(out.fault_drops),
-               Table::num(uint64_t{out.crashed}), Table::num(out.wall_ms, 1)});
+    SpecSummary summary;
+    summary.name = sweep->name;
+
+    JsonWriter sw;
+    if (sweep_mode) {
+      sw.begin_object();
+      sw.kv("sweep", sweep->name);
+      sw.key("axes");
+      sw.begin_array();
+      for (const SweepAxis& a : sweep->axes) {
+        sw.begin_object();
+        sw.kv("key", a.key);
+        sw.key("values");
+        sw.begin_array();
+        for (const std::string& v : a.values) sw.value(v);
+        sw.end_array();
+        sw.end_object();
+      }
+      sw.end_array();
+      sw.key("cells");
+      sw.begin_array();
+    }
+
+    const uint64_t cells = sweep->cells();
+    for (uint64_t c = 0; c < cells; ++c) {
+      std::string label = sweep_cell_label(*sweep, c);
+      auto spec = expand_sweep_cell(*sweep, c, &error);
+      ScenarioOutcome out;
+      if (spec) {
+        out = run_scenario(*spec, opts);
+      } else {
+        // An unexpandable cell is a result too: a failed one, so a bad grid
+        // combination gates CI instead of vanishing from the report. There is
+        // no validated spec to describe, but the verdict/gate fields every
+        // consumer keys on are all present (expect is unresolved: empty).
+        out.verdict = "error:" + error;
+        out.failed = true;
+        if (!sweep_mode) {
+          JsonWriter w;
+          w.begin_object();
+          w.kv("scenario", sweep->name + (label.empty() ? "" : "/" + label));
+          w.kv("verdict", out.verdict);
+          w.kv("ok", false);
+          w.kv("expect", out.expect);
+          w.kv("failed", true);
+          w.end_object();
+          out.json = w.str();
+        }
+      }
+      summary.account(out);
+      if (out.failed) ++total_failed;
+      if (sweep_mode) {
+        write_cell_json(sw, label.empty() ? sweep->name : label, out, opts.timing);
+      } else {
+        rows.push_back(out.json);
+      }
+      t.add_row({spec ? spec->name : sweep->name + "/" + label,
+                 spec ? spec->algorithm : "?",
+                 spec ? family_name(spec->family) : "?",
+                 spec ? Table::num(uint64_t{spec->n}) : "?", out.verdict,
+                 Table::num(out.rounds), Table::num(out.messages),
+                 Table::num(out.fault_drops), Table::num(uint64_t{out.crashed}),
+                 Table::num(out.wall_ms, 1)});
+    }
+
+    if (sweep_mode) {
+      sw.end_array();
+      sw.kv("cells_total", summary.cells);
+      sw.kv("failed", summary.failed);
+      sw.end_object();
+      sweep_rows.push_back(sw.str());
+    }
+    summaries.push_back(std::move(summary));
   }
   t.print("== scenario results ==");
 
-  if (!json_path.empty()) {
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "ncc_run: cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-    std::fprintf(f, "[\n");
-    for (size_t i = 0; i < rows.size(); ++i)
-      std::fprintf(f, "  %s%s\n", rows[i].c_str(), i + 1 < rows.size() ? "," : "");
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    std::printf("json: %zu scenarios -> %s\n", rows.size(), json_path.c_str());
+  // The per-spec regression summary CI reads: every spec's verdict mix and
+  // how many cells failed their expectation.
+  Table s({"spec", "cells", "ok", "degraded", "round limit", "error", "FAILED"});
+  for (const SpecSummary& sm : summaries)
+    s.add_row({sm.name, Table::num(sm.cells), Table::num(sm.ok),
+               Table::num(sm.degraded), Table::num(sm.round_limit),
+               Table::num(sm.errors), Table::num(sm.failed)});
+  s.print("== per-spec summary ==");
+
+  const std::vector<std::string>& out_rows = sweep_mode ? sweep_rows : rows;
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "ncc_run: cannot write %s\n", json_path.c_str());
+    return 1;
   }
-  return failures == 0 ? 0 : 1;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < out_rows.size(); ++i)
+    std::fprintf(f, "  %s%s\n", out_rows[i].c_str(), i + 1 < out_rows.size() ? "," : "");
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("json: %zu %s -> %s\n", out_rows.size(),
+              sweep_mode ? "sweeps" : "scenarios", json_path.c_str());
+
+  if (parse_failures > 0) {
+    std::fprintf(stderr, "ncc_run: %d spec(s) failed to parse\n", parse_failures);
+    return 1;
+  }
+  if (total_failed > 0) {
+    std::fprintf(stderr,
+                 "ncc_run: %llu cell(s) failed their expected verdict class\n",
+                 static_cast<unsigned long long>(total_failed));
+    return 1;
+  }
+  return 0;
 }
