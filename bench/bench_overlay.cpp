@@ -1,0 +1,126 @@
+// Experiment OVERLAY (PR-4 tentpole): the same primitive workloads routed
+// over the three pluggable overlays — the paper's butterfly, the hypercube
+// Q_d and the augmented cube AQ_d (arXiv:1508.07257 construction).
+//
+// Expected shape, verified by the rows:
+//  * hypercube == butterfly exactly in rounds and messages (the butterfly is
+//    the time-unrolled hypercube; only the congestion accounting differs);
+//  * augmented_cube trades rounds for bandwidth: ceil((d+1)/2) routing levels
+//    instead of d (combining/spreading phases shorten) at a 2d-1 per-node
+//    degree (termination tokens multiply, so messages grow).
+//
+// Workloads: the Aggregation Algorithm (Theorem 2.3, G groups over L items)
+// and multicast tree setup + spreading (Theorems 2.4/2.5), both through the
+// real Shared/Network stack so barriers and injection rounds are included.
+// Emits BENCH_overlay.json: one row per (workload, overlay, n) with
+// rounds/messages/wall_ms; the row name encodes the overlay.
+#include <string>
+
+#include "bench_util.hpp"
+#include "overlay/overlay.hpp"
+#include "primitives/aggregation.hpp"
+#include "primitives/multicast.hpp"
+
+using namespace ncc;
+using namespace ncc::bench;
+
+namespace {
+
+// capacity_factor 16 funds AQ_d's 2d-1 per-round degree under strict_send
+// (the butterfly needs only 8; both run with the same budget for fairness).
+Network make_overlay_net(NodeId n, uint64_t seed) {
+  NetConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.capacity_factor = 16;
+  return Network(cfg);
+}
+
+struct Row {
+  uint64_t rounds = 0;
+  uint64_t messages = 0;
+  double wall_ms = 0.0;
+  uint32_t congestion = 0;
+};
+
+Row run_aggregation_workload(OverlayKind kind, NodeId n, uint32_t threads) {
+  Network net = make_overlay_net(n, 42);
+  auto engine = attach_engine(net, threads);
+  Shared shared(n, 42, kind);
+  const uint64_t groups = n / 4;
+  AggregationProblem prob;
+  prob.combine = agg::sum;
+  prob.target = [n](uint64_t g) { return static_cast<NodeId>(g % n); };
+  prob.ell2_hat = 1;
+  Rng rng(7);
+  for (uint64_t i = 0; i < 8ull * n; ++i)
+    prob.items.push_back({static_cast<NodeId>(rng.next_below(n)),
+                          rng.next_below(groups), Val{1, 0}});
+  WallTimer timer;
+  AggregationResult res = run_aggregation(shared, net, prob, 1);
+  NCC_ASSERT_MSG(res.at_target.size() == groups, "aggregation lost groups");
+  return {net.stats().rounds, net.stats().messages_sent, timer.ms(),
+          res.route.congestion};
+}
+
+Row run_multicast_workload(OverlayKind kind, NodeId n, uint32_t threads) {
+  Network net = make_overlay_net(n, 43);
+  auto engine = attach_engine(net, threads);
+  Shared shared(n, 43, kind);
+  const uint64_t groups = n / 8;
+  std::vector<MulticastMembership> members;
+  for (NodeId u = 0; u < n; ++u) members.push_back({u, u % groups});
+  WallTimer timer;
+  MulticastSetupResult setup = setup_multicast_trees(shared, net, members, 1);
+  std::vector<MulticastSend> sends;
+  for (uint64_t g = 0; g < groups; ++g)
+    sends.push_back({g, static_cast<NodeId>(g), Val{0xbeef + g, 0}});
+  MulticastResult res = run_multicast(shared, net, setup.trees, sends, 1, 1);
+  uint64_t delivered = 0;
+  for (NodeId u = 0; u < n; ++u) delivered += !res.received[u].empty();
+  NCC_ASSERT_MSG(delivered == n, "multicast missed members");
+  return {net.stats().rounds, net.stats().messages_sent, timer.ms(),
+          setup.trees.congestion};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOpts opts = parse_opts(argc, argv);
+  std::printf("== OVERLAY: butterfly vs hypercube vs augmented cube "
+              "(pluggable overlay layer) ==\n");
+  std::printf("   engine threads: %u\n\n", opts.threads);
+
+  std::vector<NodeId> sizes = opts.quick ? std::vector<NodeId>{128}
+                                         : std::vector<NodeId>{128, 512, 2048};
+  struct Workload {
+    const char* name;
+    Row (*run)(OverlayKind, NodeId, uint32_t);
+  } workloads[] = {{"aggregation", run_aggregation_workload},
+                   {"multicast", run_multicast_workload}};
+
+  BenchJson json;
+  for (const Workload& w : workloads) {
+    Table t({"n", "overlay", "levels", "rounds", "messages", "congestion",
+             "wall ms", "rounds vs butterfly", "msgs vs butterfly"});
+    for (NodeId n : sizes) {
+      Row base{};
+      for (OverlayKind kind : all_overlay_kinds()) {
+        Row r = w.run(kind, n, opts.threads);
+        if (kind == OverlayKind::kButterfly) base = r;
+        auto topo = make_overlay(kind, n);
+        t.add_row({Table::num(uint64_t{n}), overlay_name(kind),
+                   Table::num(uint64_t{topo->levels()}), Table::num(r.rounds),
+                   Table::num(r.messages), Table::num(uint64_t{r.congestion}),
+                   Table::num(r.wall_ms, 1),
+                   Table::num(static_cast<double>(r.rounds) / base.rounds, 2),
+                   Table::num(static_cast<double>(r.messages) / base.messages, 2)});
+        json.add(std::string(w.name) + "/" + overlay_name(kind), n, opts.threads,
+                 r.rounds, r.wall_ms, r.messages);
+      }
+    }
+    t.print(std::string("== ") + w.name + " ==");
+  }
+  json.save(opts.json.empty() ? "BENCH_overlay.json" : opts.json);
+  return 0;
+}

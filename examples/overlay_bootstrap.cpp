@@ -14,6 +14,7 @@
 #include "core/mis.hpp"
 #include "core/orientation_algo.hpp"
 #include "core/overlay_join.hpp"
+#include "overlay/butterfly.hpp"
 #include "graph/generators.hpp"
 
 using namespace ncc;
@@ -30,8 +31,8 @@ int main(int argc, char** argv) {
   Network net(cfg);
 
   // Phase 0: butterfly overlay from restricted knowledge.
-  ButterflyTopo topo(n);
-  auto join = build_butterfly_overlay(net, topo, {}, 15);
+  ButterflyOverlay topo(n);
+  auto join = build_overlay_join(net, topo, {}, 15);
   std::printf("overlay join: %lu rounds, %lu introductions, avg %.1f hops, "
               "knowledge %u..%u ids/node, complete=%s\n",
               join.rounds, join.requests,

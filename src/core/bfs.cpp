@@ -10,7 +10,7 @@ BfsResult run_bfs(const Shared& shared, Network& net, const Graph& g,
                   const BroadcastTrees& bt, NodeId source, uint64_t rng_tag) {
   const NodeId n = g.n();
   NCC_ASSERT(source < n);
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   uint64_t start_rounds = net.stats().total_rounds();
 
   BfsResult res;

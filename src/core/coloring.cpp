@@ -18,7 +18,7 @@ ColoringResult run_coloring(const Shared& shared, Network& net, const Graph& g,
                             const OrientationRunResult& orient,
                             const ColoringParams& params, uint64_t rng_tag) {
   const NodeId n = g.n();
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   const Orientation& ori = orient.orientation;
   NCC_ASSERT_MSG(ori.complete(), "coloring needs a completed orientation");
   uint64_t start_rounds = net.stats().total_rounds();

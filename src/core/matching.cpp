@@ -16,7 +16,7 @@ constexpr uint32_t kTagPickNotify = 0x3100;
 MatchingResult run_matching(const Shared& shared, Network& net, const Graph& g,
                             const BroadcastTrees& bt, uint64_t rng_tag) {
   const NodeId n = g.n();
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   uint64_t start_rounds = net.stats().total_rounds();
 
   MatchingResult res;

@@ -9,7 +9,7 @@ namespace ncc {
 MisResult run_mis(const Shared& shared, Network& net, const Graph& g,
                   const BroadcastTrees& bt, uint64_t rng_tag) {
   const NodeId n = g.n();
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   uint64_t start_rounds = net.stats().total_rounds();
 
   MisResult res;

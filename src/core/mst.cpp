@@ -46,7 +46,7 @@ struct KeyCodec {
 MstResult run_mst(const Shared& shared, Network& net, const Graph& g,
                   const MstParams& params, uint64_t rng_tag) {
   const NodeId n = g.n();
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   const uint32_t logn = cap_log(n);
   NCC_ASSERT_MSG(n <= (1u << 16), "FindMin key packing supports n <= 2^16");
   NCC_ASSERT_MSG(g.max_weight() <= (1u << 20), "weights must be <= 2^20 (poly(n))");

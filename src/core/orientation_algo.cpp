@@ -72,7 +72,7 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
                                      const OrientationAlgoParams& params) {
   const NodeId n = g.n();
   NCC_ASSERT(n == net.n());
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   const uint32_t logn = cap_log(n);
   constexpr double kE = 2.718281828459045;
 
@@ -112,7 +112,10 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
         auto it = agg_res.at_target.find(u);
         if (it != agg_res.at_target.end())
           inactive_nb = static_cast<uint32_t>(it->second[0]);
-        d_i[u] = g.degree(u) - inactive_nb;
+        // Clamp: a legitimate count never exceeds the degree, but a byzantine
+        // payload mutation can report one — an unclamped value underflows
+        // d_i and blows the later round horizons up.
+        d_i[u] = g.degree(u) - std::min(inactive_nb, g.degree(u));
       }
     }
     // Average remaining degree over non-inactive nodes; also the
@@ -155,6 +158,10 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
       for (NodeId u : active) inputs[u] = Val{d_i[u], 0};
       auto ab = aggregate_and_broadcast(topo, net, inputs, agg::max_by_first);
       if (ab.value.has_value()) d_star_i = static_cast<uint32_t>((*ab.value)[0]);
+      // Clamp: a degree bound is < n on any honest run; a byzantine mutation
+      // must not be allowed to schedule an astronomically long contact phase
+      // (the horizon allocates one slot vector per round).
+      d_star_i = std::min<uint32_t>(d_star_i, n - 1);
     }
     res.d_star = std::max(res.d_star, d_star_i);
     uint32_t d_star = std::max(res.d_star, 1u);
@@ -299,9 +306,23 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
       sync_barrier(topo, net);
     }
 
-    // Sanity: red sets must exactly match the non-inactive neighbors.
-    // (Model-level invariant; holds unless the network dropped messages.)
+    // Sanity: red sets must exactly match the non-inactive neighbors — a
+    // model-level invariant on a reliable network. Under fault injection a
+    // lost or corrupted identification answer legitimately breaks it: filter
+    // the impossible entries, count the damage, and carry on degraded.
     for (NodeId u : active) {
+      if (net.losses_possible()) {
+        auto& r = red[u];
+        size_t before = r.size();
+        r.erase(std::remove_if(r.begin(), r.end(),
+                               [&](NodeId v) {
+                                 return v >= n || v == u || status[v] == St::Inactive ||
+                                        !g.has_edge(u, v);
+                               }),
+                r.end());
+        res.fault_conflicts += (before - r.size()) + (r.size() != d_i[u] ? 1 : 0);
+        continue;
+      }
       for (NodeId v : red[u]) NCC_ASSERT(status[v] != St::Inactive);
       uint32_t expect = d_i[u];
       NCC_ASSERT_MSG(red[u].size() == expect,
@@ -386,15 +407,28 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
     }
 
     // ---------------- Conclude the phase locally ------------------------
+    // On a reliable network every edge is claimed exactly once (the stage-3
+    // rendezvous tells both endpoints the same story); under fault injection
+    // a lost response can make both endpoints treat the other as waiting, so
+    // the duplicate claim is counted and the first direction kept.
+    auto orient_once = [&](NodeId u, NodeId v) {
+      if (res.orientation.is_oriented(u, v)) {
+        NCC_ASSERT_MSG(net.losses_possible(),
+                       "edge oriented twice on a reliable network");
+        ++res.fault_conflicts;
+        return;
+      }
+      res.orientation.orient(u, v);
+    };
     for (NodeId u : active) {
       std::unordered_set<NodeId> act(active_red[u].begin(), active_red[u].end());
       std::vector<NodeId> waiting_red;
       for (NodeId v : red[u]) {
         if (act.count(v)) {
           res.same_level[u].push_back(v);
-          if (u < v) res.orientation.orient(u, v);  // id rule, recorded once
+          if (u < v) orient_once(u, v);  // id rule, recorded once
         } else {
-          res.orientation.orient(u, v);  // u -> waiting neighbor
+          orient_once(u, v);  // u -> waiting neighbor
           waiting_red.push_back(v);
         }
       }

@@ -56,6 +56,13 @@ struct OrientationRunResult {
   /// direct fallback, summed over phases.
   uint64_t unsuccessful_first = 0;
   uint64_t direct_fallbacks = 0;
+  /// Protocol inconsistencies tolerated under fault injection: edges both
+  /// endpoints claimed (a lost stage-3 response makes u and v each believe
+  /// the other is waiting; the first recorded direction wins) and red sets
+  /// that identification got wrong (impossible entries filtered, size
+  /// mismatches counted). Always zero on a reliable network, where any of
+  /// these is a hard invariant violation.
+  uint64_t fault_conflicts = 0;
 
   OrientationRunResult(const Graph& g) : orientation(g) {}
 };

@@ -44,9 +44,9 @@ NodeId closest_known(const std::set<NodeId>& known, NodeId target, NodeId n) {
 
 }  // namespace
 
-OverlayJoinResult build_butterfly_overlay(Network& net, const ButterflyTopo& topo,
-                                          const OverlayJoinParams& params,
-                                          uint64_t seed) {
+OverlayJoinResult build_overlay_join(Network& net, const Overlay& topo,
+                                     const OverlayJoinParams& params,
+                                     uint64_t seed) {
   const NodeId n = net.n();
   NCC_ASSERT(topo.n() == n);
   const uint32_t logn = cap_log(n);
@@ -65,15 +65,15 @@ OverlayJoinResult build_butterfly_overlay(Network& net, const ButterflyTopo& top
     }
   }
 
-  // Targets: the butterfly cross-neighbor hosts of the node's column (all
-  // levels flip one column bit), plus the attachment link for non-emulating
-  // nodes.
+  // Targets: the overlay cross-neighbor hosts of the node's column (the
+  // generator images the overlay declares), plus the attachment link for
+  // non-emulating nodes.
   std::vector<std::deque<NodeId>> wanted(n);
   uint64_t satisfied_needed = 0;
   for (NodeId u = 0; u < n; ++u) {
     if (topo.emulates(u)) {
-      for (uint32_t j = 0; j < topo.dims(); ++j) {
-        NodeId t = topo.host(u ^ (NodeId{1} << j));
+      for (NodeId nb : topo.column_neighbors(u)) {
+        NodeId t = topo.host(nb);
         if (t != u && !known[u].count(t)) wanted[u].push_back(t);
       }
     } else {
@@ -161,13 +161,13 @@ OverlayJoinResult build_butterfly_overlay(Network& net, const ButterflyTopo& top
                    "overlay join overloaded the network");
   }
 
-  // Verify: every node now knows all of its butterfly neighbor hosts.
+  // Verify: every node now knows all of its overlay neighbor hosts.
   res.complete = true;
   res.min_knowledge = UINT32_MAX;
   for (NodeId u = 0; u < n; ++u) {
     if (topo.emulates(u)) {
-      for (uint32_t j = 0; j < topo.dims(); ++j) {
-        NodeId t = topo.host(u ^ (NodeId{1} << j));
+      for (NodeId nb : topo.column_neighbors(u)) {
+        NodeId t = topo.host(nb);
         if (t != u && !known[u].count(t)) res.complete = false;
       }
     } else if (!known[u].count(topo.host(topo.attach_column(u)))) {

@@ -1,5 +1,5 @@
-// Butterfly overlay construction under restricted initial knowledge
-// (Section 6 / footnote 4 of the paper).
+// Overlay construction under restricted initial knowledge (Section 6 /
+// footnote 4 of the paper), for any pluggable overlay (src/overlay/).
 //
 // The paper observes that none of its algorithms actually needs the full
 // clique knowledge: it suffices that every node initially knows Theta(log n)
@@ -9,7 +9,8 @@
 // special case the paper needs:
 //
 //   * every node must *learn* (i.e., be introduced to) the hosts of its
-//     butterfly cross-neighbors — O(log n) specific identifiers;
+//     overlay cross-neighbors — O(log n) specific identifiers (d for the
+//     butterfly/hypercube, 2d-1 for the augmented cube);
 //   * a node may only send messages to identifiers it has already learned
 //     (the knowledge-restricted variant of the NCC);
 //   * introductions are routed greedily through the random-contact graph:
@@ -24,7 +25,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "butterfly/topology.hpp"
+#include "overlay/overlay.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
 
@@ -43,18 +44,18 @@ struct OverlayJoinResult {
   uint64_t requests = 0;        // introduction requests routed
   uint64_t total_hops = 0;      // over all requests
   uint32_t max_hops = 0;        // worst single request
-  bool complete = false;        // every node knows all its butterfly neighbors
+  bool complete = false;        // every node knows all its overlay neighbors
   /// Final knowledge-set sizes (min/max over nodes), for the O(log n) claim.
   uint32_t min_knowledge = 0;
   uint32_t max_knowledge = 0;
 };
 
-/// Builds the butterfly overlay from random contacts on `net` and reports the
-/// cost. After success, the standard primitives can run unchanged (they only
-/// ever message butterfly neighbors, attach nodes, and ids learned through
-/// the protocols themselves).
-OverlayJoinResult build_butterfly_overlay(Network& net, const ButterflyTopo& topo,
-                                          const OverlayJoinParams& params = {},
-                                          uint64_t seed = 1);
+/// Builds `topo`'s overlay neighborhoods from random contacts on `net` and
+/// reports the cost. After success, the standard primitives can run unchanged
+/// (they only ever message overlay neighbors, attach nodes, and ids learned
+/// through the protocols themselves).
+OverlayJoinResult build_overlay_join(Network& net, const Overlay& topo,
+                                     const OverlayJoinParams& params = {},
+                                     uint64_t seed = 1);
 
 }  // namespace ncc

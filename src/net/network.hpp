@@ -149,6 +149,15 @@ class Network {
   /// packet there is an algorithm bug) and tolerate-and-count only when this
   /// is set (there it is network behaviour).
   bool corruption_possible() const { return static_cast<bool>(faults_.corrupt); }
+  /// True when an installed fault hook can lose or mutate traffic. Protocol
+  /// layers keep hard invariants on reliable networks (a violated invariant
+  /// there is an algorithm bug) and tolerate-and-count only when this is set
+  /// (there it is network behaviour: lost responses can desynchronize two
+  /// endpoints of the same edge).
+  bool losses_possible() const {
+    return static_cast<bool>(faults_.drop) || static_cast<bool>(faults_.corrupt) ||
+           static_cast<bool>(faults_.recv_cap);  // perturbation drops over-cap messages
+  }
 
   /// Reset round/message statistics (topology and config are kept). Also
   /// clears pending traffic and the per-shard delivery staging.

@@ -1,0 +1,88 @@
+// The augmented cube AQ_d (Choudum & Sunitha; its automorphism structure is
+// the subject of Ganesan, arXiv:1508.07257) as an emulated overlay.
+//
+// AQ_d has vertex set {0,1}^d; vertex a is adjacent to a ^ g for the 2d-1
+// neighbor generators
+//   e_i = 2^i              (hypercube edges,     i = 0..d-1)
+//   s_j = 2^{j+1} - 1      (suffix complements,  j = 1..d-1; s_0 == e_0)
+// — degree 2d-1, against the hypercube's d at the same node count.
+//
+// Greedy routing fixes the address from the top bit down: with
+// delta = col ^ dest and h = msb(delta), take the maximal run of set bits
+// l..h ending at h and apply
+//   s_h   if l == 0          (delta is a suffix mask: one hop finishes),
+//   e_h   if l == h          (isolated bit),
+//   s_h   otherwise          (clears the run, complements bits 0..l-1 whose
+//                             new msb is l-1 <= h-2).
+// Every step drops msb(delta) by >= 1 and the isolated/run cases drop it by
+// >= 2, giving route length <= ceil((d+1)/2) — the AQ_d diameter — so the
+// overlay needs ceil((d+1)/2)+1 routing levels where the butterfly needs d+1.
+// The trade: about half the routing rounds for a 2d-1 per-round degree (pair
+// AQ workloads with capacity_factor >= 16 to keep the NCC send budget ample).
+#pragma once
+
+#include "overlay/overlay.hpp"
+
+namespace ncc {
+
+class AugmentedCubeOverlay final : public Overlay {
+ public:
+  explicit AugmentedCubeOverlay(NodeId n) : Overlay(n) {}
+
+  OverlayKind kind() const override { return OverlayKind::kAugmentedCube; }
+  uint32_t levels() const override { return ceil_div(dims() + 1, 2) + 1; }
+
+  /// Straight edge + the 2d-1 generators, at every level.
+  uint32_t down_degree(uint32_t) const override { return 2 * dims(); }
+
+  NodeId down_column(uint32_t level, NodeId col, uint32_t edge) const override {
+    NCC_ASSERT(level + 1 < levels() && edge < down_degree(level));
+    return edge == 0 ? col : col ^ generator(edge);
+  }
+
+  uint32_t route_edge(uint32_t level, NodeId col, NodeId dest) const override {
+    NCC_ASSERT(level + 1 < levels());
+    NodeId delta = col ^ dest;
+    if (delta == 0) return 0;
+    uint32_t h = floor_log2(delta);
+    uint32_t l = h;
+    while (l > 0 && ((delta >> (l - 1)) & 1u)) --l;
+    if (l == h && l != 0) return 1 + h;          // isolated bit: e_h
+    if (h == 0) return 1;                        // s_0 == e_0
+    return 1 + dims() + (h - 1);                 // suffix complement s_h
+  }
+
+  uint64_t overlay_node(uint32_t, NodeId col) const override { return col; }
+  uint64_t overlay_node_count() const override { return columns(); }
+
+  uint32_t edge_from_delta(uint32_t, NodeId delta) const override {
+    NCC_ASSERT(delta != 0);
+    if ((delta & (delta - 1)) == 0) {  // e_i
+      uint32_t i = floor_log2(delta);
+      NCC_ASSERT(i < dims());
+      return 1 + i;
+    }
+    uint32_t h = floor_log2(delta);  // s_h = 2^{h+1} - 1
+    NCC_ASSERT(h >= 1 && h < dims() && delta == (NodeId{1} << (h + 1)) - 1);
+    return 1 + dims() + (h - 1);
+  }
+
+  std::vector<NodeId> column_neighbors(NodeId col) const override {
+    std::vector<NodeId> out;
+    out.reserve(2 * dims() - 1);
+    for (uint32_t e = 1; e < down_degree(0); ++e) out.push_back(col ^ generator(e));
+    return out;
+  }
+
+ private:
+  /// Column XOR mask of down-edge `edge` (edge >= 1): edges 1..d are
+  /// e_0..e_{d-1}, edges d+1..2d-1 are s_1..s_{d-1}.
+  NodeId generator(uint32_t edge) const {
+    NCC_ASSERT(edge >= 1 && edge < down_degree(0));
+    if (edge <= dims()) return NodeId{1} << (edge - 1);
+    uint32_t j = edge - dims();  // 1..d-1
+    return (NodeId{1} << (j + 1)) - 1;
+  }
+};
+
+}  // namespace ncc

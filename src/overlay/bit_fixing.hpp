@@ -1,0 +1,43 @@
+// Shared routing math of the two bit-fixing overlays (butterfly and
+// hypercube): d+1 levels, degree 2 (straight + flip bit `level`), the unique
+// path that fixes one address bit per level. The butterfly is the
+// time-unrolled hypercube, so the only differences between the two live in
+// the subclasses: which emulated graph backs the routing states (distinct
+// butterfly nodes vs 2^d cube vertices — the congestion accounting).
+#pragma once
+
+#include "overlay/overlay.hpp"
+
+namespace ncc {
+
+class BitFixingOverlay : public Overlay {
+ public:
+  explicit BitFixingOverlay(NodeId n) : Overlay(n) {}
+
+  uint32_t levels() const override { return dims() + 1; }
+  uint32_t down_degree(uint32_t) const override { return 2; }
+
+  NodeId down_column(uint32_t level, NodeId col, uint32_t edge) const override {
+    NCC_ASSERT(level < dims() && edge < 2);
+    return edge ? (col ^ (NodeId{1} << level)) : col;
+  }
+
+  uint32_t route_edge(uint32_t level, NodeId col, NodeId dest) const override {
+    NCC_ASSERT(level < dims());
+    return ((col ^ dest) >> level) & 1u;
+  }
+
+  uint32_t edge_from_delta(uint32_t level, NodeId delta) const override {
+    NCC_ASSERT(level < dims() && delta == (NodeId{1} << level));
+    return 1;
+  }
+
+  std::vector<NodeId> column_neighbors(NodeId col) const override {
+    std::vector<NodeId> out;
+    out.reserve(dims());
+    for (uint32_t i = 0; i < dims(); ++i) out.push_back(col ^ (NodeId{1} << i));
+    return out;
+  }
+};
+
+}  // namespace ncc

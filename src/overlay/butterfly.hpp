@@ -1,0 +1,24 @@
+// The d-dimensional butterfly emulated on the NCC nodes (Section 2.2).
+//
+// For d = floor(log2 n) the butterfly has node set [d+1] x [2^d]; level-i node
+// (i, a) connects to (i+1, a) (straight edge) and (i+1, b) where b flips bit i
+// (cross edge). Straight edges stay inside one column (free local state);
+// cross edges cross columns and cost real NCC messages — a butterfly
+// communication round maps to exactly one NCC round. The unique level-0 ->
+// level-d path to a destination fixes one address bit per level (the shared
+// BitFixingOverlay math); every (level, column) pair is a physically distinct
+// overlay node, which is what sets the butterfly apart from the hypercube.
+#pragma once
+
+#include "overlay/bit_fixing.hpp"
+
+namespace ncc {
+
+class ButterflyOverlay final : public BitFixingOverlay {
+ public:
+  explicit ButterflyOverlay(NodeId n) : BitFixingOverlay(n) {}
+
+  OverlayKind kind() const override { return OverlayKind::kButterfly; }
+};
+
+}  // namespace ncc

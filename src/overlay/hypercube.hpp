@@ -1,0 +1,26 @@
+// The hypercube Q_d as an emulated overlay: 2^d vertices, vertex a adjacent
+// to a ^ 2^i for every dimension i. Routing is level-synchronous
+// dimension-order ("fix bit i at step i"), which makes the column dynamics
+// exactly those of the butterfly — the butterfly is the time-unrolled
+// hypercube — so rounds and messages match the butterfly bit for bit (the
+// shared BitFixingOverlay math). What differs is the emulated graph: d+1
+// butterfly levels collapse onto the same 2^d cube vertices, so
+// per-overlay-node congestion aggregates across levels and the overlay graph
+// has degree d (structural tests key on this).
+#pragma once
+
+#include "overlay/bit_fixing.hpp"
+
+namespace ncc {
+
+class HypercubeOverlay final : public BitFixingOverlay {
+ public:
+  explicit HypercubeOverlay(NodeId n) : BitFixingOverlay(n) {}
+
+  OverlayKind kind() const override { return OverlayKind::kHypercube; }
+
+  uint64_t overlay_node(uint32_t, NodeId col) const override { return col; }
+  uint64_t overlay_node_count() const override { return columns(); }
+};
+
+}  // namespace ncc

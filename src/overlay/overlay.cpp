@@ -1,0 +1,53 @@
+#include "overlay/overlay.hpp"
+
+#include "overlay/augmented_cube.hpp"
+#include "overlay/butterfly.hpp"
+#include "overlay/hypercube.hpp"
+
+namespace ncc {
+
+namespace {
+
+const struct {
+  OverlayKind kind;
+  const char* name;
+} kOverlays[] = {
+    {OverlayKind::kButterfly, "butterfly"},
+    {OverlayKind::kHypercube, "hypercube"},
+    {OverlayKind::kAugmentedCube, "augmented_cube"},
+};
+
+}  // namespace
+
+const char* overlay_name(OverlayKind kind) {
+  for (const auto& e : kOverlays)
+    if (e.kind == kind) return e.name;
+  return "?";
+}
+
+std::optional<OverlayKind> overlay_from_name(const std::string& name) {
+  for (const auto& e : kOverlays)
+    if (name == e.name) return e.kind;
+  return std::nullopt;
+}
+
+const std::vector<OverlayKind>& all_overlay_kinds() {
+  static const std::vector<OverlayKind> kinds = {
+      OverlayKind::kButterfly, OverlayKind::kHypercube, OverlayKind::kAugmentedCube};
+  return kinds;
+}
+
+std::unique_ptr<Overlay> make_overlay(OverlayKind kind, NodeId n) {
+  switch (kind) {
+    case OverlayKind::kButterfly:
+      return std::make_unique<ButterflyOverlay>(n);
+    case OverlayKind::kHypercube:
+      return std::make_unique<HypercubeOverlay>(n);
+    case OverlayKind::kAugmentedCube:
+      return std::make_unique<AugmentedCubeOverlay>(n);
+  }
+  NCC_ASSERT_MSG(false, "unknown overlay kind");
+  return nullptr;
+}
+
+}  // namespace ncc

@@ -1,0 +1,146 @@
+// The pluggable overlay-topology layer: the emulated communication structure
+// the NCC primitives route over (Section 2.2 defines it for the butterfly;
+// ROADMAP's augmented-cube item generalizes it).
+//
+// Every overlay here shares the same emulation frame:
+//  * d = floor(log2 n) "column" address bits; the 2^d columns are hosted one
+//    per real node (host(col) == col), real nodes with id >= 2^d attach to
+//    column id - 2^d for input/output.
+//  * Routing proceeds in `levels()` synchronized steps: a packet at routing
+//    state (level, col) moves to (level+1, down_column(level, col, e)) along
+//    one of `down_degree(level)` directed down-edges. Edge 0 is always the
+//    "straight" edge (column unchanged — free, the move stays inside one real
+//    node); edges >= 1 XOR a nonzero generator into the column and cost one
+//    real NCC message. Generators are involutions, so every down-edge has a
+//    unique reverse up-edge (up_column) and in-degree equals out-degree.
+//  * route_edge(level, col, dest) is the deterministic greedy routing rule:
+//    starting anywhere at level 0 and following it for levels()-1 steps
+//    reaches `dest` — one overlay communication round is one NCC round, for
+//    every overlay.
+//
+// Concrete overlays:
+//  * ButterflyOverlay — the paper's d-dimensional butterfly: (d+1) levels,
+//    degree 2 (straight + flip bit `level`).
+//  * HypercubeOverlay — Q_d with level-synchronous dimension-order routing;
+//    identical column dynamics to the butterfly (the butterfly *is* the
+//    time-unrolled hypercube) but the emulated graph is the 2^d-vertex cube,
+//    which changes the per-overlay-node congestion accounting.
+//  * AugmentedCubeOverlay — AQ_d (Choudum–Sunitha; automorphism structure in
+//    Ganesan, arXiv:1508.07257): 2d-1 generators (d bit flips e_i plus d-1
+//    suffix complements s_j = 2^{j+1}-1), diameter ceil((d+1)/2) — about half
+//    the routing levels of the butterfly at the price of a larger per-round
+//    degree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "graph/graph.hpp"
+
+namespace ncc {
+
+enum class OverlayKind { kButterfly, kHypercube, kAugmentedCube };
+
+const char* overlay_name(OverlayKind kind);
+std::optional<OverlayKind> overlay_from_name(const std::string& name);
+/// All kinds, in a fixed order (iteration in tests and benches).
+const std::vector<OverlayKind>& all_overlay_kinds();
+
+class Overlay {
+ public:
+  explicit Overlay(NodeId n)
+      : n_(n), dims_(floor_log2(n)), columns_(NodeId{1} << dims_) {
+    NCC_ASSERT(n >= 2);
+  }
+  virtual ~Overlay() = default;
+
+  virtual OverlayKind kind() const = 0;
+  const char* name() const { return overlay_name(kind()); }
+
+  NodeId n() const { return n_; }
+  uint32_t dims() const { return dims_; }      // d: column address bits
+  NodeId columns() const { return columns_; }  // 2^d
+
+  /// Routing levels (states 0..levels()-1; levels()-1 routing steps).
+  virtual uint32_t levels() const = 0;
+
+  /// Real node hosting column `col`.
+  NodeId host(NodeId col) const {
+    NCC_ASSERT(col < columns_);
+    return col;
+  }
+
+  /// True if real node `u` hosts an overlay column.
+  bool emulates(NodeId u) const { return u < columns_; }
+
+  /// Attachment column for a non-hosting real node (id >= 2^d).
+  NodeId attach_column(NodeId u) const {
+    NCC_ASSERT(!emulates(u));
+    return u - columns_;
+  }
+
+  /// Down-edges leaving a node at `level` (0 <= level < levels()-1): edge 0
+  /// is the free straight edge, edges 1..down_degree-1 are message edges.
+  virtual uint32_t down_degree(uint32_t level) const = 0;
+
+  /// Column reached from (level, col) along down-edge `edge`.
+  virtual NodeId down_column(uint32_t level, NodeId col, uint32_t edge) const = 0;
+
+  /// Column reached from (level, col) along the reverse of down-edge `edge`
+  /// of level-1 (generators are involutions, so the reverse reuses it).
+  NodeId up_column(uint32_t level, NodeId col, uint32_t edge) const {
+    NCC_ASSERT(level >= 1);
+    return down_column(level - 1, col, edge);
+  }
+
+  /// The down-edge the greedy route from `col` toward `dest` takes at
+  /// `level`. Following this rule from any level-0 column reaches `dest` by
+  /// level levels()-1 (asserted by the routing layer).
+  virtual uint32_t route_edge(uint32_t level, NodeId col, NodeId dest) const = 0;
+
+  /// The cross down-edge of `level` whose generator is `delta` (the XOR of
+  /// the edge's two endpoint columns); asserts that `delta` is one of the
+  /// level's generators. The routing layer uses this to derive a token's
+  /// in-edge from the message's transport framing (src and dst are network
+  /// truth), which keeps token bookkeeping immune to byzantine payload
+  /// corruption.
+  virtual uint32_t edge_from_delta(uint32_t level, NodeId delta) const = 0;
+
+  /// Flat index of routing state (level, col) for per-state arrays.
+  uint64_t index(uint32_t level, NodeId col) const {
+    NCC_ASSERT(level < levels() && col < columns_);
+    return static_cast<uint64_t>(level) * columns_ + col;
+  }
+  uint64_t node_count() const {
+    return static_cast<uint64_t>(levels()) * columns_;
+  }
+
+  /// The emulated overlay-graph node backing routing state (level, col) —
+  /// the unit per-node congestion is accounted against. The butterfly's
+  /// levels are physically distinct overlay nodes; on the cube overlays the
+  /// levels are time steps of the same 2^d vertices.
+  virtual uint64_t overlay_node(uint32_t level, NodeId col) const {
+    return index(level, col);
+  }
+  virtual uint64_t overlay_node_count() const { return node_count(); }
+
+  /// Distinct columns adjacent to `col` in the emulated overlay graph (the
+  /// union of all cross generators; drives overlay join and the structural
+  /// tests: Q_d has d neighbors, AQ_d has 2d-1).
+  virtual std::vector<NodeId> column_neighbors(NodeId col) const = 0;
+
+ private:
+  NodeId n_;
+  uint32_t dims_;
+  NodeId columns_;
+};
+
+/// Factory used by Shared and the scenario layer.
+std::unique_ptr<Overlay> make_overlay(OverlayKind kind, NodeId n);
+
+}  // namespace ncc

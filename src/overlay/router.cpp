@@ -1,8 +1,9 @@
-#include "butterfly/router.hpp"
+#include "overlay/router.hpp"
 
 #include <algorithm>
 #include <bit>
 #include <unordered_set>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "engine/engine.hpp"
@@ -25,7 +26,7 @@ Val xor_xor(const Val& a, const Val& b) { return {a[0] ^ b[0], a[1] ^ b[1]}; }
 
 namespace {
 
-// Message tags (low byte carries the destination butterfly level).
+// Message tags (low byte carries the destination routing level).
 constexpr uint32_t kTagDownPacket = 0x0100;
 constexpr uint32_t kTagDownToken = 0x0200;
 constexpr uint32_t kTagUpPacket = 0x0300;
@@ -33,6 +34,10 @@ constexpr uint32_t kTagUpToken = 0x0400;
 
 constexpr uint32_t tag_kind(uint32_t tag) { return tag & 0xff00u; }
 constexpr uint32_t tag_level(uint32_t tag) { return tag & 0x00ffu; }
+
+// Down-edge degrees can reach 2d <= 62 (augmented cube), so per-node edge
+// masks are uint64_t and this is the hard ceiling a new overlay must respect.
+constexpr uint32_t kMaxDegree = 62;
 
 /// Priority of a group under the contention rule: smallest rank first, ties
 /// broken by smallest group id (Appendix B.2).
@@ -44,7 +49,14 @@ struct Prio {
   }
 };
 
-/// Tracks the max number of distinct groups observed at any butterfly node.
+/// Per-edge contention winner scratch (indexed by down-edge).
+struct EdgeBest {
+  bool found = false;
+  Prio best{};
+  uint64_t group = 0;
+};
+
+/// Tracks the max number of distinct groups observed at any overlay node.
 class CongestionTracker {
  public:
   explicit CongestionTracker(uint64_t node_count) : seen_(node_count) {}
@@ -61,9 +73,9 @@ class CongestionTracker {
   uint32_t max_ = 0;
 };
 
-/// Deduplicated worklist of butterfly-node indices; only nodes with work are
+/// Deduplicated worklist of routing-state indices; only nodes with work are
 /// visited each round, which keeps a round's cost proportional to the traffic
-/// rather than to the butterfly size.
+/// rather than to the overlay size.
 class ActiveSet {
  public:
   explicit ActiveSet(uint64_t node_count) : flag_(node_count, false) {}
@@ -88,6 +100,26 @@ class ActiveSet {
   std::vector<uint64_t> items_;
 };
 
+/// The stall heartbeat shared by both engines: when a faulted network ate
+/// every in-flight message of a round (zero progress), re-send all tokens
+/// already launched. Token arrival is a bitmask OR, so duplicates are free;
+/// a reliable network moves a packet or token every round and never gets
+/// here. `send_token(idx, edge)` emits the cross-edge token message.
+uint64_t resend_sent_tokens(const std::vector<uint64_t>& token_sent,
+                            const std::function<void(uint64_t, uint32_t)>& send_token) {
+  uint64_t resent = 0;
+  for (uint64_t idx = 0; idx < token_sent.size(); ++idx) {
+    uint64_t mask = token_sent[idx] & ~uint64_t{1};  // straight tokens are local
+    while (mask) {
+      uint32_t e = static_cast<uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      send_token(idx, e);
+      ++resent;
+    }
+  }
+  return resent;
+}
+
 }  // namespace
 
 uint32_t MulticastTrees::max_leaf_load() const {
@@ -97,17 +129,18 @@ uint32_t MulticastTrees::max_leaf_load() const {
   return best;
 }
 
-DownResult route_down(const ButterflyTopo& topo, Network& net,
+DownResult route_down(const Overlay& topo, Network& net,
                       std::vector<std::vector<AggPacket>> at_col,
                       const std::function<NodeId(uint64_t)>& dest_col,
                       const std::function<uint64_t(uint64_t)>& rank,
                       const CombineFn& combine, MulticastTrees* record) {
-  const uint32_t d = topo.dims();
+  const uint32_t F = topo.levels() - 1;  // final routing level
   const NodeId cols = topo.columns();
   NCC_ASSERT(at_col.size() == cols);
+  for (uint32_t l = 0; l < F; ++l) NCC_ASSERT(topo.down_degree(l) <= kMaxDegree);
 
   DownResult result;
-  CongestionTracker congestion(topo.node_count());
+  CongestionTracker congestion(topo.overlay_node_count());
 
   // Cached group metadata (dest column and rank are hash evaluations that
   // every node can compute from the shared randomness). Populated on deposit
@@ -128,16 +161,21 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
     return it->second;
   };
 
-  // Per butterfly node: combined pending packet per group.
+  // Per routing state: combined pending packet per group.
   std::vector<std::unordered_map<uint64_t, Val>> pending(topo.node_count());
   uint64_t pending_total = 0;
   ActiveSet active(topo.node_count());
+  // Effects applied after end_round() on the caller thread; counted toward
+  // the round's progress so the stall heartbeat only fires when the network
+  // truly delivered nothing new.
+  uint64_t progress = 0;
 
   auto deposit = [&](uint32_t level, NodeId col, uint64_t group, const Val& v) {
     uint64_t idx = topo.index(level, col);
-    congestion.visit(idx, group);
+    congestion.visit(topo.overlay_node(level, col), group);
     group_meta(group);
-    if (level == d) {
+    ++progress;
+    if (level == F) {
       // A reliable network never misroutes (the destination-driven descent
       // ends at the group's root column), so there a mismatch is still a hard
       // routing-invariant violation; under byzantine corruption a rewritten
@@ -173,19 +211,27 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
   at_col.clear();
 
   if (record) {
-    record->dims = d;
+    record->levels = topo.levels();
     record->children.assign(topo.node_count(), {});
   }
 
-  // Token state: tokens flow 0 -> d behind the packets. tokens_recv counts
-  // in-edge tokens; level-0 nodes start ready. token_sent bit 0 = straight
-  // out-edge, bit 1 = cross out-edge.
-  std::vector<uint8_t> tokens_recv(topo.node_count(), 0);
-  std::vector<uint8_t> token_sent(topo.node_count(), 0);
-  auto token_ready = [&](uint64_t idx) {
-    return idx < cols /* level 0 */ || tokens_recv[idx] >= 2;
+  // Token state: tokens flow level 0 -> F behind the packets, one per
+  // (node, down-edge). Each token message carries its edge index and
+  // tokens_recv tracks in-edges as a bitmask (in-degree == down-degree of the
+  // level above: generators are involutions), so duplicate deliveries — the
+  // stall heartbeat re-sends — are idempotent. Level-0 nodes start ready.
+  std::vector<uint64_t> tokens_recv(topo.node_count(), 0);
+  std::vector<uint64_t> token_sent(topo.node_count(), 0);
+  auto full_mask = [&](uint32_t level) -> uint64_t {
+    return (uint64_t{1} << topo.down_degree(level)) - 1;
   };
-  uint64_t tokens_pending = 2ull * d * cols;
+  auto token_ready = [&](uint64_t idx) {
+    uint32_t level = static_cast<uint32_t>(idx / cols);
+    return level == 0 || tokens_recv[idx] == full_mask(level - 1);
+  };
+  uint64_t tokens_pending = 0;
+  for (uint32_t l = 0; l < F; ++l)
+    tokens_pending += static_cast<uint64_t>(topo.down_degree(l)) * cols;
   for (NodeId c = 0; c < cols; ++c) active.add(topo.index(0, c));
 
   struct LocalMove {
@@ -194,18 +240,19 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
     uint64_t group;
     Val val;
     bool is_token;
+    uint32_t edge = 0;  // token in-edge index
   };
   std::vector<LocalMove> local;
 
-  // The per-round step loop runs shard-parallel over the active butterfly
-  // nodes: each item only mutates its own pending queue / token state, and
+  // The per-round step loop runs shard-parallel over the active routing
+  // states: each item only mutates its own pending queue / token state, and
   // every cross-node effect (sends, straight-edge moves, tree recording,
   // counters, re-activation) is staged per shard and merged in shard order —
   // which restores the sequential iteration order exactly.
   struct RecordOp {
     uint64_t cidx;
     uint64_t group;
-    uint8_t bit;
+    uint64_t bit;
   };
   struct StepOut {
     std::vector<Message> sends;
@@ -218,73 +265,91 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
   std::vector<std::vector<LocalMove>> arrivals(engine_shards(net));
   std::vector<uint64_t> items;
 
+  bool first_round = true;
   while (pending_total > 0 || tokens_pending > 0) {
+    // Stall heartbeat: the previous round delivered and moved nothing (only
+    // possible when fault injection ate every in-flight message), so re-send
+    // every already-launched token before stepping.
+    if (!first_round && progress == 0) {
+      result.stats.token_resends += resend_sent_tokens(
+          token_sent, [&](uint64_t idx, uint32_t e) {
+            uint32_t level = static_cast<uint32_t>(idx / cols);
+            NodeId col = static_cast<NodeId>(idx % cols);
+            NodeId ncol = topo.down_column(level, col, e);
+            net.send(topo.host(col), topo.host(ncol), kTagDownToken | (level + 1), {e});
+          });
+    }
+    first_round = false;
+    progress = 0;
+
     items = active.take();
     engine_ranges(net, items.size(), [&](uint32_t s, uint64_t ib, uint64_t ie) {
       StepOut& out = outs[s];  // drained and cleared by the merge below
+      // Per-edge contention scratch, hoisted out of the item loop: only the
+      // first `deg` entries are live per item (2 on the bit-fixing overlays),
+      // so resetting `found` beats zero-initializing the whole 62-slot array
+      // on the router's hottest path.
+      std::array<EdgeBest, kMaxDegree> best;
       for (uint64_t ii = ib; ii < ie; ++ii) {
         uint64_t idx = items[ii];
         uint32_t level = static_cast<uint32_t>(idx / cols);
         NodeId col = static_cast<NodeId>(idx % cols);
-        NCC_ASSERT(level < d);  // level-d nodes never enqueue work
+        NCC_ASSERT(level < F);  // final-level nodes never enqueue work
+        const uint32_t deg = topo.down_degree(level);
         auto& pq = pending[idx];
-        bool edge_used[2] = {false, false};
-        bool edge_wanted[2] = {false, false};
-        for (int e = 0; e < 2; ++e) {
-          bool found = false;
-          Prio best{};
-          uint64_t best_group = 0;
-          for (const auto& [g, v] : pq) {
-            (void)v;
-            bool cross = topo.step_is_cross(level, col, meta_of(g).first);
-            if (static_cast<int>(cross) != e) continue;
-            edge_wanted[e] = true;
-            Prio p{meta_of(g).second, g};
-            if (!found || p < best) {
-              found = true;
-              best = p;
-              best_group = g;
-            }
+        uint64_t edge_used = 0, edge_wanted = 0;
+        for (uint32_t e = 0; e < deg; ++e) best[e].found = false;
+        for (const auto& [g, v] : pq) {
+          (void)v;
+          uint32_t e = topo.route_edge(level, col, meta_of(g).first);
+          NCC_ASSERT(e < deg);
+          edge_wanted |= uint64_t{1} << e;
+          Prio p{meta_of(g).second, g};
+          if (!best[e].found || p < best[e].best) {
+            best[e] = {true, p, g};
           }
-          if (!found) continue;
-          edge_used[e] = true;
-          Val v = pq[best_group];
-          pq.erase(best_group);
+        }
+        for (uint32_t e = 0; e < deg; ++e) {
+          if (!best[e].found) continue;
+          edge_used |= uint64_t{1} << e;
+          uint64_t g = best[e].group;
+          Val v = pq[g];
+          pq.erase(g);
           ++out.freed;
           ++out.moved;
-          NodeId ncol = topo.down_column(level, col, e == 1);
+          NodeId ncol = topo.down_column(level, col, e);
           if (record) {
             // Record the reverse (up) edge at the child for the multicast
             // tree. The child may belong to another shard, so stage the op.
             uint64_t cidx = topo.index(level + 1, ncol);
-            uint8_t up_edge_bit = (ncol == col) ? 1 : 2;  // straight : cross
-            out.rec.push_back({cidx, best_group, up_edge_bit});
+            out.rec.push_back({cidx, g, uint64_t{1} << e});
           }
           if (e == 0) {
-            out.local.push_back({level + 1, ncol, best_group, v, false});
+            out.local.push_back({level + 1, ncol, g, v, false});
           } else {
             out.sends.push_back(Message(topo.host(col), topo.host(ncol),
-                                        kTagDownPacket | (level + 1),
-                                        {best_group, v[0], v[1]}));
+                                        kTagDownPacket | (level + 1), {g, v[0], v[1]}));
           }
         }
         // A packet remaining at the node means another packet of its group
         // may still arrive and combine; the token waits for the edge to clear.
         if (token_ready(idx)) {
-          for (int e = 0; e < 2; ++e) {
-            if (edge_used[e] || edge_wanted[e] || ((token_sent[idx] >> e) & 1)) continue;
-            token_sent[idx] |= static_cast<uint8_t>(1 << e);
+          for (uint32_t e = 0; e < deg; ++e) {
+            uint64_t bit = uint64_t{1} << e;
+            if ((edge_used | edge_wanted | token_sent[idx]) & bit) continue;
+            token_sent[idx] |= bit;
             ++out.tokens;
-            NodeId ncol = topo.down_column(level, col, e == 1);
+            NodeId ncol = topo.down_column(level, col, e);
             if (e == 0) {
-              out.local.push_back({level + 1, ncol, 0, {}, true});
+              out.local.push_back({level + 1, ncol, 0, {}, true, 0});
             } else {
-              out.sends.push_back(
-                  Message(topo.host(col), topo.host(ncol), kTagDownToken | (level + 1), {1}));
+              out.sends.push_back(Message(topo.host(col), topo.host(ncol),
+                                          kTagDownToken | (level + 1), {e}));
             }
           }
         }
-        if (!pq.empty() || (token_ready(idx) && token_sent[idx] != 3)) out.readd.push_back(idx);
+        if (!pq.empty() || (token_ready(idx) && token_sent[idx] != full_mask(level)))
+          out.readd.push_back(idx);
       }
     });
     local.clear();
@@ -295,6 +360,7 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
         for (const RecordOp& op : out.rec) record->children[op.cidx][op.group] |= op.bit;
       for (uint64_t idx : out.readd) active.add(idx);
       result.stats.packets_moved += out.moved;
+      progress += out.moved + out.tokens;
       pending_total -= out.freed;
       tokens_pending -= out.tokens;
       out.sends.clear();
@@ -307,15 +373,19 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
     net.end_round();
     ++result.stats.rounds;
 
-    auto arrive_token = [&](uint32_t level, NodeId col) {
-      if (level == d) return;  // level-d tokens terminate here
+    auto arrive_token = [&](uint32_t level, NodeId col, uint32_t edge) {
+      if (level == F) return;  // final-level tokens terminate here
       uint64_t idx = topo.index(level, col);
-      ++tokens_recv[idx];
-      if (token_ready(idx) && token_sent[idx] != 3) active.add(idx);
+      uint64_t bit = uint64_t{1} << edge;
+      if (!(tokens_recv[idx] & bit)) {
+        tokens_recv[idx] |= bit;
+        ++progress;
+      }
+      if (token_ready(idx) && token_sent[idx] != full_mask(level)) active.add(idx);
     };
     for (const LocalMove& mv : local) {
       if (mv.is_token) {
-        arrive_token(mv.level, mv.col);
+        arrive_token(mv.level, mv.col, mv.edge);
       } else {
         deposit(mv.level, mv.col, mv.group, mv.val);
       }
@@ -331,9 +401,15 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
         for (const Message& m : net.inbox(static_cast<NodeId>(u))) {
           if (tag_kind(m.tag) == kTagDownPacket) {
             arr.push_back({tag_level(m.tag), static_cast<NodeId>(u), m.word(0),
-                           Val{m.word(1), m.word(2)}, false});
+                           Val{m.word(1), m.word(2)}, false, 0});
           } else if (tag_kind(m.tag) == kTagDownToken) {
-            arr.push_back({tag_level(m.tag), static_cast<NodeId>(u), 0, {}, true});
+            // The in-edge is derived from the transport framing (src and dst
+            // are network truth), never from the payload: a byzantine mutation
+            // of the payload cannot poison the in-edge bitmask.
+            uint32_t level = tag_level(m.tag);
+            uint32_t e = topo.edge_from_delta(
+                level - 1, static_cast<NodeId>(u) ^ m.src);
+            arr.push_back({level, static_cast<NodeId>(u), 0, {}, true, e});
           }
         }
       }
@@ -341,7 +417,7 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
     for (auto& arr : arrivals) {
       for (const LocalMove& mv : arr) {
         if (mv.is_token) {
-          arrive_token(mv.level, mv.col);
+          arrive_token(mv.level, mv.col, mv.edge);
         } else {
           deposit(mv.level, mv.col, mv.group, mv.val);
         }
@@ -355,12 +431,14 @@ DownResult route_down(const ButterflyTopo& topo, Network& net,
   return result;
 }
 
-UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees& trees,
+UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees,
                   const std::unordered_map<uint64_t, Val>& payloads,
                   const std::function<uint64_t(uint64_t)>& rank) {
-  const uint32_t d = topo.dims();
+  const uint32_t F = topo.levels() - 1;
   const NodeId cols = topo.columns();
+  NCC_ASSERT(trees.levels == topo.levels());
   NCC_ASSERT(trees.children.size() == topo.node_count());
+  for (uint32_t l = 0; l < F; ++l) NCC_ASSERT(topo.down_degree(l) <= kMaxDegree);
 
   UpResult result;
   result.at_col.assign(cols, {});
@@ -379,19 +457,21 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
     return it->second;
   };
 
-  // Per butterfly node: groups being served and the mask of remaining
-  // recorded up-edges (bit 0 straight, bit 1 cross).
+  // Per routing state: groups being served and the mask of remaining
+  // recorded up-edges (bit e = reverse of down-edge e of the level below).
   struct Serving {
     Val val;
-    uint8_t mask;
+    uint64_t mask;
   };
   std::vector<std::unordered_map<uint64_t, Serving>> serving(topo.node_count());
   uint64_t edges_remaining = 0;
   ActiveSet active(topo.node_count());
+  uint64_t progress = 0;
 
   auto arrive = [&](uint32_t level, NodeId col, uint64_t group, const Val& v) {
     uint64_t idx = topo.index(level, col);
     group_rank(group);
+    ++progress;
     if (level == 0) {
       result.at_col[col].push_back({group, v});
       return;
@@ -415,7 +495,7 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
       ++result.stats.misrouted;
       return;
     }
-    edges_remaining += std::popcount(static_cast<unsigned>(it->second));
+    edges_remaining += std::popcount(it->second);
     active.add(idx);
   };
 
@@ -428,17 +508,25 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
       ++result.stats.lost_groups;
       continue;
     }
-    arrive(d, rit->second, group, val);
+    arrive(F, rit->second, group, val);
   }
 
-  // Tokens flow d -> 0; level-d nodes are ready immediately.
-  std::vector<uint8_t> tokens_recv(topo.node_count(), 0);
-  std::vector<uint8_t> token_sent(topo.node_count(), 0);
-  auto token_ready = [&](uint32_t level, uint64_t idx) {
-    return level == d || tokens_recv[idx] >= 2;
+  // Tokens flow F -> 0, one per (node, reversed down-edge); a node at level l
+  // has down_degree(l-1) up-edges out and down_degree(l) token in-edges (from
+  // level l+1). Final-level nodes are ready immediately. Same idempotent
+  // bitmask bookkeeping as route_down.
+  std::vector<uint64_t> tokens_recv(topo.node_count(), 0);
+  std::vector<uint64_t> token_sent(topo.node_count(), 0);
+  auto full_mask = [&](uint32_t level) -> uint64_t {
+    return (uint64_t{1} << topo.down_degree(level)) - 1;
   };
-  uint64_t tokens_pending = 2ull * d * cols;
-  for (NodeId c = 0; c < cols; ++c) active.add(topo.index(d, c));
+  auto token_ready = [&](uint32_t level, uint64_t idx) {
+    return level == F || tokens_recv[idx] == full_mask(level);
+  };
+  uint64_t tokens_pending = 0;
+  for (uint32_t l = 1; l <= F; ++l)
+    tokens_pending += static_cast<uint64_t>(topo.down_degree(l - 1)) * cols;
+  for (NodeId c = 0; c < cols; ++c) active.add(topo.index(F, c));
 
   struct LocalMove {
     uint32_t level;  // destination level
@@ -446,6 +534,7 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
     uint64_t group;
     Val val;
     bool is_token;
+    uint32_t edge = 0;
   };
   std::vector<LocalMove> local;
 
@@ -460,64 +549,79 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
   std::vector<std::vector<LocalMove>> arrivals(engine_shards(net));
   std::vector<uint64_t> items;
 
+  bool first_round = true;
   while (edges_remaining > 0 || tokens_pending > 0) {
+    if (!first_round && progress == 0) {
+      result.stats.token_resends += resend_sent_tokens(
+          token_sent, [&](uint64_t idx, uint32_t e) {
+            uint32_t level = static_cast<uint32_t>(idx / cols);
+            NodeId col = static_cast<NodeId>(idx % cols);
+            NodeId ncol = topo.up_column(level, col, e);
+            net.send(topo.host(col), topo.host(ncol), kTagUpToken | (level - 1), {e});
+          });
+    }
+    first_round = false;
+    progress = 0;
+
     items = active.take();
     engine_ranges(net, items.size(), [&](uint32_t s, uint64_t ib, uint64_t ie) {
       StepOut& out = outs[s];  // drained and cleared by the merge below
+      // Same hoisted per-edge scratch as route_down's step loop.
+      std::array<EdgeBest, kMaxDegree> best;
       for (uint64_t ii = ib; ii < ie; ++ii) {
         uint64_t idx = items[ii];
         uint32_t level = static_cast<uint32_t>(idx / cols);
         NodeId col = static_cast<NodeId>(idx % cols);
         NCC_ASSERT(level >= 1);  // level-0 nodes never enqueue up-work
+        const uint32_t deg = topo.down_degree(level - 1);
         auto& sv = serving[idx];
-        bool edge_used[2] = {false, false};
-        bool edge_wanted[2] = {false, false};
-        for (int e = 0; e < 2; ++e) {
-          bool found = false;
-          Prio best{};
-          uint64_t best_group = 0;
-          for (const auto& [g, srv] : sv) {
-            if (!((srv.mask >> e) & 1)) continue;
-            edge_wanted[e] = true;
-            Prio p{rank_of(g), g};
-            if (!found || p < best) {
-              found = true;
-              best = p;
-              best_group = g;
-            }
+        uint64_t edge_used = 0, edge_wanted = 0;
+        for (uint32_t e = 0; e < deg; ++e) best[e].found = false;
+        for (const auto& [g, srv] : sv) {
+          Prio p{rank_of(g), g};
+          uint64_t mask = srv.mask;
+          while (mask) {
+            uint32_t e = static_cast<uint32_t>(std::countr_zero(mask));
+            mask &= mask - 1;
+            edge_wanted |= uint64_t{1} << e;
+            if (!best[e].found || p < best[e].best) best[e] = {true, p, g};
           }
-          if (!found) continue;
-          edge_used[e] = true;
-          auto sit = sv.find(best_group);
+        }
+        for (uint32_t e = 0; e < deg; ++e) {
+          if (!best[e].found) continue;
+          edge_used |= uint64_t{1} << e;
+          auto sit = sv.find(best[e].group);
           Val v = sit->second.val;
-          sit->second.mask &= static_cast<uint8_t>(~(1 << e));
+          sit->second.mask &= ~(uint64_t{1} << e);
           if (sit->second.mask == 0) sv.erase(sit);
           ++out.freed;
           ++out.moved;
-          NodeId ncol = topo.up_column(level, col, e == 1);
+          NodeId ncol = topo.up_column(level, col, e);
           if (e == 0) {
-            out.local.push_back({level - 1, ncol, best_group, v, false});
+            out.local.push_back({level - 1, ncol, best[e].group, v, false});
           } else {
             out.sends.push_back(Message(topo.host(col), topo.host(ncol),
                                         kTagUpPacket | (level - 1),
-                                        {best_group, v[0], v[1]}));
+                                        {best[e].group, v[0], v[1]}));
           }
         }
         if (token_ready(level, idx)) {
-          for (int e = 0; e < 2; ++e) {
-            if (edge_used[e] || edge_wanted[e] || ((token_sent[idx] >> e) & 1)) continue;
-            token_sent[idx] |= static_cast<uint8_t>(1 << e);
+          for (uint32_t e = 0; e < deg; ++e) {
+            uint64_t bit = uint64_t{1} << e;
+            if ((edge_used | edge_wanted | token_sent[idx]) & bit) continue;
+            token_sent[idx] |= bit;
             ++out.tokens;
-            NodeId ncol = topo.up_column(level, col, e == 1);
+            NodeId ncol = topo.up_column(level, col, e);
             if (e == 0) {
-              out.local.push_back({level - 1, ncol, 0, {}, true});
+              out.local.push_back({level - 1, ncol, 0, {}, true, 0});
             } else {
-              out.sends.push_back(
-                  Message(topo.host(col), topo.host(ncol), kTagUpToken | (level - 1), {1}));
+              out.sends.push_back(Message(topo.host(col), topo.host(ncol),
+                                          kTagUpToken | (level - 1), {e}));
             }
           }
         }
-        if (!sv.empty() || (token_ready(level, idx) && token_sent[idx] != 3))
+        if (!sv.empty() ||
+            (token_ready(level, idx) && token_sent[idx] != full_mask(level - 1)))
           out.readd.push_back(idx);
       }
     });
@@ -527,6 +631,7 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
       local.insert(local.end(), out.local.begin(), out.local.end());
       for (uint64_t idx : out.readd) active.add(idx);
       result.stats.packets_moved += out.moved;
+      progress += out.moved + out.tokens;
       edges_remaining -= out.freed;
       tokens_pending -= out.tokens;
       out.sends.clear();
@@ -538,15 +643,20 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
     net.end_round();
     ++result.stats.rounds;
 
-    auto arrive_token = [&](uint32_t level, NodeId col) {
+    auto arrive_token = [&](uint32_t level, NodeId col, uint32_t edge) {
       if (level == 0) return;  // level-0 tokens terminate here
       uint64_t idx = topo.index(level, col);
-      ++tokens_recv[idx];
-      if (token_ready(level, idx) && token_sent[idx] != 3) active.add(idx);
+      uint64_t bit = uint64_t{1} << edge;
+      if (!(tokens_recv[idx] & bit)) {
+        tokens_recv[idx] |= bit;
+        ++progress;
+      }
+      if (token_ready(level, idx) && token_sent[idx] != full_mask(level - 1))
+        active.add(idx);
     };
     for (const LocalMove& mv : local) {
       if (mv.is_token) {
-        arrive_token(mv.level, mv.col);
+        arrive_token(mv.level, mv.col, mv.edge);
       } else {
         arrive(mv.level, mv.col, mv.group, mv.val);
       }
@@ -558,9 +668,14 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
         for (const Message& m : net.inbox(static_cast<NodeId>(u))) {
           if (tag_kind(m.tag) == kTagUpPacket) {
             arr.push_back({tag_level(m.tag), static_cast<NodeId>(u), m.word(0),
-                           Val{m.word(1), m.word(2)}, false});
+                           Val{m.word(1), m.word(2)}, false, 0});
           } else if (tag_kind(m.tag) == kTagUpToken) {
-            arr.push_back({tag_level(m.tag), static_cast<NodeId>(u), 0, {}, true});
+            // In-edge derived from framing, as in route_down; an up token
+            // into level l crosses a generator of level l's down-edge set.
+            uint32_t level = tag_level(m.tag);
+            uint32_t e = topo.edge_from_delta(
+                level, static_cast<NodeId>(u) ^ m.src);
+            arr.push_back({level, static_cast<NodeId>(u), 0, {}, true, e});
           }
         }
       }
@@ -568,7 +683,7 @@ UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees&
     for (auto& arr : arrivals) {
       for (const LocalMove& mv : arr) {
         if (mv.is_token) {
-          arrive_token(mv.level, mv.col);
+          arrive_token(mv.level, mv.col, mv.edge);
         } else {
           arrive(mv.level, mv.col, mv.group, mv.val);
         }

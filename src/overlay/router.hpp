@@ -1,24 +1,30 @@
-// Combining random-rank routing on the emulated butterfly (Appendix B).
+// Combining random-rank routing on an emulated overlay (Appendix B,
+// generalized from the butterfly to any Overlay).
 //
 // Two engines:
 //  * `route_down` — the Combining Phase of the Aggregation Algorithm: packets
-//    labeled with an aggregation-group id start at level-0 butterfly nodes and
-//    follow the unique butterfly path to the group's intermediate target
-//    h(group) at level d. Per directed edge one packet moves per round; when
-//    packets of different groups contend for an edge, the one with the
-//    smallest rank rho(group) wins (ties by group id); packets of the same
-//    group meeting at a butterfly node are combined with the aggregate
-//    function. Optionally records the traversed edges as multicast trees
-//    (Theorem 2.4) and tracks per-butterfly-node congestion.
+//    labeled with an aggregation-group id start at level-0 overlay nodes and
+//    follow the overlay's greedy route to the group's intermediate target
+//    h(group) at the final level. Per directed down-edge one packet moves per
+//    round; when packets of different groups contend for an edge, the one
+//    with the smallest rank rho(group) wins (ties by group id); packets of
+//    the same group meeting at a routing state are combined with the
+//    aggregate function. Optionally records the traversed edges as multicast
+//    trees (Theorem 2.4) and tracks per-overlay-node congestion.
 //  * `route_up` — the Spreading Phase of the Multicast Algorithm: packets
-//    start at tree roots (level d) and are copied upward along the recorded
-//    tree edges under the same per-edge/rank contention rule.
+//    start at tree roots (final level) and are copied upward along the
+//    recorded tree edges under the same per-edge/rank contention rule.
 //
 // Termination detection is simulated faithfully with the paper's token
-// scheme: tokens trail the packets down (or up) the butterfly and a node
+// scheme: tokens trail the packets down (or up) the overlay and a node
 // forwards its token on an edge only once it can never send another packet
 // on that edge; the engines run until the tokens drain, so the reported round
-// counts include the detection overhead.
+// counts include the detection overhead. Tokens carry their in-edge index and
+// receivers track arrivals as a per-edge bitmask, which makes token delivery
+// idempotent: on rounds where the routing makes no progress at all (possible
+// only under fault injection — a reliable network moves a packet or token
+// every round), nodes re-send the tokens they already launched, so a healed
+// partition or a lossy link stalls the drain instead of jamming it forever.
 #pragma once
 
 #include <array>
@@ -27,8 +33,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "butterfly/topology.hpp"
 #include "net/network.hpp"
+#include "overlay/overlay.hpp"
 
 namespace ncc {
 
@@ -56,15 +62,16 @@ struct AggPacket {
 
 /// Multicast trees produced by route_down with recording enabled
 /// (Theorem 2.4). `children[index(level, col)]` maps a group id to the
-/// bitmask of up-edges (bit 0 straight, bit 1 cross) that lead toward its
-/// recorded leaves; `leaf_members[col]` lists (group, member) pairs whose
-/// leaf l(group, member) is the level-0 node of column `col`.
+/// bitmask of recorded up-edges (bit e = down-edge e of the level below,
+/// reversed) that lead toward its recorded leaves; `leaf_members[col]` lists
+/// (group, member) pairs whose leaf l(group, member) is the level-0 node of
+/// column `col`.
 struct MulticastTrees {
-  uint32_t dims = 0;
-  std::vector<std::unordered_map<uint64_t, uint8_t>> children;
-  std::unordered_map<uint64_t, NodeId> root_col;  // group -> level-d column
+  uint32_t levels = 0;  // routing levels of the overlay that recorded them
+  std::vector<std::unordered_map<uint64_t, uint64_t>> children;
+  std::unordered_map<uint64_t, NodeId> root_col;  // group -> final-level column
   std::vector<std::vector<std::pair<uint64_t, NodeId>>> leaf_members;
-  uint32_t congestion = 0;  // max #groups sharing one butterfly node
+  uint32_t congestion = 0;  // max #groups sharing one overlay node
 
   /// Max number of leaf deliveries any single level-0 column performs.
   uint32_t max_leaf_load() const;
@@ -72,7 +79,7 @@ struct MulticastTrees {
 
 struct RouteStats {
   uint64_t rounds = 0;       // NCC rounds consumed by this engine run
-  uint32_t congestion = 0;   // max distinct groups visiting one butterfly node
+  uint32_t congestion = 0;   // max distinct groups visiting one overlay node
   uint64_t packets_moved = 0;
   uint64_t combines = 0;
   /// Up-phase payloads skipped because the tree build never recorded a root
@@ -81,27 +88,30 @@ struct RouteStats {
   /// membership packets of a group can all be lost.
   uint64_t lost_groups = 0;
   /// Packets dropped because they arrived somewhere their group does not
-  /// belong: a level-d deposit at the wrong root column (down phase) or an
-  /// arrival off the group's recorded tree (up phase). Impossible on a
+  /// belong: a final-level deposit at the wrong root column (down phase) or
+  /// an arrival off the group's recorded tree (up phase). Impossible on a
   /// reliable network; nonzero only under byzantine payload corruption, which
   /// can rewrite a packet's group id in flight.
   uint64_t misrouted = 0;
+  /// Token retransmissions fired by the stall heartbeat (see file comment).
+  /// Always zero on a reliable network.
+  uint64_t token_resends = 0;
 };
 
 struct DownResult {
-  /// Final aggregate per group, held by the level-d node of column
+  /// Final aggregate per group, held by the final-level node of column
   /// root_col[group] (host = that column's real node).
   std::unordered_map<uint64_t, Val> root_values;
   std::unordered_map<uint64_t, NodeId> root_col;
   RouteStats stats;
 };
 
-/// Route packets from level 0 to their groups' level-d targets, combining.
-/// `at_col[c]` holds the packets already injected at level-0 column c.
-/// `dest_col(group)` gives h(group) in [0, 2^d); `rank(group)` the random
-/// rank rho(group). If `record` is non-null, tree edges and congestion are
-/// recorded into it (leaf_members must be pre-filled by the caller).
-DownResult route_down(const ButterflyTopo& topo, Network& net,
+/// Route packets from level 0 to their groups' final-level targets,
+/// combining. `at_col[c]` holds the packets already injected at level-0
+/// column c. `dest_col(group)` gives h(group) in [0, 2^d); `rank(group)` the
+/// random rank rho(group). If `record` is non-null, tree edges and congestion
+/// are recorded into it (leaf_members must be pre-filled by the caller).
+DownResult route_down(const Overlay& topo, Network& net,
                       std::vector<std::vector<AggPacket>> at_col,
                       const std::function<NodeId(uint64_t)>& dest_col,
                       const std::function<uint64_t(uint64_t)>& rank,
@@ -113,10 +123,10 @@ struct UpResult {
   RouteStats stats;
 };
 
-/// Multicast payloads from the tree roots (level d) up to the recorded
+/// Multicast payloads from the tree roots (final level) up to the recorded
 /// leaves. `payloads` maps group -> packet value; every group must have a
 /// root recorded in `trees`.
-UpResult route_up(const ButterflyTopo& topo, Network& net, const MulticastTrees& trees,
+UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees,
                   const std::unordered_map<uint64_t, Val>& payloads,
                   const std::function<uint64_t(uint64_t)>& rank);
 

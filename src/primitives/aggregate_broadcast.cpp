@@ -12,7 +12,7 @@ constexpr uint32_t kTagBcastStep = 0x0700;  // broadcast back toward level 0
 constexpr uint32_t kTagDetach = 0x0800;     // level-0 host -> non-emulating node
 }  // namespace
 
-AbResult aggregate_and_broadcast(const ButterflyTopo& topo, Network& net,
+AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
                                  const std::vector<std::optional<Val>>& inputs,
                                  const CombineFn& combine) {
   const NodeId n = topo.n();
@@ -110,7 +110,7 @@ AbResult aggregate_and_broadcast(const ButterflyTopo& topo, Network& net,
   return res;
 }
 
-uint64_t sync_barrier(const ButterflyTopo& topo, Network& net) {
+uint64_t sync_barrier(const Overlay& topo, Network& net) {
   std::vector<std::optional<Val>> ones(topo.n(), Val{1, 0});
   return aggregate_and_broadcast(topo, net, ones, agg::sum).rounds;
 }

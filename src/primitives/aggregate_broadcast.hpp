@@ -1,17 +1,20 @@
 // Aggregate-and-Broadcast (Theorem 2.2 / Appendix B.1).
 //
-// Inputs held by a subset A of nodes are aggregated along the butterfly's
-// unique path system to the root (level-d node of column 0) and the result is
-// broadcast back up to every node, all in O(log n) rounds. The same routine
-// doubles as the synchronization barrier the other primitives use between
-// phases (the paper's token variant; the round cost is identical).
+// Inputs held by a subset A of nodes are aggregated along the binary-tree
+// path system over the column ids to the root (column 0) and the result is
+// broadcast back out to every node, all in O(log n) rounds. The path system
+// lives on the column address space all overlays share (every overlay hosts
+// the same 2^d columns), so A&B runs identically on every overlay — and its
+// fixed 2d+2-round schedule is what makes it usable as the synchronization
+// barrier the other primitives use between phases (the paper's token
+// variant; the round cost is identical).
 #pragma once
 
 #include <optional>
 #include <vector>
 
-#include "butterfly/router.hpp"
-#include "butterfly/topology.hpp"
+#include "overlay/overlay.hpp"
+#include "overlay/router.hpp"
 #include "net/network.hpp"
 
 namespace ncc {
@@ -25,12 +28,12 @@ struct AbResult {
 /// `inputs[u]` is node u's input value (nullopt = u not in A). On return every
 /// node knows the aggregate (the simulator returns it once; per-node copies
 /// would all be equal by construction).
-AbResult aggregate_and_broadcast(const ButterflyTopo& topo, Network& net,
+AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
                                  const std::vector<std::optional<Val>>& inputs,
                                  const CombineFn& combine);
 
 /// Barrier: an Aggregate-and-Broadcast with a constant input from every node,
 /// used purely for its synchronization effect (Appendix B.1).
-uint64_t sync_barrier(const ButterflyTopo& topo, Network& net);
+uint64_t sync_barrier(const Overlay& topo, Network& net);
 
 }  // namespace ncc

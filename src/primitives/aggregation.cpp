@@ -15,7 +15,7 @@ constexpr uint32_t kTagDeliver = 0x0a00;
 AggregationResult run_aggregation(const Shared& shared, Network& net,
                                   const AggregationProblem& problem,
                                   uint64_t rng_tag) {
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
   const uint32_t batch = cap_log(n);  // ceil(log n) packets per round per node

@@ -1,37 +1,40 @@
-// Shared execution context for the communication primitives: the butterfly
-// embedding plus the common (pseudo-)random hash functions all nodes know.
+// Shared execution context for the communication primitives: the emulated
+// overlay plus the common (pseudo-)random hash functions all nodes know.
 //
 // The paper bootstraps shared randomness by letting node 0 broadcast
-// Theta(log^2 n) random bits through the butterfly (Section 2.2); we model
+// Theta(log^2 n) random bits through the overlay (Section 2.2); we model
 // the bits as generator seeds and charge the broadcast cost explicitly via
-// `charge_hash_setup`.
+// `charge_hash_setup`. The overlay is pluggable (src/overlay/): the paper's
+// butterfly by default, the hypercube Q_d or the augmented cube AQ_d when the
+// scenario asks for them — the primitives only touch the Overlay surface.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
-#include "butterfly/topology.hpp"
 #include "common/bits.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "overlay/overlay.hpp"
 
 namespace ncc {
 
 class Shared {
  public:
-  Shared(NodeId n, uint64_t seed)
-      : topo_(n),
+  Shared(NodeId n, uint64_t seed, OverlayKind overlay = OverlayKind::kButterfly)
+      : topo_(make_overlay(overlay, n)),
         seed_(seed),
         h_dest_(2 * cap_log(n), make_rng(seed, 0xd357)),
         h_rank_(2 * cap_log(n), make_rng(seed, 0x4a9c)),
         inject_rng_(mix64(seed ^ 0x1439ab5f00d5ULL)) {}
 
-  const ButterflyTopo& topo() const { return topo_; }
+  const Overlay& topo() const { return *topo_; }
   uint64_t seed() const { return seed_; }
 
-  /// Intermediate target h(group): a uniform level-d butterfly column.
+  /// Intermediate target h(group): a uniform final-level overlay column.
   NodeId dest_col(uint64_t group) const {
-    return static_cast<NodeId>(h_dest_.to_range(group, topo_.columns()));
+    return static_cast<NodeId>(h_dest_.to_range(group, topo_->columns()));
   }
 
   /// Random rank rho(group) for the contention rule (effective K = 2^61-1,
@@ -43,11 +46,11 @@ class Shared {
   Rng local_rng(uint64_t tag) const { return inject_rng_.fork(tag); }
 
   /// Derive an extra shared hash family (FindMin sketches, Identification
-  /// trials) and charge the pipelined butterfly broadcast of its seeds:
+  /// trials) and charge the pipelined overlay broadcast of its seeds:
   /// O(log n) rounds plus one round per log n words of randomness.
   HashFamily make_family(Network& net, uint64_t tag, uint32_t count, uint32_t k) const {
     HashFamily fam(count, k, mix64(seed_ ^ tag));
-    uint32_t d = cap_log(topo_.n());
+    uint32_t d = cap_log(topo_->n());
     net.charge_rounds(2ull * d + ceil_div(fam.randomness_words(), d));
     return fam;
   }
@@ -55,7 +58,7 @@ class Shared {
  private:
   static Rng make_rng(uint64_t seed, uint64_t tag) { return Rng(mix64(seed ^ tag)); }
   // KWiseHash wants an lvalue Rng; small helper keeps the members const-free.
-  ButterflyTopo topo_;
+  std::unique_ptr<Overlay> topo_;  // Shared is move-only; algorithms hold refs
   uint64_t seed_;
   KWiseHash h_dest_;
   KWiseHash h_rank_;

@@ -21,7 +21,7 @@ MultiAggregationResult run_multi_aggregation_impl(
     const Shared& shared, Network& net, const MulticastTrees& trees,
     const std::vector<MulticastSend>& sends, const CombineFn& combine,
     uint64_t rng_tag, const LeafAnnotateFn& annotate, bool allow_multi_source) {
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
   const uint32_t batch = cap_log(n);

@@ -15,7 +15,7 @@
 #include <optional>
 #include <vector>
 
-#include "butterfly/router.hpp"
+#include "overlay/router.hpp"
 #include "net/network.hpp"
 #include "primitives/context.hpp"
 #include "primitives/multicast.hpp"

@@ -17,7 +17,7 @@ constexpr uint32_t kTagLeafDeliver = 0x0d00;
 MulticastSetupResult setup_multicast_trees(const Shared& shared, Network& net,
                                            const std::vector<MulticastMembership>& members,
                                            uint64_t rng_tag) {
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
   const uint32_t batch = cap_log(n);
@@ -101,7 +101,7 @@ MulticastResult run_multicast_impl(const Shared& shared, Network& net,
                                    const std::vector<MulticastSend>& sends,
                                    uint32_t ell_hat, uint64_t rng_tag,
                                    bool allow_multi_source) {
-  const ButterflyTopo& topo = shared.topo();
+  const Overlay& topo = shared.topo();
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
   const uint32_t batch = cap_log(n);

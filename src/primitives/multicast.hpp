@@ -13,7 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "butterfly/router.hpp"
+#include "overlay/router.hpp"
 #include "net/network.hpp"
 #include "primitives/context.hpp"
 

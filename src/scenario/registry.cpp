@@ -31,17 +31,51 @@ struct TreeSetup {
   OrientationRunResult orient;
   BroadcastTrees bt;
 
-  TreeSetup(Network& net, const Graph& g, uint64_t seed)
-      : shared(g.n(), seed),
+  TreeSetup(Network& net, const Graph& g, const ScenarioSpec& spec)
+      : shared(g.n(), spec.seed, spec.overlay),
         orient(run_orientation(shared, net, g)),
-        bt(build_broadcast_trees(shared, net, g, orient.orientation, seed)) {}
+        bt(build_broadcast_trees(shared, net, g, orient.orientation, spec.seed)) {}
 
   uint64_t setup_rounds() const { return orient.rounds + bt.rounds; }
 };
 
+/// BFS heal recovery (ROADMAP): a partition window that overlaps the
+/// broadcast-tree setup eats membership packets the paper's protocol never
+/// re-sends, so the trees come up incomplete and BFS either jams on lost
+/// termination tokens or computes wrong distances. The partition schedule is
+/// declared in the spec — operator-known maintenance windows — so the BFS
+/// adapter holds its setup while a window is open or about to open (within a
+/// few barriers' worth of rounds) and then (re-)sends the setup tokens on
+/// the healed network, matching broadcast's re-adoption recovery (which
+/// retries uninformed nodes every round). Windows far in the future are NOT
+/// waited out — a run that would finish before they open must not regress
+/// to idling through them; if one opens mid-run, the router's stall
+/// heartbeat keeps the drain alive and the verdict degrades honestly.
+/// Rounds spent waiting are real simulated rounds, counted toward the
+/// round limit and reported as `heal_wait_rounds`.
+uint64_t await_partition_heal(Network& net, const ScenarioSpec& spec) {
+  const uint64_t grace = 8ull * cap_log(net.n());  // a few barriers of lookahead
+  uint64_t waited = 0;
+  bool again = true;
+  while (again) {
+    again = false;
+    for (const RoundWindow& w : spec.faults.partition_windows) {
+      if (w.lo <= net.rounds() + grace && net.rounds() < w.hi) {
+        while (net.rounds() < w.hi) {
+          net.end_round();
+          ++waited;
+        }
+        again = true;  // closing one window may bring the next into range
+      }
+    }
+  }
+  return waited;
+}
+
 ScenarioRunResult run_bfs_scenario(Network& net, const Graph& g,
                                    const ScenarioSpec& spec) {
-  TreeSetup s(net, g, spec.seed);
+  uint64_t heal_wait = await_partition_heal(net, spec);
+  TreeSetup s(net, g, spec);
   BfsResult bfs = run_bfs(s.shared, net, g, s.bt, /*source=*/0, spec.seed);
   std::vector<uint32_t> truth = bfs_distances(g, 0);
   uint64_t wrong = 0, unreachable = 0;
@@ -55,13 +89,14 @@ ScenarioRunResult run_bfs_scenario(Network& net, const Graph& g,
   r.counters = {{"phases", bfs.phases},
                 {"algo_rounds", bfs.rounds},
                 {"setup_rounds", s.setup_rounds()},
+                {"heal_wait_rounds", heal_wait},
                 {"unreachable", unreachable}};
   return r;
 }
 
 ScenarioRunResult run_mis_scenario(Network& net, const Graph& g,
                                    const ScenarioSpec& spec) {
-  TreeSetup s(net, g, spec.seed);
+  TreeSetup s(net, g, spec);
   MisResult mis = run_mis(s.shared, net, g, s.bt, spec.seed);
   uint64_t size = 0;
   for (NodeId u = 0; u < g.n(); ++u) size += mis.in_mis[u];
@@ -82,7 +117,7 @@ ScenarioRunResult run_mis_scenario(Network& net, const Graph& g,
 
 ScenarioRunResult run_matching_scenario(Network& net, const Graph& g,
                                         const ScenarioSpec& spec) {
-  TreeSetup s(net, g, spec.seed);
+  TreeSetup s(net, g, spec);
   MatchingResult m = run_matching(s.shared, net, g, s.bt, spec.seed);
   uint64_t matched = 0;
   for (NodeId u = 0; u < g.n(); ++u) matched += m.mate[u] != kUnmatched;
@@ -103,7 +138,7 @@ ScenarioRunResult run_matching_scenario(Network& net, const Graph& g,
 
 ScenarioRunResult run_coloring_scenario(Network& net, const Graph& g,
                                         const ScenarioSpec& spec) {
-  Shared shared(g.n(), spec.seed);
+  Shared shared(g.n(), spec.seed, spec.overlay);
   OrientationRunResult orient = run_orientation(shared, net, g);
   ColoringResult c = run_coloring(shared, net, g, orient, {}, spec.seed);
   uint32_t used = 0;
@@ -121,7 +156,7 @@ ScenarioRunResult run_coloring_scenario(Network& net, const Graph& g,
 
 ScenarioRunResult run_mst_scenario(Network& net, const Graph& g,
                                    const ScenarioSpec& spec) {
-  Shared shared(g.n(), spec.seed);
+  Shared shared(g.n(), spec.seed, spec.overlay);
   MstResult mst = run_mst(shared, net, g, {}, spec.seed);
   KruskalResult truth = kruskal_msf(g);
   ScenarioRunResult r;
@@ -142,7 +177,7 @@ ScenarioRunResult run_mst_scenario(Network& net, const Graph& g,
 
 ScenarioRunResult run_components_scenario(Network& net, const Graph& g,
                                           const ScenarioSpec& spec) {
-  Shared shared(g.n(), spec.seed);
+  Shared shared(g.n(), spec.seed, spec.overlay);
   ComponentsResult cc = run_components(shared, net, g, spec.seed);
   uint64_t wrong = 0;
   for (NodeId u = 0; u < g.n(); ++u)
@@ -193,7 +228,7 @@ ScenarioRunResult run_broadcast_scenario(Network& net, const Graph&,
 
 ScenarioRunResult run_orientation_scenario(Network& net, const Graph& g,
                                            const ScenarioSpec& spec) {
-  Shared shared(g.n(), spec.seed);
+  Shared shared(g.n(), spec.seed, spec.overlay);
   OrientationRunResult o = run_orientation(shared, net, g);
   ScenarioRunResult r = o.orientation.complete()
                             ? verdict_ok()
@@ -212,7 +247,7 @@ ScenarioRunResult run_aggregate_scenario(Network& net, const Graph& g,
                                          const ScenarioSpec& spec) {
   const NodeId n = g.n();
   const uint64_t groups = std::min<uint64_t>(n, 16);
-  Shared shared(n, spec.seed);
+  Shared shared(n, spec.seed, spec.overlay);
   AggregationProblem prob;
   prob.combine = agg::sum;
   prob.target = [n](uint64_t grp) { return static_cast<NodeId>(grp % n); };
@@ -247,7 +282,7 @@ ScenarioRunResult run_multicast_scenario(Network& net, const Graph& g,
                                          const ScenarioSpec& spec) {
   const NodeId n = g.n();
   const uint64_t groups = std::min<uint64_t>(n, 8);
-  Shared shared(n, spec.seed);
+  Shared shared(n, spec.seed, spec.overlay);
   std::vector<MulticastMembership> members;
   for (NodeId u = 0; u < n; ++u) members.push_back({u, u % groups});
   MulticastSetupResult setup = setup_multicast_trees(shared, net, members, spec.seed);

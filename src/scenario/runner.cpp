@@ -16,6 +16,7 @@ void write_spec_fields(JsonWriter& w, const ScenarioSpec& spec) {
   w.kv("scenario", spec.name);
   w.kv("algorithm", spec.algorithm);
   w.kv("graph", std::string(family_name(spec.family)));
+  w.kv("overlay", std::string(overlay_name(spec.overlay)));
   w.kv("seed", spec.seed);
   w.kv("capacity_factor", spec.capacity_factor);
   w.key("faults");

@@ -162,6 +162,8 @@ std::string ScenarioSpec::to_string() const {
     if (weights == WeightMode::kRandom) os << "w_max = " << w_max << "\n";
   }
   os << "algorithm = " << algorithm << "\n";
+  if (overlay != OverlayKind::kButterfly)
+    os << "overlay = " << overlay_name(overlay) << "\n";
   os << "seed = " << seed << "\n";
   os << "capacity_factor = " << capacity_factor << "\n";
   os << "threads = " << threads << "\n";
@@ -267,6 +269,10 @@ bool apply_spec_key(ScenarioSpec& spec, const std::string& key,
   } else if (key == "algorithm") {
     spec.algorithm = val;
     spec.provided.algorithm = true;
+  } else if (key == "overlay") {
+    auto k = overlay_from_name(val);
+    if (!k) return fail("overlay must be butterfly|hypercube|augmented_cube, got `" + val + "`");
+    spec.overlay = *k;
   } else if (key == "seed") {
     ok = parse_u64(val, &spec.seed);
   } else if (key == "capacity_factor") {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "overlay/overlay.hpp"
 
 namespace ncc::scenario {
 
@@ -104,6 +105,10 @@ struct ScenarioSpec {
 
   // --- execution ---
   std::string algorithm;  // required; resolved by scenario/registry
+  /// Emulated overlay the primitives route over (src/overlay/): the paper's
+  /// butterfly by default, `hypercube` or `augmented_cube` to trade routing
+  /// levels against per-round degree. Sweepable like any other key.
+  OverlayKind overlay = OverlayKind::kButterfly;
   uint64_t seed = 1;
   uint32_t capacity_factor = 8;
   uint32_t threads = 1;      // engine threads (results are thread-count-free)

@@ -5,11 +5,8 @@
 
 namespace ncc::scenario {
 
-namespace {
 
-/// The one odometer decode (last axis fastest): pick[i] is the value index
-/// of axis i in cell `index`. Labels and expansion both derive from this.
-std::vector<size_t> decode_cell(const SweepSpec& sweep, uint64_t index) {
+std::vector<size_t> sweep_cell_pick(const SweepSpec& sweep, uint64_t index) {
   std::vector<size_t> pick(sweep.axes.size(), 0);
   for (size_t i = sweep.axes.size(); i-- > 0;) {
     pick[i] = index % sweep.axes[i].values.size();
@@ -17,8 +14,6 @@ std::vector<size_t> decode_cell(const SweepSpec& sweep, uint64_t index) {
   }
   return pick;
 }
-
-}  // namespace
 
 uint64_t SweepSpec::cells() const {
   // Saturating product: an absurd grid must trip the cell cap with its real
@@ -127,7 +122,7 @@ std::optional<SweepSpec> parse_sweep_file(const std::string& path, std::string* 
 }
 
 std::string sweep_cell_label(const SweepSpec& sweep, uint64_t index) {
-  std::vector<size_t> pick = decode_cell(sweep, index);
+  std::vector<size_t> pick = sweep_cell_pick(sweep, index);
   std::string label;
   for (size_t i = 0; i < sweep.axes.size(); ++i) {
     if (i) label += ",";
@@ -151,7 +146,7 @@ std::optional<ScenarioSpec> expand_sweep_cell(const SweepSpec& sweep, uint64_t i
     }
   }
   std::string label = sweep_cell_label(sweep, index);
-  std::vector<size_t> pick = decode_cell(sweep, index);
+  std::vector<size_t> pick = sweep_cell_pick(sweep, index);
   for (size_t i = 0; i < sweep.axes.size(); ++i) {
     if (!apply_spec_key(spec, sweep.axes[i].key, sweep.axes[i].values[pick[i]], &why)) {
       if (error) *error = "cell " + label + ": " + why;

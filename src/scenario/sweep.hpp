@@ -63,6 +63,11 @@ std::optional<SweepSpec> parse_sweep_file(const std::string& path, std::string* 
 /// axis fastest), as "k1=v1,k2=v2". Empty for an axis-free sweep.
 std::string sweep_cell_label(const SweepSpec& sweep, uint64_t index);
 
+/// The odometer decode behind labels, expansion, and the per-axis summaries:
+/// element i is the value index of axis i in cell `index`. Exported so every
+/// consumer shares one cell -> axis-value mapping.
+std::vector<size_t> sweep_cell_pick(const SweepSpec& sweep, uint64_t index);
+
 /// Expand cell `index` into a validated ScenarioSpec named
 /// `<sweep.name>/<label>`. Returns nullopt and sets `error` if the cell's
 /// key combination fails validation.

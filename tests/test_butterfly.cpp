@@ -1,17 +1,20 @@
-// Tests for the butterfly topology and the combining random-rank router.
+// Tests for the butterfly overlay and the combining random-rank router on it
+// (overlay-generic router behaviour on the other overlays is covered by
+// tests/test_overlay.cpp).
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
-#include "butterfly/router.hpp"
-#include "butterfly/topology.hpp"
 #include "common/hash.hpp"
 #include "net/network.hpp"
+#include "overlay/butterfly.hpp"
+#include "overlay/router.hpp"
 
 using namespace ncc;
 
-TEST(ButterflyTopo, DimensionsAndHosting) {
-  ButterflyTopo t(100);  // d = 6, 64 columns
+TEST(ButterflyOverlay, DimensionsAndHosting) {
+  ButterflyOverlay t(100);  // d = 6, 64 columns
   EXPECT_EQ(t.dims(), 6u);
   EXPECT_EQ(t.columns(), 64u);
   EXPECT_EQ(t.levels(), 7u);
@@ -20,28 +23,29 @@ TEST(ButterflyTopo, DimensionsAndHosting) {
   EXPECT_EQ(t.attach_column(64), 0u);
   EXPECT_EQ(t.attach_column(99), 35u);
   EXPECT_EQ(t.node_count(), 7u * 64u);
+  EXPECT_EQ(t.overlay_node_count(), t.node_count());  // levels are physical
 }
 
-TEST(ButterflyTopo, EdgesAreInverses) {
-  ButterflyTopo t(64);
-  for (uint32_t level = 0; level < t.dims(); ++level) {
+TEST(ButterflyOverlay, EdgesAreInverses) {
+  ButterflyOverlay t(64);
+  for (uint32_t level = 0; level + 1 < t.levels(); ++level) {
     for (NodeId c = 0; c < t.columns(); ++c) {
-      for (bool cross : {false, true}) {
-        NodeId down = t.down_column(level, c, cross);
-        EXPECT_EQ(t.up_column(level + 1, down, cross), c);
+      for (uint32_t e = 0; e < t.down_degree(level); ++e) {
+        NodeId down = t.down_column(level, c, e);
+        EXPECT_EQ(t.up_column(level + 1, down, e), c);
       }
     }
   }
 }
 
-TEST(ButterflyTopo, PathBitFixingReachesDestination) {
-  ButterflyTopo t(64);
+TEST(ButterflyOverlay, GreedyRouteFixesOneBitPerLevel) {
+  ButterflyOverlay t(64);
   for (NodeId src = 0; src < t.columns(); src += 7) {
     for (NodeId dst = 0; dst < t.columns(); dst += 5) {
       NodeId cur = src;
-      for (uint32_t level = 0; level < t.dims(); ++level) {
-        bool cross = t.step_is_cross(level, cur, dst);
-        cur = t.down_column(level, cur, cross);
+      for (uint32_t level = 0; level + 1 < t.levels(); ++level) {
+        uint32_t e = t.route_edge(level, cur, dst);
+        cur = t.down_column(level, cur, e);
       }
       EXPECT_EQ(cur, dst);
     }
@@ -53,7 +57,7 @@ namespace {
 struct RouterFixture {
   NodeId n;
   Network net;
-  ButterflyTopo topo;
+  ButterflyOverlay topo;
   KWiseHash hdest;
   KWiseHash hrank;
 
@@ -97,6 +101,7 @@ TEST(RouteDown, CombinesGroupSums) {
   }
   EXPECT_EQ(f.net.stats().messages_dropped, 0u);
   EXPECT_GT(res.stats.combines, 0u);
+  EXPECT_EQ(res.stats.token_resends, 0u);  // heartbeat idle on reliable nets
   // Token-based termination adds only O(log n) beyond the routing time.
   EXPECT_LE(res.stats.rounds, 500 / 64 + 16 * f.topo.dims() + 16);
 }

@@ -3,6 +3,7 @@
 // Message/NetConfig plumbing edge cases.
 #include <gtest/gtest.h>
 
+#include "overlay/butterfly.hpp"
 #include "primitives/context.hpp"
 
 using namespace ncc;
@@ -70,7 +71,7 @@ TEST(NetConfigEdge, SmallestNetworkWorks) {
   net.send(0, 1, 1, {42});
   net.end_round();
   ASSERT_EQ(net.inbox(1).size(), 1u);
-  ButterflyTopo topo(2);
+  ButterflyOverlay topo(2);
   EXPECT_EQ(topo.dims(), 1u);
   EXPECT_EQ(topo.columns(), 2u);
 }

@@ -1,0 +1,294 @@
+// Tests for the pluggable overlay layer (src/overlay/): structural properties
+// of the hypercube Q_d and the augmented cube AQ_d, greedy-route convergence
+// on every overlay, the butterfly == time-unrolled-hypercube identity, the
+// generalized router on the augmented cube, and the acceptance property that
+// every registered algorithm produces identical verified outputs on all three
+// overlays over a reliable network.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+
+#include "common/hash.hpp"
+#include "net/network.hpp"
+#include "overlay/augmented_cube.hpp"
+#include "overlay/hypercube.hpp"
+#include "overlay/overlay.hpp"
+#include "overlay/router.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+using namespace ncc;
+
+TEST(OverlayNames, RoundTrip) {
+  for (OverlayKind kind : all_overlay_kinds()) {
+    auto back = overlay_from_name(overlay_name(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(overlay_from_name("torus").has_value());
+}
+
+TEST(HypercubeOverlay, StructureIsQd) {
+  HypercubeOverlay q(64);  // d = 6
+  EXPECT_EQ(q.levels(), 7u);
+  EXPECT_EQ(q.overlay_node_count(), 64u);  // levels collapse onto 2^d vertices
+  for (NodeId c = 0; c < q.columns(); ++c) {
+    auto nb = q.column_neighbors(c);
+    EXPECT_EQ(nb.size(), q.dims());  // degree d
+    std::set<NodeId> distinct(nb.begin(), nb.end());
+    EXPECT_EQ(distinct.size(), nb.size());
+    for (NodeId v : nb) {
+      EXPECT_EQ(std::popcount(static_cast<uint32_t>(c ^ v)), 1);  // cube edge
+      auto back = q.column_neighbors(v);
+      EXPECT_TRUE(std::count(back.begin(), back.end(), c))  // symmetry
+          << c << " <-> " << v;
+    }
+  }
+}
+
+TEST(AugmentedCubeOverlay, StructureIsAQd) {
+  for (NodeId n : {2u, 8u, 64u, 256u}) {
+    AugmentedCubeOverlay aq(n);
+    const uint32_t d = aq.dims();
+    for (NodeId c = 0; c < aq.columns(); ++c) {
+      auto nb = aq.column_neighbors(c);
+      // The Ganesan construction: 2d-1 distinct neighbor generators (d bit
+      // flips e_i plus d-1 suffix complements s_j).
+      EXPECT_EQ(nb.size(), 2 * d - 1) << "n=" << n;
+      std::set<NodeId> distinct(nb.begin(), nb.end());
+      EXPECT_EQ(distinct.size(), nb.size());
+      for (NodeId v : nb) {
+        NodeId delta = c ^ v;
+        bool bit_flip = std::popcount(static_cast<uint32_t>(delta)) == 1;
+        bool suffix = (delta & (delta + 1)) == 0 && delta >= 3;  // 2^{j+1}-1
+        EXPECT_TRUE(bit_flip || suffix) << "delta " << delta;
+        // Symmetry: XOR generators are involutions.
+        auto back = aq.column_neighbors(v);
+        EXPECT_TRUE(std::count(back.begin(), back.end(), c));
+        // edge_from_delta inverts down_column on every level.
+        uint32_t e = aq.edge_from_delta(0, delta);
+        EXPECT_EQ(aq.down_column(0, c, e), v);
+      }
+    }
+  }
+}
+
+TEST(AugmentedCubeOverlay, LevelsMatchDiameterBound) {
+  // ceil((d+1)/2) routing steps suffice (the AQ_d diameter): levels = that +1.
+  for (NodeId n : {2u, 4u, 16u, 64u, 1024u}) {
+    AugmentedCubeOverlay aq(n);
+    EXPECT_EQ(aq.levels(), (aq.dims() + 1 + 1) / 2 + 1) << "n=" << n;
+  }
+}
+
+TEST(Overlays, GreedyRouteReachesEveryDestination) {
+  for (OverlayKind kind : all_overlay_kinds()) {
+    auto topo = make_overlay(kind, 64);
+    const uint32_t steps = topo->levels() - 1;
+    for (NodeId src = 0; src < topo->columns(); ++src) {
+      for (NodeId dst = 0; dst < topo->columns(); ++dst) {
+        NodeId cur = src;
+        uint32_t cross = 0;
+        for (uint32_t level = 0; level < steps; ++level) {
+          uint32_t e = topo->route_edge(level, cur, dst);
+          ASSERT_LT(e, topo->down_degree(level));
+          NodeId next = topo->down_column(level, cur, e);
+          if (next != cur) ++cross;
+          cur = next;
+        }
+        ASSERT_EQ(cur, dst) << overlay_name(kind) << " " << src << "->" << dst;
+        // Once at the destination the greedy rule holds still.
+        EXPECT_LE(cross, steps);
+      }
+    }
+  }
+}
+
+TEST(Overlays, UpEdgesInvertDownEdges) {
+  for (OverlayKind kind : all_overlay_kinds()) {
+    auto topo = make_overlay(kind, 32);
+    for (uint32_t level = 0; level + 1 < topo->levels(); ++level) {
+      for (NodeId c = 0; c < topo->columns(); ++c) {
+        for (uint32_t e = 0; e < topo->down_degree(level); ++e) {
+          NodeId down = topo->down_column(level, c, e);
+          EXPECT_EQ(topo->up_column(level + 1, down, e), c);
+          if (e > 0) EXPECT_EQ(topo->edge_from_delta(level, c ^ down), e);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Router fixture parameterized on the overlay; capacity_factor 16 funds the
+/// augmented cube's 2d-1 per-round degree under strict_send.
+struct OverlayRouterFixture {
+  Network net;
+  std::unique_ptr<Overlay> topo;
+  KWiseHash hdest;
+  KWiseHash hrank;
+
+  OverlayRouterFixture(OverlayKind kind, NodeId n, uint64_t seed = 3)
+      : net(NetConfig{.n = n, .capacity_factor = 16, .strict_send = true,
+                      .seed = seed}),
+        topo(make_overlay(kind, n)),
+        hdest(4, Rng(seed * 31)),
+        hrank(4, Rng(seed * 37)) {}
+
+  std::function<NodeId(uint64_t)> dest() {
+    return [this](uint64_t g) {
+      return static_cast<NodeId>(hdest.to_range(g, topo->columns()));
+    };
+  }
+  std::function<uint64_t(uint64_t)> rank() {
+    return [this](uint64_t g) { return hrank(g); };
+  }
+};
+
+}  // namespace
+
+TEST(OverlayRouter, CombinesGroupSumsOnEveryOverlay) {
+  for (OverlayKind kind : all_overlay_kinds()) {
+    OverlayRouterFixture f(kind, 64);
+    Rng rng(5);
+    std::vector<std::vector<AggPacket>> at_col(f.topo->columns());
+    std::map<uint64_t, uint64_t> expect;
+    for (int i = 0; i < 400; ++i) {
+      uint64_t g = rng.next_below(20);
+      NodeId c = static_cast<NodeId>(rng.next_below(f.topo->columns()));
+      at_col[c].push_back({g, Val{1, 0}});
+      ++expect[g];
+    }
+    auto res =
+        route_down(*f.topo, f.net, std::move(at_col), f.dest(), f.rank(), agg::sum);
+    ASSERT_EQ(res.root_values.size(), expect.size()) << overlay_name(kind);
+    for (auto& [g, cnt] : expect)
+      EXPECT_EQ(res.root_values.at(g)[0], cnt)
+          << overlay_name(kind) << " group " << g;
+    EXPECT_EQ(res.stats.misrouted, 0u);
+    EXPECT_EQ(res.stats.token_resends, 0u);
+    EXPECT_EQ(f.net.stats().messages_dropped, 0u) << overlay_name(kind);
+  }
+}
+
+TEST(OverlayRouter, MulticastTreesDeliverOnAugmentedCube) {
+  OverlayRouterFixture f(OverlayKind::kAugmentedCube, 64);
+  Rng rng(9);
+  MulticastTrees trees;
+  trees.leaf_members.assign(f.topo->columns(), {});
+  std::vector<std::vector<AggPacket>> at_col(f.topo->columns());
+  std::map<uint64_t, std::set<NodeId>> leaves;
+  for (uint64_t g : {100ull, 200ull, 300ull}) {
+    for (int i = 0; i < 20; ++i) {
+      NodeId c = static_cast<NodeId>(rng.next_below(f.topo->columns()));
+      at_col[c].push_back({g, Val{0, 0}});
+      leaves[g].insert(c);
+    }
+  }
+  route_down(*f.topo, f.net, std::move(at_col), f.dest(), f.rank(), agg::sum, &trees);
+  EXPECT_EQ(trees.levels, f.topo->levels());
+
+  std::unordered_map<uint64_t, Val> payloads{
+      {100, Val{111, 0}}, {200, Val{222, 0}}, {300, Val{333, 0}}};
+  auto up = route_up(*f.topo, f.net, trees, payloads, f.rank());
+  for (auto& [g, expect_cols] : leaves) {
+    std::set<NodeId> got;
+    for (NodeId c = 0; c < f.topo->columns(); ++c)
+      for (const AggPacket& p : up.at_col[c])
+        if (p.group == g) got.insert(c);
+    EXPECT_EQ(got, expect_cols) << "group " << g;
+  }
+  EXPECT_EQ(up.stats.misrouted, 0u);
+  EXPECT_EQ(f.net.stats().messages_dropped, 0u);
+}
+
+TEST(OverlayRouter, AugmentedCubeUsesFewerRoutingLevels) {
+  // The headline trade: AQ_d drains in fewer rounds than the butterfly on the
+  // same workload (about half the routing levels), at a higher message cost
+  // (2d-1 termination tokens per node-level instead of 2).
+  auto run = [](OverlayKind kind) {
+    OverlayRouterFixture f(kind, 256, 7);
+    Rng rng(13);
+    std::vector<std::vector<AggPacket>> at_col(f.topo->columns());
+    for (int i = 0; i < 2048; ++i)
+      at_col[rng.next_below(f.topo->columns())].push_back(
+          {rng.next_below(128), Val{1, 0}});
+    auto res =
+        route_down(*f.topo, f.net, std::move(at_col), f.dest(), f.rank(), agg::sum);
+    return std::make_pair(res.stats.rounds, f.net.stats().messages_sent);
+  };
+  auto [bf_rounds, bf_msgs] = run(OverlayKind::kButterfly);
+  auto [aq_rounds, aq_msgs] = run(OverlayKind::kAugmentedCube);
+  EXPECT_LT(aq_rounds, bf_rounds);
+  EXPECT_GT(aq_msgs, bf_msgs);
+}
+
+TEST(OverlayRouter, HypercubeIsTheUnrolledButterfly) {
+  // Identical column dynamics: same rounds, same messages, bit for bit.
+  auto run = [](OverlayKind kind) {
+    OverlayRouterFixture f(kind, 128, 11);
+    Rng rng(17);
+    std::vector<std::vector<AggPacket>> at_col(f.topo->columns());
+    for (int i = 0; i < 600; ++i)
+      at_col[rng.next_below(f.topo->columns())].push_back(
+          {rng.next_below(60), Val{1, 0}});
+    auto res =
+        route_down(*f.topo, f.net, std::move(at_col), f.dest(), f.rank(), agg::sum);
+    return std::make_tuple(res.stats.rounds, res.stats.packets_moved,
+                           f.net.stats().messages_sent);
+  };
+  EXPECT_EQ(run(OverlayKind::kButterfly), run(OverlayKind::kHypercube));
+}
+
+// The acceptance criterion: on a reliable network every registered algorithm
+// produces identical verified outputs on all three overlays — the overlay
+// changes how results are routed, never what they are.
+TEST(OverlayEquivalence, AllAlgorithmsAgreeAcrossOverlays) {
+  using namespace ncc::scenario;
+  for (const std::string& algo : algorithm_names()) {
+    ScenarioRunFn fn = find_algorithm(algo);
+    ASSERT_NE(fn, nullptr) << algo;
+    std::string verdict0;
+    std::map<std::string, uint64_t> outputs0;
+    for (OverlayKind kind : all_overlay_kinds()) {
+      ScenarioSpec spec;
+      std::string err;
+      ASSERT_TRUE(apply_spec_key(spec, "graph", "gnm", &err)) << err;
+      ASSERT_TRUE(apply_spec_key(spec, "n", "48", &err)) << err;
+      ASSERT_TRUE(apply_spec_key(spec, "m", "200", &err)) << err;
+      ASSERT_TRUE(apply_spec_key(spec, "connect", "true", &err)) << err;
+      ASSERT_TRUE(apply_spec_key(spec, "weights", "distinct", &err)) << err;
+      ASSERT_TRUE(apply_spec_key(spec, "algorithm", algo, &err)) << err;
+      ASSERT_TRUE(apply_spec_key(spec, "seed", "99", &err)) << err;
+      ASSERT_TRUE(apply_spec_key(spec, "capacity_factor", "16", &err)) << err;
+      ASSERT_TRUE(validate_spec(spec, &err)) << err;
+      spec.overlay = kind;
+      auto graph = build_graph(spec, &err);
+      ASSERT_TRUE(graph.has_value()) << err;
+      Network net(NetConfig{.n = graph->n(),
+                            .capacity_factor = spec.capacity_factor,
+                            .strict_send = true,
+                            .seed = spec.seed});
+      ScenarioRunResult res = fn(net, *graph, spec);
+      EXPECT_TRUE(res.ok) << algo << " on " << overlay_name(kind) << ": "
+                          << res.verdict;
+      // Output-shaped counters must agree; round-shaped ones may not (that
+      // is the point of swapping the overlay).
+      std::map<std::string, uint64_t> outputs;
+      for (const auto& [k, v] : res.counters)
+        if (k.find("rounds") == std::string::npos) outputs[k] = v;
+      if (kind == OverlayKind::kButterfly) {
+        verdict0 = res.verdict;
+        outputs0 = outputs;
+      } else {
+        EXPECT_EQ(res.verdict, verdict0) << algo << " on " << overlay_name(kind);
+        EXPECT_EQ(outputs, outputs0) << algo << " on " << overlay_name(kind);
+      }
+    }
+  }
+}

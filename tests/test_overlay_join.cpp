@@ -1,6 +1,7 @@
-// Tests for the restricted-knowledge butterfly overlay construction
-// (Section 6 / footnote 4): starting from ring neighbors + Theta(log n)
-// random contacts, every node gets introduced to its butterfly neighbors.
+// Tests for the restricted-knowledge overlay construction (Section 6 /
+// footnote 4): starting from ring neighbors + Theta(log n) random contacts,
+// every node gets introduced to its overlay neighbors (butterfly by default;
+// one test covers all pluggable overlays).
 #include <gtest/gtest.h>
 
 #include "common/bits.hpp"
@@ -9,13 +10,14 @@
 using namespace ncc;
 
 namespace {
-OverlayJoinResult join(NodeId n, uint64_t seed, OverlayJoinParams params = {}) {
+OverlayJoinResult join(NodeId n, uint64_t seed, OverlayJoinParams params = {},
+                       OverlayKind kind = OverlayKind::kButterfly) {
   NetConfig cfg;
   cfg.n = n;
   cfg.seed = seed;
   Network net(cfg);
-  ButterflyTopo topo(n);
-  auto res = build_butterfly_overlay(net, topo, params, seed);
+  auto topo = make_overlay(kind, n);
+  auto res = build_overlay_join(net, *topo, params, seed);
   EXPECT_EQ(net.stats().messages_dropped, 0u);
   return res;
 }
@@ -66,6 +68,15 @@ TEST(OverlayJoin, FewerContactsStillComplete) {
   p.contacts_factor = 1;
   auto res = join(256, 13, p);
   EXPECT_TRUE(res.complete);
+}
+
+TEST(OverlayJoin, CompletesOnEveryOverlayKind) {
+  // The join layer only consumes the Overlay neighbor surface: the denser
+  // augmented cube (2d-1 targets per node) completes like the butterfly.
+  for (OverlayKind kind : all_overlay_kinds()) {
+    auto res = join(130, 17, {}, kind);
+    EXPECT_TRUE(res.complete) << overlay_name(kind);
+  }
 }
 
 TEST(OverlayJoin, DeterministicForSeed) {

@@ -6,7 +6,8 @@
 #include <map>
 #include <set>
 
-#include "butterfly/router.hpp"
+#include "overlay/butterfly.hpp"
+#include "overlay/router.hpp"
 #include "net/network.hpp"
 
 using namespace ncc;
@@ -15,7 +16,7 @@ namespace {
 
 struct Fix {
   Network net;
-  ButterflyTopo topo;
+  ButterflyOverlay topo;
   explicit Fix(NodeId n, uint64_t seed = 1)
       : net(NetConfig{.n = n, .capacity_factor = 8, .strict_send = true,
                       .seed = seed}),
@@ -75,9 +76,9 @@ TEST(RouterSemantics, RecordedTreesAreTrees) {
       if (level == 0) continue;
       auto it = trees.children[idx].find(g);
       if (it == trees.children[idx].end()) continue;
-      for (int e = 0; e < 2; ++e)
+      for (uint32_t e = 0; e < f.topo.down_degree(level - 1); ++e)
         if ((it->second >> e) & 1)
-          frontier.push_back({level - 1, f.topo.up_column(level, col, e == 1)});
+          frontier.push_back({level - 1, f.topo.up_column(level, col, e)});
     }
   }
 }

@@ -79,6 +79,98 @@ struct SpecSummary {
   }
 };
 
+/// Aggregate over a set of sweep cells (the whole grid or the cells sharing
+/// one axis value): verdict histogram plus min/max/mean rounds and messages.
+/// A pure function of the per-cell outcomes, which are themselves
+/// thread-count free — so the derived metrics keep BENCH_sweeps.json
+/// byte-identical across --threads values.
+struct CellAgg {
+  uint64_t cells = 0, ok = 0, degraded = 0, round_limit = 0, errors = 0, failed = 0;
+  uint64_t rounds_min = UINT64_MAX, rounds_max = 0, rounds_sum = 0;
+  uint64_t msgs_min = UINT64_MAX, msgs_max = 0, msgs_sum = 0;
+
+  void account(const ScenarioOutcome& out) {
+    ++cells;
+    if (out.verdict == "ok") {
+      ++ok;
+    } else if (out.verdict.rfind("degraded", 0) == 0) {
+      ++degraded;
+    } else if (out.verdict == "round_limit") {
+      ++round_limit;
+    } else {
+      ++errors;
+    }
+    if (out.failed) ++failed;
+    rounds_min = std::min(rounds_min, out.rounds);
+    rounds_max = std::max(rounds_max, out.rounds);
+    rounds_sum += out.rounds;
+    msgs_min = std::min(msgs_min, out.messages);
+    msgs_max = std::max(msgs_max, out.messages);
+    msgs_sum += out.messages;
+  }
+
+  void write(JsonWriter& w) const {
+    w.kv("cells", cells);
+    w.key("verdicts");
+    w.begin_object();
+    w.kv("ok", ok);
+    w.kv("degraded", degraded);
+    w.kv("round_limit", round_limit);
+    w.kv("error", errors);
+    w.end_object();
+    w.kv("failed", failed);
+    auto stat = [&](const char* key, uint64_t mn, uint64_t mx, uint64_t sum) {
+      w.key(key);
+      w.begin_object();
+      w.kv("min", cells ? mn : 0);
+      w.kv("max", mx);
+      w.kv("mean", cells ? static_cast<double>(sum) / static_cast<double>(cells) : 0.0);
+      w.end_object();
+    };
+    stat("rounds", rounds_min, rounds_max, rounds_sum);
+    stat("messages", msgs_min, msgs_max, msgs_sum);
+  }
+};
+
+/// Per-axis derived metrics: group the grid's cells by each axis's value
+/// (cell -> value index via the same last-axis-fastest odometer the expansion
+/// uses) and emit one CellAgg per value, plus one for the whole grid.
+void write_axis_summaries(JsonWriter& w, const SweepSpec& sweep,
+                          const std::vector<ScenarioOutcome>& outs) {
+  CellAgg total;
+  for (const ScenarioOutcome& out : outs) total.account(out);
+  w.key("summary");
+  w.begin_object();
+  total.write(w);
+  w.end_object();
+
+  w.key("axis_summary");
+  w.begin_array();
+  // One odometer decode per cell (sweep_cell_pick — the same mapping labels
+  // and expansion use, so summaries can never drift from the cell order).
+  std::vector<std::vector<size_t>> picks;
+  picks.reserve(outs.size());
+  for (uint64_t c = 0; c < outs.size(); ++c) picks.push_back(sweep_cell_pick(sweep, c));
+  for (size_t i = 0; i < sweep.axes.size(); ++i) {
+    w.begin_object();
+    w.kv("key", sweep.axes[i].key);
+    w.key("groups");
+    w.begin_array();
+    for (size_t vi = 0; vi < sweep.axes[i].values.size(); ++vi) {
+      CellAgg agg;
+      for (uint64_t c = 0; c < outs.size(); ++c)
+        if (picks[c][i] == vi) agg.account(outs[c]);
+      w.begin_object();
+      w.kv("value", sweep.axes[i].values[vi]);
+      agg.write(w);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
 /// Compact per-cell record for the sweep JSON: verdict + headline counters,
 /// no per-round series (BENCH_sweeps.json is a grid, not a trace).
 void write_cell_json(JsonWriter& w, const std::string& label,
@@ -200,6 +292,8 @@ int main(int argc, char** argv) {
     }
 
     const uint64_t cells = sweep->cells();
+    std::vector<ScenarioOutcome> cell_outs;  // sweep mode: drives axis summaries
+    if (sweep_mode) cell_outs.reserve(cells);
     for (uint64_t c = 0; c < cells; ++c) {
       std::string label = sweep_cell_label(*sweep, c);
       auto spec = expand_sweep_cell(*sweep, c, &error);
@@ -239,10 +333,15 @@ int main(int argc, char** argv) {
                  Table::num(out.rounds), Table::num(out.messages),
                  Table::num(out.fault_drops), Table::num(uint64_t{out.crashed}),
                  Table::num(out.wall_ms, 1)});
+      if (sweep_mode) {
+        out.json.clear();  // not needed for summaries; drop before storing
+        cell_outs.push_back(std::move(out));
+      }
     }
 
     if (sweep_mode) {
       sw.end_array();
+      write_axis_summaries(sw, *sweep, cell_outs);
       sw.kv("cells_total", summary.cells);
       sw.kv("failed", summary.failed);
       sw.end_object();
