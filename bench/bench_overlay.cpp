@@ -1,6 +1,7 @@
-// Experiment OVERLAY (PR-4 tentpole): the same primitive workloads routed
-// over the three pluggable overlays — the paper's butterfly, the hypercube
-// Q_d and the augmented cube AQ_d (arXiv:1508.07257 construction).
+// Experiment OVERLAY: the same primitive workloads routed over the
+// pluggable overlays — the paper's butterfly, the hypercube Q_d, the
+// augmented cube AQ_d (arXiv:1508.07257 construction) and the
+// level-dependent radix-4 butterfly.
 //
 // Expected shape, verified by the rows:
 //  * hypercube == butterfly exactly in rounds and messages (the butterfly is
@@ -9,15 +10,19 @@
 //    instead of d (combining/spreading phases shorten) at a 2d-1 per-node
 //    degree (termination tokens multiply, so messages grow).
 //
-// Workloads: the Aggregation Algorithm (Theorem 2.3, G groups over L items)
-// and multicast tree setup + spreading (Theorems 2.4/2.5), both through the
-// real Shared/Network stack so barriers and injection rounds are included.
-// Emits BENCH_overlay.json: one row per (workload, overlay, n) with
-// rounds/messages/wall_ms; the row name encodes the overlay.
+// Workloads: the Aggregation Algorithm (Theorem 2.3, G groups over L items),
+// multicast tree setup + spreading (Theorems 2.4/2.5), and a barrier-bound
+// workload (back-to-back sync_barriers — the overlay-native aggregation
+// tree's round win undiluted by routing phases: the augmented cube runs each
+// barrier in 2*ceil((d+1)/2)+2 rounds against the binary tree's 2d+2), all
+// through the real Shared/Network stack so barriers and injection rounds are
+// included. Emits BENCH_overlay.json: one row per (workload, overlay, n)
+// with rounds/messages/wall_ms; the row name encodes the overlay.
 #include <string>
 
 #include "bench_util.hpp"
 #include "overlay/overlay.hpp"
+#include "primitives/aggregate_broadcast.hpp"
 #include "primitives/aggregation.hpp"
 #include "primitives/multicast.hpp"
 
@@ -83,12 +88,26 @@ Row run_multicast_workload(OverlayKind kind, NodeId n, uint32_t threads) {
           setup.trees.congestion};
 }
 
+Row run_barrier_workload(OverlayKind kind, NodeId n, uint32_t threads) {
+  Network net = make_overlay_net(n, 44);
+  auto engine = attach_engine(net, threads);
+  Shared shared(n, 44, kind);
+  const Overlay& topo = shared.topo();
+  constexpr uint32_t kBarriers = 32;
+  WallTimer timer;
+  uint64_t per_barrier = 0;
+  for (uint32_t i = 0; i < kBarriers; ++i) per_barrier = sync_barrier(topo, net);
+  NCC_ASSERT_MSG(per_barrier == 2ull * topo.agg_steps() + 2,
+                 "barrier schedule drifted off the tree depth");
+  return {net.stats().rounds, net.stats().messages_sent, timer.ms(), 0};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchOpts opts = parse_opts(argc, argv);
-  std::printf("== OVERLAY: butterfly vs hypercube vs augmented cube "
-              "(pluggable overlay layer) ==\n");
+  std::printf("== OVERLAY: butterfly vs hypercube vs augmented cube vs "
+              "radix-4 butterfly (pluggable overlay layer) ==\n");
   std::printf("   engine threads: %u\n\n", opts.threads);
 
   std::vector<NodeId> sizes = opts.quick ? std::vector<NodeId>{128}
@@ -97,7 +116,8 @@ int main(int argc, char** argv) {
     const char* name;
     Row (*run)(OverlayKind, NodeId, uint32_t);
   } workloads[] = {{"aggregation", run_aggregation_workload},
-                   {"multicast", run_multicast_workload}};
+                   {"multicast", run_multicast_workload},
+                   {"barrier_x32", run_barrier_workload}};
 
   BenchJson json;
   for (const Workload& w : workloads) {

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
+#include "primitives/aggregate_broadcast.hpp"
 #include "primitives/aggregation.hpp"
 
 namespace ncc {
@@ -37,6 +38,40 @@ IdentificationResult run_identification(const Shared& shared, Network& net,
   NCC_ASSERT_MSG(params.q < (1u << kTrialBits), "trial count exceeds group encoding");
   uint64_t start_rounds = net.rounds();
 
+  // Poisoned-schedule recovery: the trial count q scales the delivery
+  // schedule (ell2_hat = q), so a byzantine-corrupted degree bound d* in the
+  // caller's q = q_unit * d* stretches an otherwise-bounded run by thousands
+  // of near-empty rounds. The certifiable ceiling for the *current* instance
+  // is q_unit * (largest candidate set any learning node holds): red edges
+  // are candidate edges, so that many trials are statistically sufficient
+  // here even when the caller's q was scaled by a larger bound carried over
+  // from earlier phases — a q beyond the ceiling is either poisoned or
+  // harmlessly oversized. When the network can corrupt payloads and q
+  // exceeds it, the degree aggregate is re-derived with a fresh
+  // Aggregate-and-Broadcast — paying its real rounds — and q is clamped to
+  // the re-derived bound (the re-run is itself clamped to the ceiling: a
+  // second corruption must not re-poison the schedule; a corrupted-low
+  // value merely degrades decoding, which the caller already detects via
+  // `success`). Reliable networks always trust q unchanged.
+  uint32_t q = params.q;
+  if (params.q_unit > 0 && net.corruption_possible()) {
+    uint32_t cand_max = 1;
+    for (const auto& cand : input.candidates)
+      cand_max = std::max<uint32_t>(cand_max, static_cast<uint32_t>(cand.size()));
+    uint64_t ceiling = static_cast<uint64_t>(params.q_unit) * cand_max;
+    if (q > ceiling) {
+      const NodeId n = shared.topo().n();
+      std::vector<std::optional<Val>> degrees(n);
+      for (size_t li = 0; li < input.learning.size(); ++li)
+        degrees[input.learning[li]] = Val{input.candidates[li].size(), 0};
+      auto ab = aggregate_and_broadcast(shared.topo(), net, degrees, agg::max_by_first);
+      uint64_t rederived =
+          std::min<uint64_t>(ab.value ? (*ab.value)[0] : 1, cand_max);
+      q = static_cast<uint32_t>(
+          std::min<uint64_t>(q, params.q_unit * std::max<uint64_t>(rederived, 1)));
+    }
+  }
+
   // Shared hash functions h_1..h_s (their seeds cost a charged broadcast).
   HashFamily fam = shared.make_family(net, mix64(0x1de9f1 ^ rng_tag), params.s,
                                       2 * cap_log(shared.topo().n()));
@@ -45,12 +80,12 @@ IdentificationResult run_identification(const Shared& shared, Network& net,
   AggregationProblem prob;
   prob.combine = agg::xor_count;
   prob.target = [](uint64_t g) { return static_cast<NodeId>(g >> kTrialBits); };
-  prob.ell2_hat = params.q;
+  prob.ell2_hat = q;
   for (size_t pi = 0; pi < input.playing.size(); ++pi) {
     NodeId v = input.playing[pi];
     for (NodeId w : input.potential[pi]) {
       uint64_t arc = arc_id(w, v);
-      for (uint32_t t : arc_trials(fam, arc, params.q)) {
+      for (uint32_t t : arc_trials(fam, arc, q)) {
         uint64_t group = (static_cast<uint64_t>(w) << kTrialBits) | t;
         prob.items.push_back({v, group, Val{arc, 1}});
       }
@@ -78,7 +113,7 @@ IdentificationResult run_identification(const Shared& shared, Network& net,
     std::unordered_set<uint64_t> remaining;  // candidate arcs not yet decoded
     for (NodeId v : cand) {
       uint64_t arc = arc_id(u, v);
-      auto ts = arc_trials(fam, arc, params.q);
+      auto ts = arc_trials(fam, arc, q);
       for (uint32_t t : ts) {
         auto& st = trials[t];
         st.x_xor ^= arc;

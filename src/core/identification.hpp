@@ -21,6 +21,15 @@ namespace ncc {
 struct IdentificationParams {
   uint32_t s = 4;  // number of hash functions (paper: constant c or c log n)
   uint32_t q = 64; // number of trials (paper: 4ec d* log n or 4ec log^2 n)
+  /// Trials the caller budgets per unit of red degree (its 4ec log n factor)
+  /// when `q` was scaled by an aggregate-decoded degree bound d*. Enables the
+  /// poisoned-schedule recovery: on a network that can corrupt payloads, a
+  /// `q` beyond q_unit * (max candidate-set size) cannot come from an honest
+  /// d* — the aggregate is re-derived with a fresh Aggregate-and-Broadcast
+  /// over the candidate degrees and `q` is clamped, instead of letting a
+  /// byzantine word stretch the delivery schedule past any round budget.
+  /// 0 (the default) trusts `q` unconditionally.
+  uint32_t q_unit = 0;
 };
 
 struct IdentificationInput {

@@ -162,6 +162,16 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
       // must not be allowed to schedule an astronomically long contact phase
       // (the horizon allocates one slot vector per round).
       d_star_i = std::min<uint32_t>(d_star_i, n - 1);
+      // Cross-check against the classification invariant every active node
+      // just verified locally: active means d_i * cnt <= 2 * sum_d, so a
+      // decoded d* above floor(2 sum_d / cnt) cannot come from an honest
+      // aggregate — re-derive it from the already-broadcast average instead
+      // of letting a byzantine word stretch every d*-scaled horizon (the
+      // identification schedule, the contact rounds, the rendezvous phase).
+      if (net.corruption_possible() && cnt > 0) {
+        uint64_t legal = std::max<uint64_t>(1, 2 * sum_d / cnt);
+        d_star_i = static_cast<uint32_t>(std::min<uint64_t>(d_star_i, legal));
+      }
     }
     res.d_star = std::max(res.d_star, d_star_i);
     uint32_t d_star = std::max(res.d_star, 1u);
@@ -181,6 +191,10 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
     IdentificationParams p1;
     p1.s = params.c;
     p1.q = static_cast<uint32_t>(std::ceil(4.0 * kE * params.c * d_star * logn));
+    // q scales with the aggregate-decoded d*: hand identification the
+    // per-unit factor so it can recover if that bound was poisoned in flight
+    // (the second identification's q is d*-independent and needs none).
+    p1.q_unit = static_cast<uint32_t>(std::ceil(4.0 * kE * params.c * logn));
     IdentificationResult ident = run_identification(shared, net, id_in, p1, phase * 131 + 2);
 
     // Collect per-active-node red sets and the unsuccessful split.

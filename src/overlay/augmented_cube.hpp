@@ -44,12 +44,7 @@ class AugmentedCubeOverlay final : public Overlay {
     NCC_ASSERT(level + 1 < levels());
     NodeId delta = col ^ dest;
     if (delta == 0) return 0;
-    uint32_t h = floor_log2(delta);
-    uint32_t l = h;
-    while (l > 0 && ((delta >> (l - 1)) & 1u)) --l;
-    if (l == h && l != 0) return 1 + h;          // isolated bit: e_h
-    if (h == 0) return 1;                        // s_0 == e_0
-    return 1 + dims() + (h - 1);                 // suffix complement s_h
+    return edge_from_delta(level, greedy_mask(delta));
   }
 
   uint64_t overlay_node(uint32_t, NodeId col) const override { return col; }
@@ -74,7 +69,37 @@ class AugmentedCubeOverlay final : public Overlay {
     return out;
   }
 
+  /// Aggregation tree over the AQ_d generators: each step applies the greedy
+  /// route-to-zero rule (clear the maximal msb run with s_h, or an isolated
+  /// msb with e_h), which drops msb(col) by at least 2 per step — every
+  /// column reaches 0 within ceil((d+1)/2) steps, so A&B and sync_barrier
+  /// run in 2*ceil((d+1)/2) + 2 rounds against the binary tree's 2d + 2.
+  uint32_t agg_steps() const override { return ceil_div(dims() + 1, 2); }
+
+  NodeId agg_parent(uint32_t step, NodeId col) const override {
+    NCC_ASSERT(step < agg_steps() && col < columns());
+    return col == 0 ? 0 : col ^ greedy_mask(col);
+  }
+
+  uint64_t seed_broadcast_rounds(uint32_t words) const override {
+    // The seed pipeline rides the shallower suffix-complement tree: the
+    // depth term halves, the per-word bandwidth term is the model's.
+    return 2ull * agg_steps() + ceil_div(words, cap_log(n()));
+  }
+
  private:
+  /// The generator the greedy rule applies to clear `delta` (delta != 0):
+  /// e_h for an isolated msb, s_h when the msb heads a run of set bits.
+  /// Shared by route_edge (toward any destination) and the aggregation tree
+  /// (route-to-zero, delta == col) so the two stay one rule by construction.
+  static NodeId greedy_mask(NodeId delta) {
+    uint32_t h = floor_log2(delta);
+    uint32_t l = h;
+    while (l > 0 && ((delta >> (l - 1)) & 1u)) --l;
+    if (l == h && h != 0) return NodeId{1} << h;  // isolated bit: e_h
+    return (NodeId{1} << (h + 1)) - 1;            // suffix complement s_h (s_0 == e_0)
+  }
+
   /// Column XOR mask of down-edge `edge` (edge >= 1): edges 1..d are
   /// e_0..e_{d-1}, edges d+1..2d-1 are s_1..s_{d-1}.
   NodeId generator(uint32_t edge) const {

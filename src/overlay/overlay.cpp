@@ -3,6 +3,7 @@
 #include "overlay/augmented_cube.hpp"
 #include "overlay/butterfly.hpp"
 #include "overlay/hypercube.hpp"
+#include "overlay/radix4_butterfly.hpp"
 
 namespace ncc {
 
@@ -15,6 +16,7 @@ const struct {
     {OverlayKind::kButterfly, "butterfly"},
     {OverlayKind::kHypercube, "hypercube"},
     {OverlayKind::kAugmentedCube, "augmented_cube"},
+    {OverlayKind::kRadix4Butterfly, "radix4_butterfly"},
 };
 
 }  // namespace
@@ -33,7 +35,8 @@ std::optional<OverlayKind> overlay_from_name(const std::string& name) {
 
 const std::vector<OverlayKind>& all_overlay_kinds() {
   static const std::vector<OverlayKind> kinds = {
-      OverlayKind::kButterfly, OverlayKind::kHypercube, OverlayKind::kAugmentedCube};
+      OverlayKind::kButterfly, OverlayKind::kHypercube, OverlayKind::kAugmentedCube,
+      OverlayKind::kRadix4Butterfly};
   return kinds;
 }
 
@@ -45,6 +48,8 @@ std::unique_ptr<Overlay> make_overlay(OverlayKind kind, NodeId n) {
       return std::make_unique<HypercubeOverlay>(n);
     case OverlayKind::kAugmentedCube:
       return std::make_unique<AugmentedCubeOverlay>(n);
+    case OverlayKind::kRadix4Butterfly:
+      return std::make_unique<Radix4ButterflyOverlay>(n);
   }
   NCC_ASSERT_MSG(false, "unknown overlay kind");
   return nullptr;

@@ -29,7 +29,14 @@
 //    Ganesan, arXiv:1508.07257): 2d-1 generators (d bit flips e_i plus d-1
 //    suffix complements s_j = 2^{j+1}-1), diameter ceil((d+1)/2) — about half
 //    the routing levels of the butterfly at the price of a larger per-round
-//    degree.
+//    degree. Also overrides the aggregation tree: suffix-complement merges
+//    reach column 0 in ceil((d+1)/2) steps, so A&B (and every sync_barrier)
+//    runs in about half the rounds of the bit-fixing binary tree.
+//  * Radix4ButterflyOverlay — a level-dependent generator set (nothing else
+//    exercises that degree of freedom): level l owns the dimension pair
+//    {2l, 2l+1} and offers e_{2l}, e_{2l+1} and their product, fixing two
+//    address bits per step — ceil(d/2) routing steps at degree 4 (the
+//    radix-4 FFT butterfly). Keeps the default (seed) aggregation tree.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +51,7 @@
 
 namespace ncc {
 
-enum class OverlayKind { kButterfly, kHypercube, kAugmentedCube };
+enum class OverlayKind { kButterfly, kHypercube, kAugmentedCube, kRadix4Butterfly };
 
 const char* overlay_name(OverlayKind kind);
 std::optional<OverlayKind> overlay_from_name(const std::string& name);
@@ -133,6 +140,55 @@ class Overlay {
   /// union of all cross generators; drives overlay join and the structural
   /// tests: Q_d has d neighbors, AQ_d has 2d-1).
   virtual std::vector<NodeId> column_neighbors(NodeId col) const = 0;
+
+  // --- Aggregation tree ------------------------------------------------
+  // The path system Aggregate-and-Broadcast (and therefore sync_barrier)
+  // walks: agg_steps() synchronized merge steps over the column address
+  // space, each moving the value at column c to agg_parent(step, c); after
+  // all steps every value has reached column 0, and the broadcast phase
+  // replays the steps in reverse along the same edges (child-major: each
+  // column asks its agg_parent). Contract:
+  //  * agg_parent(step, c) == c means the value holds still (free);
+  //  * iterating step = 0..agg_steps()-1 from any column reaches column 0.
+  // The default is the seed's clear-bit-`step` binary tree in dims() steps —
+  // any overlay that does not override keeps bit-identical A&B rounds and
+  // messages. Overlays with richer generator sets override both (the
+  // augmented cube aggregates in ceil((d+1)/2) steps via its suffix
+  // complements); agg_children is derived, so it can never drift from the
+  // parent relation.
+
+  /// Merge steps of the aggregation tree (the broadcast phase replays them,
+  /// so a full A&B costs 2*agg_steps() + 2 rounds).
+  virtual uint32_t agg_steps() const { return dims(); }
+
+  /// Column the value at `col` merges into at `step` (== col: hold still).
+  virtual NodeId agg_parent(uint32_t step, NodeId col) const {
+    NCC_ASSERT(step < agg_steps() && col < columns_);
+    return col & ~(NodeId{1} << step);
+  }
+
+  /// Columns merging into `col` at `step` — exactly
+  /// {c != col : agg_parent(step, c) == col}, computed by inverting
+  /// agg_parent (column-ascending order). O(columns) per call: structural
+  /// tests and tools enumerate with it; the primitives walk agg_parent.
+  std::vector<NodeId> agg_children(uint32_t step, NodeId col) const {
+    NCC_ASSERT(step < agg_steps() && col < columns_);
+    std::vector<NodeId> out;
+    for (NodeId c = 0; c < columns_; ++c)
+      if (c != col && agg_parent(step, c) == col) out.push_back(c);
+    return out;
+  }
+
+  /// Charged round cost of the pipelined shared-randomness broadcast
+  /// (Section 2.2: node 0 pushes `words` words of generator seeds to
+  /// everyone). The seed model charges 2*ceil(log n) rounds of tree depth
+  /// plus one round per ceil(log n) words of pipeline; overlays whose
+  /// aggregation tree is shallower override the depth term so the cost
+  /// accounting matches the topology.
+  virtual uint64_t seed_broadcast_rounds(uint32_t words) const {
+    uint32_t d = cap_log(n_);
+    return 2ull * d + ceil_div(words, d);
+  }
 
  private:
   NodeId n_;

@@ -1,0 +1,72 @@
+// The radix-4 butterfly: the first overlay with a genuinely level-dependent
+// generator set (the Overlay interface always allowed per-level generators;
+// the butterfly/hypercube/augmented-cube all reuse one set at every level).
+//
+// Level l owns the dimension pair {2l, 2l+1} and offers three cross
+// generators — e_{2l}, e_{2l+1} and e_{2l}^e_{2l+1} — so one routing step
+// fixes both address bits of its pair: ceil(d/2) routing steps (the radix-4
+// FFT butterfly / 4-ary dimension-order route) at down-degree 4 instead of
+// the binary butterfly's d steps at degree 2. When d is odd the last level
+// owns the lone dimension d-1 and degrades to the binary generator set
+// (down_degree 2) — per-level degree is level-dependent too.
+//
+// Like the butterfly, every (level, column) routing state is a physically
+// distinct overlay node (the emulated graph does not collapse onto 2^d
+// vertices), and the aggregation tree is the default clear-bit-i binary tree
+// — A&B rounds and messages stay bit-identical to the seed.
+#pragma once
+
+#include "overlay/overlay.hpp"
+
+namespace ncc {
+
+class Radix4ButterflyOverlay final : public Overlay {
+ public:
+  explicit Radix4ButterflyOverlay(NodeId n) : Overlay(n) {}
+
+  OverlayKind kind() const override { return OverlayKind::kRadix4Butterfly; }
+  uint32_t levels() const override { return ceil_div(dims(), 2) + 1; }
+
+  uint32_t down_degree(uint32_t level) const override {
+    NCC_ASSERT(level + 1 < levels());
+    return pair_width(level) == 2 ? 4 : 2;
+  }
+
+  NodeId down_column(uint32_t level, NodeId col, uint32_t edge) const override {
+    NCC_ASSERT(level + 1 < levels() && edge < down_degree(level));
+    return col ^ (static_cast<NodeId>(edge) << (2 * level));
+  }
+
+  uint32_t route_edge(uint32_t level, NodeId col, NodeId dest) const override {
+    NCC_ASSERT(level + 1 < levels());
+    NodeId mask = (NodeId{1} << pair_width(level)) - 1;
+    return static_cast<uint32_t>(((col ^ dest) >> (2 * level)) & mask);
+  }
+
+  uint32_t edge_from_delta(uint32_t level, NodeId delta) const override {
+    NCC_ASSERT(level + 1 < levels());
+    NodeId mask = (NodeId{1} << pair_width(level)) - 1;
+    NodeId edge = delta >> (2 * level);
+    NCC_ASSERT(edge >= 1 && edge <= mask && delta == (edge << (2 * level)));
+    return static_cast<uint32_t>(edge);
+  }
+
+  std::vector<NodeId> column_neighbors(NodeId col) const override {
+    // Union of every level's cross generators: d single-bit flips plus
+    // floor(d/2) pair flips — degree d + floor(d/2).
+    std::vector<NodeId> out;
+    out.reserve(dims() + dims() / 2);
+    for (uint32_t i = 0; i < dims(); ++i) out.push_back(col ^ (NodeId{1} << i));
+    for (uint32_t l = 0; 2 * l + 1 < dims(); ++l)
+      out.push_back(col ^ (NodeId{3} << (2 * l)));
+    return out;
+  }
+
+ private:
+  /// Dimensions owned by `level`: 2, or 1 for the last level of an odd d.
+  uint32_t pair_width(uint32_t level) const {
+    return 2 * level + 1 < dims() ? 2 : 1;
+  }
+};
+
+}  // namespace ncc

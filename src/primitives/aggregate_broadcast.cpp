@@ -16,13 +16,13 @@ AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
                                  const std::vector<std::optional<Val>>& inputs,
                                  const CombineFn& combine) {
   const NodeId n = topo.n();
-  const uint32_t d = topo.dims();
+  const uint32_t steps = topo.agg_steps();
   const NodeId cols = topo.columns();
   NCC_ASSERT(inputs.size() == n);
   AbResult res;
   uint64_t start_rounds = net.rounds();
 
-  // Round 1: nodes without a butterfly column hand their input to their
+  // Round 1: nodes without an overlay column hand their input to their
   // level-0 attachment node. (Run unconditionally: A&B has a fixed round
   // schedule, which is what makes it usable as a barrier.)
   engine_send_loop(net, n - cols, [&](uint64_t i, MsgSink& out) {
@@ -34,7 +34,7 @@ AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
   });
   net.end_round();
 
-  // Value held at each level-0 column: own input (if emulating host is in A)
+  // Value held at each column: own input (if the hosting node is in A)
   // combined with the attached node's input. Per-column state only — safe to
   // scan the inboxes shard-parallel.
   std::vector<std::optional<Val>> cur(cols);
@@ -49,15 +49,16 @@ AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
     }
   });
 
-  // Aggregation phase: d steps toward the level-d node of column 0. At step
-  // i the value at column a moves to column a with bit i cleared; clearing a
-  // set bit is a cross edge (real message), otherwise the move is local.
-  for (uint32_t i = 0; i < d; ++i) {
+  // Aggregation phase: agg_steps() merge steps toward column 0 along the
+  // overlay's tree. At step i the value at column c moves to agg_parent(i, c);
+  // a moving value is a cross edge (real message), a fixed point holds the
+  // value locally for free.
+  for (uint32_t i = 0; i < steps; ++i) {
     std::vector<std::optional<Val>> next(cols);
     engine_send_loop(net, cols, [&](uint64_t ci, MsgSink& out) {
       NodeId c = static_cast<NodeId>(ci);
       if (!cur[c]) return;
-      NodeId nc = c & ~(NodeId{1} << i);
+      NodeId nc = topo.agg_parent(i, c);
       if (nc == c) {
         next[c] = cur[c];
       } else {
@@ -79,23 +80,40 @@ AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
   for (NodeId c = 1; c < cols; ++c) NCC_ASSERT(!cur[c].has_value());
   res.value = cur[0];
 
-  // Broadcast phase: d steps back up; at step i the set of informed columns
-  // doubles. Informedness is a closed-form predicate of the column id (the
-  // value spreads from column 0 crossing bits d-1..d-step), so each column
-  // decides locally whether it sends — no shared informed[] state.
+  // Broadcast phase: the aggregation steps replayed in reverse; at broadcast
+  // step b (undoing merge step i = steps-1-b) every not-yet-informed column
+  // receives the value from its unique tree parent — the reverse of the
+  // agg_children edge, staged child-major so no per-column children lists are
+  // materialized. Informedness is a pure function of the tree (never of the
+  // data), kept in a per-column flag vector that is read-only inside the
+  // shard-parallel send loop and advanced by the parent relation between
+  // rounds — on the default binary tree this reproduces the seed's
+  // closed-form informed-mask schedule message for message.
   bool has = res.value.has_value();
   Val v = has ? *res.value : Val{};
-  for (uint32_t step = 0; step < d; ++step) {
-    uint32_t bit = d - 1 - step;  // level d-step -> level d-step-1 crosses bit
-    const NodeId informed_mask = (NodeId{1} << (d - step)) - 1;
+  std::vector<uint8_t> informed(cols, 0);
+  informed[0] = 1;
+  std::vector<uint8_t> informed_next(cols);
+  // Parent cache: one virtual tree lookup per column per step, written
+  // inside the (per-item, parallel-safe) send loop and reused by the
+  // informed-advance pass.
+  std::vector<NodeId> parent(cols);
+  for (uint32_t b = 0; b < steps; ++b) {
+    uint32_t i = steps - 1 - b;  // merge step being reversed
     engine_send_loop(net, cols, [&](uint64_t ci, MsgSink& out) {
       NodeId c = static_cast<NodeId>(ci);
-      if (c & informed_mask) return;  // not informed before this step
-      NodeId nc = c ^ (NodeId{1} << bit);
-      if (has)
-        out.send(topo.host(c), topo.host(nc), kTagBcastStep | step, {v[0], v[1]});
+      NodeId p = topo.agg_parent(i, c);
+      parent[c] = p;
+      if (has && !informed[c] && p != c && informed[p])
+        out.send(topo.host(p), topo.host(c), kTagBcastStep | b, {v[0], v[1]});
     });
     net.end_round();
+    engine_for(net, cols, [&](uint64_t ci) {
+      NodeId c = static_cast<NodeId>(ci);
+      NodeId p = parent[c];
+      informed_next[c] = informed[c] | (p != c ? informed[p] : uint8_t{0});
+    });
+    std::swap(informed, informed_next);
   }
 
   // Final round: level-0 hosts inform their attached non-emulating nodes.
@@ -111,8 +129,109 @@ AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
 }
 
 uint64_t sync_barrier(const Overlay& topo, Network& net) {
-  std::vector<std::optional<Val>> ones(topo.n(), Val{1, 0});
-  return aggregate_and_broadcast(topo, net, ones, agg::sum).rounds;
+  // Fast path of the all-ones A&B: every node holds the input 1 and the
+  // running values are plain subtree counts, so the barrier is replayed with
+  // column-sized count/presence vectors (reused across all 2*agg_steps()
+  // rounds) instead of the n-sized optional<Val> vector plus CombineFn
+  // plumbing of the general primitive. Value presence is tracked separately
+  // from the count (a byzantine hook may zero a count word in flight; the
+  // general primitive still forwards the present value), which keeps the
+  // rounds and the send/drop schedule identical to
+  // aggregate_and_broadcast(all-ones, sum) under every fault model —
+  // asserted by the tier-1 tests. The only divergence a fault can cause is
+  // in payload words already corrupted in flight, which barrier receivers
+  // discard unread.
+  const NodeId n = topo.n();
+  const NodeId cols = topo.columns();
+  const uint32_t steps = topo.agg_steps();
+  uint64_t start_rounds = net.rounds();
+
+  // Attach round: every non-hosting node reports its 1.
+  engine_send_loop(net, n - cols, [&](uint64_t i, MsgSink& out) {
+    NodeId u = cols + static_cast<NodeId>(i);
+    out.send(u, topo.host(topo.attach_column(u)), kTagAttach, {1, 0});
+  });
+  net.end_round();
+
+  std::vector<uint64_t> weight(cols);
+  std::vector<uint64_t> next(cols);
+  std::vector<uint8_t> present(cols, 1);  // every host holds its own input
+  std::vector<uint8_t> present_next(cols);
+  // Parent of each column under the step being processed, written once per
+  // step inside the (per-item, parallel-safe) send loop and reused by the
+  // merge/informed passes — one virtual tree lookup per column per step.
+  std::vector<NodeId> parent(cols);
+  engine_for(net, cols, [&](uint64_t ci) {
+    NodeId c = static_cast<NodeId>(ci);
+    uint64_t w = 1;  // the hosting node's own input
+    for (const Message& m : net.inbox(topo.host(c)))
+      if (m.tag == kTagAttach) w += m.word(0);
+    weight[c] = w;
+  });
+
+  for (uint32_t i = 0; i < steps; ++i) {
+    engine_send_loop(net, cols, [&](uint64_t ci, MsgSink& out) {
+      NodeId c = static_cast<NodeId>(ci);
+      NodeId nc = topo.agg_parent(i, c);
+      parent[c] = nc;
+      if (present[c] && nc != c)
+        out.send(topo.host(c), topo.host(nc), kTagAggStep | (i + 1), {weight[c], 0});
+    });
+    net.end_round();
+    engine_for(net, cols, [&](uint64_t ci) {
+      NodeId c = static_cast<NodeId>(ci);
+      bool held = parent[c] == c && present[c];
+      uint64_t w = held ? weight[c] : 0;
+      bool got = held;
+      for (const Message& m : net.inbox(topo.host(c))) {
+        if ((m.tag & 0xff00u) != kTagAggStep) continue;
+        w += m.word(0);
+        got = true;
+      }
+      next[c] = w;
+      present_next[c] = got;
+    });
+    std::swap(weight, next);
+    std::swap(present, present_next);
+  }
+  // Every input reaches the root on a clean run; fault hooks and base-model
+  // receive-capacity drops (e.g. an aggressive tree in-degree against a
+  // capacity_factor the overlay documentation warns about) lose counts, not
+  // the schedule.
+  NCC_ASSERT(weight[0] == n || net.losses_possible() ||
+             net.stats().messages_dropped > 0);
+
+  // Broadcast of the total back down the reversed tree (child-major, as in
+  // the general primitive).
+  std::vector<uint8_t> informed(cols, 0);
+  informed[0] = 1;
+  std::vector<uint8_t> informed_next(cols);
+  for (uint32_t b = 0; b < steps; ++b) {
+    uint32_t i = steps - 1 - b;
+    engine_send_loop(net, cols, [&](uint64_t ci, MsgSink& out) {
+      NodeId c = static_cast<NodeId>(ci);
+      NodeId p = topo.agg_parent(i, c);
+      parent[c] = p;
+      if (!informed[c] && p != c && informed[p])
+        out.send(topo.host(p), topo.host(c), kTagBcastStep | b, {weight[0], 0});
+    });
+    net.end_round();
+    engine_for(net, cols, [&](uint64_t ci) {
+      NodeId c = static_cast<NodeId>(ci);
+      NodeId p = parent[c];
+      informed_next[c] = informed[c] | (p != c ? informed[p] : uint8_t{0});
+    });
+    std::swap(informed, informed_next);
+  }
+
+  // Detach round.
+  engine_send_loop(net, n - cols, [&](uint64_t i, MsgSink& out) {
+    NodeId u = cols + static_cast<NodeId>(i);
+    out.send(topo.host(topo.attach_column(u)), u, kTagDetach, {weight[0], 0});
+  });
+  net.end_round();
+
+  return net.rounds() - start_rounds;
 }
 
 }  // namespace ncc

@@ -1,13 +1,16 @@
 // Aggregate-and-Broadcast (Theorem 2.2 / Appendix B.1).
 //
-// Inputs held by a subset A of nodes are aggregated along the binary-tree
-// path system over the column ids to the root (column 0) and the result is
-// broadcast back out to every node, all in O(log n) rounds. The path system
-// lives on the column address space all overlays share (every overlay hosts
-// the same 2^d columns), so A&B runs identically on every overlay — and its
-// fixed 2d+2-round schedule is what makes it usable as the synchronization
-// barrier the other primitives use between phases (the paper's token
-// variant; the round cost is identical).
+// Inputs held by a subset A of nodes are aggregated along the overlay's
+// aggregation tree over the column ids to the root (column 0) and the result
+// is broadcast back out to every node, all in O(log n) rounds. The tree is a
+// property of the Overlay (agg_steps / agg_parent / agg_children): the
+// default is the seed's clear-bit-i binary tree, bit-identical on the
+// butterfly, hypercube and radix-4 butterfly, while the augmented cube's
+// suffix-complement tree aggregates in ceil((d+1)/2) steps — about half the
+// rounds. The schedule is fixed at 2*agg_steps() + 2 rounds regardless of
+// the inputs, which is what makes A&B usable as the synchronization barrier
+// the other primitives use between phases (the paper's token variant; the
+// round cost is identical).
 #pragma once
 
 #include <optional>
@@ -33,7 +36,12 @@ AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
                                  const CombineFn& combine);
 
 /// Barrier: an Aggregate-and-Broadcast with a constant input from every node,
-/// used purely for its synchronization effect (Appendix B.1).
+/// used purely for its synchronization effect (Appendix B.1). Runs a fast
+/// path — column-sized count/presence scratch instead of the n-sized
+/// optional<Val> input vector and CombineFn plumbing — that produces the
+/// same rounds and send/drop schedule as the general primitive under every
+/// fault model (payload words a byzantine hook corrupted in flight are the
+/// only possible divergence, and barrier receivers discard them unread).
 uint64_t sync_barrier(const Overlay& topo, Network& net);
 
 }  // namespace ncc

@@ -46,12 +46,14 @@ class Shared {
   Rng local_rng(uint64_t tag) const { return inject_rng_.fork(tag); }
 
   /// Derive an extra shared hash family (FindMin sketches, Identification
-  /// trials) and charge the pipelined overlay broadcast of its seeds:
-  /// O(log n) rounds plus one round per log n words of randomness.
+  /// trials) and charge the pipelined overlay broadcast of its seeds. The
+  /// cost is the overlay's, not a fixed butterfly formula: the depth term is
+  /// the overlay's aggregation-tree depth (the augmented cube broadcasts the
+  /// seeds in about half the rounds), the bandwidth term one round per
+  /// ceil(log n) words of randomness.
   HashFamily make_family(Network& net, uint64_t tag, uint32_t count, uint32_t k) const {
     HashFamily fam(count, k, mix64(seed_ ^ tag));
-    uint32_t d = cap_log(topo_->n());
-    net.charge_rounds(2ull * d + ceil_div(fam.randomness_words(), d));
+    net.charge_rounds(topo_->seed_broadcast_rounds(fam.randomness_words()));
     return fam;
   }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <sstream>
 
 #include "engine/engine.hpp"
 #include "scenario/faults.hpp"
@@ -38,15 +39,25 @@ std::string effective_expect(const ScenarioSpec& spec) {
   return spec.faults.any() ? "any" : "ok";
 }
 
-/// The regression gate: does the verdict satisfy the expectation class?
+/// Does the verdict satisfy one expectation class?
+bool verdict_matches(const std::string& expect, const ScenarioOutcome& out) {
+  if (expect == "any") return true;
+  if (expect == "ok") return out.ok;
+  if (expect == "degraded") return out.verdict.rfind("degraded", 0) == 0;
+  if (expect == "round_limit") return out.verdict == "round_limit";
+  return false;
+}
+
+/// The regression gate: does the verdict satisfy the expectation — a single
+/// class or a comma list of acceptable classes (`expect = ok,degraded`)?
 /// error:* verdicts (and runs that never executed) always fail.
 bool verdict_failed(const std::string& expect, const ScenarioOutcome& out) {
   if (!out.ran) return true;
   if (out.verdict.rfind("error:", 0) == 0) return true;
-  if (expect == "any") return false;
-  if (expect == "ok") return !out.ok;
-  if (expect == "degraded") return out.verdict.rfind("degraded", 0) != 0;
-  if (expect == "round_limit") return out.verdict != "round_limit";
+  std::stringstream ss(expect);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (verdict_matches(item, out)) return false;
   return true;
 }
 

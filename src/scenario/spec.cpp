@@ -271,7 +271,10 @@ bool apply_spec_key(ScenarioSpec& spec, const std::string& key,
     spec.provided.algorithm = true;
   } else if (key == "overlay") {
     auto k = overlay_from_name(val);
-    if (!k) return fail("overlay must be butterfly|hypercube|augmented_cube, got `" + val + "`");
+    if (!k)
+      return fail(
+          "overlay must be butterfly|hypercube|augmented_cube|radix4_butterfly, got `" +
+          val + "`");
     spec.overlay = *k;
   } else if (key == "seed") {
     ok = parse_u64(val, &spec.seed);
@@ -282,9 +285,22 @@ bool apply_spec_key(ScenarioSpec& spec, const std::string& key,
   } else if (key == "round_limit") {
     ok = parse_u64(val, &spec.round_limit);
   } else if (key == "expect") {
-    if (val != "ok" && val != "degraded" && val != "round_limit" && val != "any")
-      return fail("expect must be ok|degraded|round_limit|any, got `" + val + "`");
-    spec.expect = val;
+    // One class or a comma list of acceptable classes (`expect = ok,degraded`
+    // gates out only round_limit/error verdicts). Split manually so empty
+    // members — including a trailing comma — are parse errors like every
+    // other malformed value.
+    std::string canonical;
+    for (size_t start = 0;;) {
+      size_t comma = val.find(',', start);
+      std::string item = spec_trim(val.substr(start, comma - start));
+      if (item != "ok" && item != "degraded" && item != "round_limit" && item != "any")
+        return fail("expect must be a comma list of ok|degraded|round_limit|any, got `" +
+                    val + "`");
+      canonical += (canonical.empty() ? "" : ",") + item;
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    spec.expect = canonical;
   } else if (key == "crash_rounds") {
     ok = parse_u64_list(val, &spec.faults.crash_rounds);
   } else if (key == "crash_count") {

@@ -62,6 +62,30 @@ TEST(SharedContext, MakeFamilyChargesSetupRounds) {
   EXPECT_EQ(fam.fn(3)(777), fam2.fn(3)(777));
 }
 
+TEST(SharedContext, MakeFamilyChargeMatchesOverlayDepth) {
+  // The seed-broadcast charge is the overlay's, not a fixed butterfly
+  // formula: the augmented cube's aggregation tree is ceil((d+1)/2) deep, so
+  // the depth term halves while the bandwidth term (words per ceil(log n))
+  // stays the model's.
+  NetConfig cfg;
+  cfg.n = 256;
+  cfg.seed = 13;
+  Network bf_net(cfg), aq_net(cfg);
+  Shared bf(256, 13, OverlayKind::kButterfly);
+  Shared aq(256, 13, OverlayKind::kAugmentedCube);
+  bf.make_family(bf_net, 0xabc, 8, 16);
+  aq.make_family(aq_net, 0xabc, 8, 16);
+  // d = 8: butterfly 2*8 + 128/8; AQ_d 2*ceil(9/2) + 128/8.
+  EXPECT_EQ(bf_net.stats().charged_rounds, 2ull * 8 + 128 / 8);
+  EXPECT_EQ(aq_net.stats().charged_rounds, 2ull * 5 + 128 / 8);
+  EXPECT_LT(aq_net.stats().charged_rounds, bf_net.stats().charged_rounds);
+  // Default-tree overlays keep the seed charge bit for bit.
+  Network r4_net(cfg);
+  Shared r4(256, 13, OverlayKind::kRadix4Butterfly);
+  r4.make_family(r4_net, 0xabc, 8, 16);
+  EXPECT_EQ(r4_net.stats().charged_rounds, bf_net.stats().charged_rounds);
+}
+
 TEST(NetConfigEdge, SmallestNetworkWorks) {
   NetConfig cfg;
   cfg.n = 2;

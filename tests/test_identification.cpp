@@ -137,3 +137,48 @@ TEST(Identification, LargeDegreeDecodesWithPaperParameters) {
   // Whp-successful at these parameters; either way reds are sound.
   for (NodeId v : res.red[0]) EXPECT_EQ(v % 3, 0u);
 }
+
+TEST(Identification, PoisonedScheduleRecoversOnCorruptibleNetwork) {
+  // A byzantine-corrupted degree bound d* inflates the caller's
+  // q = q_unit * d* and with it the delivery schedule (ell2_hat = q). With
+  // q_unit set and a network that admits payload corruption, identification
+  // must re-derive the bound and clamp q instead of simulating thousands of
+  // near-empty delivery rounds.
+  auto run = [](uint32_t q, uint32_t q_unit, bool corruptible) {
+    Fixture s(64, 11);
+    if (corruptible) {
+      // Presence of a corrupt hook is what arms the recovery; this one
+      // never fires, so decoding stays exact.
+      FaultHooks hooks;
+      hooks.corrupt = [](Message&, uint64_t, uint64_t) { return false; };
+      s.net.install_fault_hooks(std::move(hooks));
+    }
+    IdentificationInput in;
+    in.learning = {10};
+    in.candidates = {{1, 2, 3, 4, 5, 6, 7, 8}};
+    in.playing = {2, 4, 6};
+    in.potential = {{10}, {10}, {10}};
+    IdentificationParams p;
+    p.s = 4;
+    p.q = q;
+    p.q_unit = q_unit;
+    auto res = run_identification(s.shared, s.net, in, p, 3);
+    EXPECT_TRUE(res.success[0]);
+    EXPECT_EQ(res.red[0], (std::vector<NodeId>{1, 3, 5, 7, 8}));
+    return res.rounds;
+  };
+  const uint32_t q_unit = 64;           // the caller's 4ec log n factor
+  const uint32_t poisoned = 63 * 64;    // q scaled by a byzantine d* = n-1
+  uint64_t honest = run(8 * q_unit, q_unit, true);
+  uint64_t recovered = run(poisoned, q_unit, true);
+  uint64_t trusted = run(poisoned, /*q_unit=*/0, true);
+  uint64_t reliable = run(poisoned, q_unit, false);
+  // Recovery re-derives q ~ q_unit * max-candidate-degree: the schedule
+  // collapses back to the honest ballpark (plus the re-derivation A&B)...
+  EXPECT_LT(recovered, honest + 40);
+  // ...where the trusted poisoned bound simulates the stretched schedule.
+  EXPECT_GT(trusted, recovered + 400);
+  // On a reliable network q is trusted unconditionally (no hidden rewrites
+  // of fault-free schedules).
+  EXPECT_EQ(reliable, trusted);
+}

@@ -1,9 +1,12 @@
 // Tests for the pluggable overlay layer (src/overlay/): structural properties
-// of the hypercube Q_d and the augmented cube AQ_d, greedy-route convergence
-// on every overlay, the butterfly == time-unrolled-hypercube identity, the
-// generalized router on the augmented cube, and the acceptance property that
-// every registered algorithm produces identical verified outputs on all three
-// overlays over a reliable network.
+// of the hypercube Q_d, the augmented cube AQ_d and the level-dependent
+// radix-4 butterfly, greedy-route convergence on every overlay, the butterfly
+// == time-unrolled-hypercube identity, the generalized router on the
+// augmented cube, the overlay-native aggregation trees (default binary tree
+// bit-identical to seed, AQ_d tree at half the depth, barrier fast-path and
+// thread-count byte identity), and the acceptance property that every
+// registered algorithm produces identical verified outputs on all overlays
+// over a reliable network.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -12,11 +15,16 @@
 #include <set>
 
 #include "common/hash.hpp"
+#include "engine/engine.hpp"
 #include "net/network.hpp"
 #include "overlay/augmented_cube.hpp"
 #include "overlay/hypercube.hpp"
 #include "overlay/overlay.hpp"
+#include "overlay/radix4_butterfly.hpp"
 #include "overlay/router.hpp"
+#include "primitives/aggregate_broadcast.hpp"
+#include "primitives/context.hpp"
+#include "scenario/faults.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
@@ -82,6 +90,31 @@ TEST(AugmentedCubeOverlay, LevelsMatchDiameterBound) {
   for (NodeId n : {2u, 4u, 16u, 64u, 1024u}) {
     AugmentedCubeOverlay aq(n);
     EXPECT_EQ(aq.levels(), (aq.dims() + 1 + 1) / 2 + 1) << "n=" << n;
+  }
+}
+
+TEST(Radix4ButterflyOverlay, LevelDependentGeneratorSets) {
+  for (NodeId n : {2u, 8u, 32u, 64u, 256u}) {
+    Radix4ButterflyOverlay r4(n);
+    const uint32_t d = r4.dims();
+    EXPECT_EQ(r4.levels(), (d + 1) / 2 + 1) << "n=" << n;
+    // Per-level generator sets: the pair {e_{2l}, e_{2l+1}, e_{2l}^e_{2l+1}}
+    // (degree 4), degrading to the lone e_{d-1} (degree 2) when d is odd.
+    for (uint32_t l = 0; l + 1 < r4.levels(); ++l) {
+      bool full_pair = 2 * l + 1 < d;
+      EXPECT_EQ(r4.down_degree(l), full_pair ? 4u : 2u) << "n=" << n << " l=" << l;
+      for (uint32_t e = 1; e < r4.down_degree(l); ++e) {
+        NodeId delta = r4.down_column(l, 0, e);
+        EXPECT_EQ(delta, static_cast<NodeId>(e) << (2 * l));
+        EXPECT_EQ(r4.edge_from_delta(l, delta), e);
+      }
+    }
+    // Distinct levels own distinct dimensions: the union of all generators
+    // has d single-bit flips plus floor(d/2) pair flips.
+    auto nb = r4.column_neighbors(5 % r4.columns());
+    EXPECT_EQ(nb.size(), d + d / 2) << "n=" << n;
+    std::set<NodeId> distinct(nb.begin(), nb.end());
+    EXPECT_EQ(distinct.size(), nb.size());
   }
 }
 
@@ -243,6 +276,160 @@ TEST(OverlayRouter, HypercubeIsTheUnrolledButterfly) {
                            f.net.stats().messages_sent);
   };
   EXPECT_EQ(run(OverlayKind::kButterfly), run(OverlayKind::kHypercube));
+}
+
+// --- Overlay-native aggregation trees (A&B / sync_barrier) -----------------
+
+TEST(AggTree, DefaultIsTheSeedBinaryTree) {
+  // Every overlay that does not override the tree — butterfly, hypercube and
+  // the new level-dependent radix-4 butterfly — keeps the seed's clear-bit-i
+  // binary tree exactly: dims() steps, parent clears bit `step`, children
+  // invert parents.
+  for (OverlayKind kind : {OverlayKind::kButterfly, OverlayKind::kHypercube,
+                           OverlayKind::kRadix4Butterfly}) {
+    auto topo = make_overlay(kind, 48);
+    ASSERT_EQ(topo->agg_steps(), topo->dims());
+    for (uint32_t i = 0; i < topo->agg_steps(); ++i) {
+      for (NodeId c = 0; c < topo->columns(); ++c) {
+        EXPECT_EQ(topo->agg_parent(i, c), c & ~(NodeId{1} << i)) << overlay_name(kind);
+        auto kids = topo->agg_children(i, c);
+        if (c & (NodeId{1} << i)) {
+          EXPECT_TRUE(kids.empty());
+        } else {
+          ASSERT_EQ(kids.size(), 1u);
+          EXPECT_EQ(kids[0], c | (NodeId{1} << i));
+        }
+      }
+    }
+  }
+}
+
+TEST(AggTree, EveryColumnReachesRootWithinAggSteps) {
+  // The tree contract on every overlay: iterating agg_parent over the steps
+  // sends every column to 0, each hop a legal tree edge with consistent
+  // children lists.
+  for (OverlayKind kind : all_overlay_kinds()) {
+    for (NodeId n : {2u, 8u, 64u, 200u, 1024u}) {
+      auto topo = make_overlay(kind, n);
+      const uint32_t S = topo->agg_steps();
+      for (NodeId c0 = 0; c0 < topo->columns(); ++c0) {
+        NodeId c = c0;
+        for (uint32_t i = 0; i < S; ++i) {
+          NodeId p = topo->agg_parent(i, c);
+          if (p != c) {
+            auto kids = topo->agg_children(i, p);
+            EXPECT_TRUE(std::count(kids.begin(), kids.end(), c))
+                << overlay_name(kind) << " step " << i << " " << c << "->" << p;
+          }
+          c = p;
+        }
+        ASSERT_EQ(c, 0u) << overlay_name(kind) << " n=" << n << " col " << c0;
+      }
+    }
+  }
+}
+
+TEST(AggTree, AugmentedCubeHalvesTheDepth) {
+  for (NodeId n : {8u, 64u, 256u, 1024u, 4096u}) {
+    AugmentedCubeOverlay aq(n);
+    const uint32_t d = aq.dims();
+    EXPECT_EQ(aq.agg_steps(), (d + 1 + 1) / 2) << "n=" << n;  // ceil((d+1)/2)
+    EXPECT_LT(aq.agg_steps(), d) << "n=" << n;                // strict for d >= 3
+    // Every merge edge is an AQ_d generator edge (e_i or a suffix mask s_j).
+    for (NodeId c = 1; c < aq.columns(); ++c) {
+      NodeId delta = c ^ aq.agg_parent(0, c);
+      bool bit_flip = std::popcount(static_cast<uint32_t>(delta)) == 1;
+      bool suffix = delta >= 3 && (delta & (delta + 1)) == 0;
+      EXPECT_TRUE(bit_flip || suffix) << "col " << c << " delta " << delta;
+    }
+  }
+}
+
+TEST(AggTree, BarrierRoundsMatchTreeDepthPerOverlay) {
+  // sync_barrier costs 2*agg_steps() + 2 rounds: the seed's 2d+2 on every
+  // default-tree overlay, 2*ceil((d+1)/2) + 2 on the augmented cube —
+  // strictly fewer for d >= 3.
+  for (NodeId n : {16u, 100u, 512u}) {
+    std::map<OverlayKind, uint64_t> rounds;
+    for (OverlayKind kind : all_overlay_kinds()) {
+      Network net(NetConfig{.n = n, .capacity_factor = 16, .seed = 5});
+      auto topo = make_overlay(kind, n);
+      rounds[kind] = sync_barrier(*topo, net);
+      EXPECT_EQ(rounds[kind], 2ull * topo->agg_steps() + 2) << overlay_name(kind);
+      EXPECT_EQ(net.stats().messages_dropped, 0u) << overlay_name(kind);
+    }
+    uint64_t seed_rounds = 2ull * floor_log2(n) + 2;
+    EXPECT_EQ(rounds[OverlayKind::kButterfly], seed_rounds);
+    EXPECT_EQ(rounds[OverlayKind::kHypercube], seed_rounds);
+    EXPECT_EQ(rounds[OverlayKind::kRadix4Butterfly], seed_rounds);
+    EXPECT_LT(rounds[OverlayKind::kAugmentedCube], seed_rounds) << "n=" << n;
+  }
+}
+
+TEST(AggTree, BarrierFastPathMatchesGeneralPrimitive) {
+  // The barrier fast path must replay the all-ones A&B schedule exactly:
+  // same rounds, same message stream, same NetStats — on every overlay, and
+  // with fault injection active (drop/corrupt decisions key on the per-round
+  // send index, so any divergence in a send decision shows up in the
+  // fault_drops/corrupted counters).
+  for (OverlayKind kind : all_overlay_kinds()) {
+    for (bool faulted : {false, true}) {
+      auto run = [&](bool fast) {
+        Network net(NetConfig{.n = 200, .capacity_factor = 16,
+                              .strict_send = !faulted, .seed = 9});
+        std::optional<scenario::FaultInjector> inject;
+        if (faulted) {
+          scenario::FaultModel model;
+          model.drop_rate = 0.05;
+          model.byzantine_rate = 0.05;
+          inject.emplace(net, model, /*seed=*/33, /*round_limit=*/0);
+        }
+        auto topo = make_overlay(kind, 200);
+        uint64_t rounds;
+        if (fast) {
+          rounds = sync_barrier(*topo, net);
+        } else {
+          std::vector<std::optional<Val>> ones(200, Val{1, 0});
+          rounds = aggregate_and_broadcast(*topo, net, ones, agg::sum).rounds;
+        }
+        const NetStats& st = net.stats();
+        return std::make_tuple(rounds, st.messages_sent, st.fault_drops,
+                               st.corrupted, st.max_send_load, st.max_recv_load);
+      };
+      auto fast = run(true), general = run(false);
+      EXPECT_EQ(fast, general) << overlay_name(kind) << " faulted=" << faulted;
+      if (faulted) EXPECT_GT(std::get<2>(fast), 0u) << overlay_name(kind);
+    }
+  }
+}
+
+TEST(AggTree, AbValueIdenticalAcrossOverlaysAndThreads) {
+  // Full A&B over a sparse input subset: the aggregate is overlay-independent
+  // and the new tree code honors the engine determinism contract (threads=1
+  // == threads=8, identical rounds/messages/value).
+  for (OverlayKind kind : all_overlay_kinds()) {
+    auto run = [&](uint32_t threads) {
+      Network net(NetConfig{.n = 150, .capacity_factor = 16, .seed = 21});
+      std::unique_ptr<Engine> eng;
+      if (threads > 1)
+        eng = std::make_unique<Engine>(
+            net, EngineConfig{threads, /*loop_cutoff=*/1, /*delivery_cutoff=*/1});
+      auto topo = make_overlay(kind, 150);
+      std::vector<std::optional<Val>> inputs(150);
+      for (NodeId u = 3; u < 150; u += 7) inputs[u] = Val{u, 1};
+      auto res = aggregate_and_broadcast(*topo, net, inputs, agg::sum);
+      uint64_t barrier_rounds = sync_barrier(*topo, net);
+      EXPECT_TRUE(res.value.has_value());
+      return std::make_tuple((*res.value)[0], (*res.value)[1], res.rounds,
+                             barrier_rounds, net.stats().messages_sent);
+    };
+    auto t1 = run(1), t8 = run(8);
+    EXPECT_EQ(t1, t8) << overlay_name(kind);
+    uint64_t expect_sum = 0, expect_cnt = 0;
+    for (NodeId u = 3; u < 150; u += 7) expect_sum += u, ++expect_cnt;
+    EXPECT_EQ(std::get<0>(t1), expect_sum) << overlay_name(kind);
+    EXPECT_EQ(std::get<1>(t1), expect_cnt) << overlay_name(kind);
+  }
 }
 
 // The acceptance criterion: on a reliable network every registered algorithm

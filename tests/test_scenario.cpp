@@ -167,7 +167,8 @@ TEST(ScenarioSpec, OverlayKeyParsesAndRoundTrips) {
   ScenarioSpec def = parse_ok("graph = clique\nn = 32\nalgorithm = mis\n");
   EXPECT_EQ(def.overlay, OverlayKind::kButterfly);
   EXPECT_EQ(def.to_string().find("overlay ="), std::string::npos);
-  for (const char* name : {"butterfly", "hypercube", "augmented_cube"}) {
+  for (const char* name :
+       {"butterfly", "hypercube", "augmented_cube", "radix4_butterfly"}) {
     ScenarioSpec s = parse_ok("graph = clique\nn = 32\nalgorithm = mis\noverlay = " +
                               std::string(name) + "\n");
     EXPECT_EQ(s.overlay, *overlay_from_name(name));
@@ -181,13 +182,13 @@ TEST(ScenarioSweep, OverlayIsSweepable) {
   std::string err;
   auto sweep = parse_sweep(
       "graph = clique\nn = 32\nalgorithm = aggregate\n"
-      "sweep.overlay = butterfly,hypercube,augmented_cube\n",
+      "sweep.overlay = butterfly,hypercube,augmented_cube,radix4_butterfly\n",
       &err);
   ASSERT_TRUE(sweep.has_value()) << err;
-  ASSERT_EQ(sweep->cells(), 3u);
+  ASSERT_EQ(sweep->cells(), 4u);
   OverlayKind expect[] = {OverlayKind::kButterfly, OverlayKind::kHypercube,
-                          OverlayKind::kAugmentedCube};
-  for (uint64_t c = 0; c < 3; ++c) {
+                          OverlayKind::kAugmentedCube, OverlayKind::kRadix4Butterfly};
+  for (uint64_t c = 0; c < 4; ++c) {
     auto spec = expand_sweep_cell(*sweep, c, &err);
     ASSERT_TRUE(spec.has_value()) << err;
     EXPECT_EQ(spec->overlay, expect[c]);
@@ -445,6 +446,40 @@ TEST(ScenarioRunner, ExpectClassGatesTheFailedBit) {
   ScenarioSpec bad = parse_ok("graph = clique\nn = 16\nalgorithm = bfs\n");
   bad.algorithm = "quantum_sort";
   EXPECT_TRUE(run_scenario(bad, {}).failed);
+}
+
+TEST(ScenarioRunner, ExpectListAcceptsAnyMemberClass) {
+  // `expect = ok,degraded` gates out exactly round_limit and error verdicts:
+  // the jammed lossy run fails it, while both an ok run and a degraded run
+  // pass. The list round-trips through serialization like any other value.
+  RunOptions opts;
+  opts.timing = false;
+  const std::string lossy =
+      "graph = clique\nn = 32\nalgorithm = aggregate\nseed = 2\n"
+      "round_limit = 50\ndrop_rate = 0.6\n";
+  ScenarioSpec spec = parse_ok(lossy + "expect = ok,degraded\n");
+  EXPECT_EQ(spec.expect, "ok,degraded");
+  ScenarioOutcome jammed = run_scenario(spec, opts);
+  EXPECT_EQ(jammed.verdict, "round_limit");
+  EXPECT_TRUE(jammed.failed);
+  EXPECT_EQ(parse_ok(spec.to_string()).expect, "ok,degraded");
+
+  ScenarioSpec clean = parse_ok(
+      "graph = clique\nn = 48\nalgorithm = mis\nseed = 5\nexpect = ok,degraded\n");
+  EXPECT_FALSE(run_scenario(clean, opts).failed);
+
+  ScenarioSpec degraded_run = parse_ok(
+      "graph = clique\nn = 32\nalgorithm = aggregate\nseed = 2\n"
+      "round_limit = 400\ndrop_rate = 0.2\nexpect = degraded,round_limit\n");
+  ScenarioOutcome deg = run_scenario(degraded_run, opts);
+  EXPECT_EQ(deg.verdict.rfind("degraded", 0), 0u) << deg.verdict;
+  EXPECT_FALSE(deg.failed);
+
+  // Malformed members are parse errors, not silently ignored — a trailing
+  // comma included.
+  expect_reject(lossy + "expect = ok,sometimes\n", "expect");
+  expect_reject(lossy + "expect = ,\n", "expect");
+  expect_reject(lossy + "expect = ok,\n", "expect");
 }
 
 TEST(SweepSpec, ExpandsTheCrossProduct) {
