@@ -7,8 +7,10 @@
 // Workloads: gossip (clique-saturating all-to-all — stresses the parallel
 // end_round delivery), and the Section 5 BFS/MIS pipelines on a gnm graph
 // (stress the butterfly router's sharded step loop). Emits BENCH_engine.json
-// rows {bench, n, threads, rounds, wall_ms, messages} so future PRs can
-// track the perf trajectory.
+// rows {bench, n, threads, rounds, wall_ms, messages, msgs_per_sec, timing}
+// so future PRs can track the perf trajectory; `timing` is the engine's
+// per-stage wall-clock split (stage/merge/deliver, summed over shards) —
+// observational only, never part of any determinism-compared bytes.
 #include "bench_util.hpp"
 
 #include "core/bfs.hpp"
@@ -27,7 +29,29 @@ struct RunOut {
   uint64_t rounds = 0;
   uint64_t messages = 0;
   uint64_t checksum = 0;  // folds outputs + NetStats: must match across threads
+  // Engine per-stage wall-clock, summed over shards (ms).
+  double stage_ms = 0, merge_ms = 0, deliver_ms = 0;
 };
+
+void fill_timing(RunOut* out, const Engine& eng) {
+  for (const EngineShardTiming& tm : eng.shard_timing()) {
+    out->stage_ms += static_cast<double>(tm.stage_ns) / 1e6;
+    out->merge_ms += static_cast<double>(tm.merge_ns) / 1e6;
+    out->deliver_ms += static_cast<double>(tm.deliver_ns) / 1e6;
+  }
+}
+
+/// The JSON tail shared by every row: throughput plus the per-stage split.
+std::string timing_extra(const RunOut& r) {
+  char buf[192];
+  double secs = std::max(1e-9, r.wall_ms / 1e3);
+  std::snprintf(buf, sizeof(buf),
+                ", \"msgs_per_sec\": %.0f, \"timing\": {\"stage_ms\": %.3f, "
+                "\"merge_ms\": %.3f, \"deliver_ms\": %.3f}",
+                static_cast<double>(r.messages) / secs, r.stage_ms, r.merge_ms,
+                r.deliver_ms);
+  return buf;
+}
 
 uint64_t stats_checksum(const NetStats& st) {
   uint64_t h = 0x5ca1ab1e;
@@ -41,8 +65,9 @@ uint64_t stats_checksum(const NetStats& st) {
 
 RunOut run_gossip_bench(NodeId n, uint32_t threads) {
   Network net = make_net(n, 42);
-  std::unique_ptr<Engine> eng;
-  if (threads > 1) eng = std::make_unique<Engine>(net, EngineConfig{threads});
+  // Always attach an engine — also at threads=1 — so the per-shard stage
+  // profile exists at every sweep point (results are thread-count invariant).
+  Engine eng(net, EngineConfig{threads});
   WallTimer t;
   auto res = run_gossip(net);
   RunOut out;
@@ -50,6 +75,7 @@ RunOut run_gossip_bench(NodeId n, uint32_t threads) {
   out.rounds = res.rounds;
   out.messages = net.stats().messages_sent;
   out.checksum = fold(stats_checksum(net.stats()), res.complete ? 1 : 0);
+  fill_timing(&out, eng);
   return out;
 }
 
@@ -66,6 +92,7 @@ RunOut run_bfs_bench(const Graph& g, uint32_t threads) {
     out.checksum = fold(out.checksum, res.dist[u]);
     out.checksum = fold(out.checksum, res.parent[u]);
   }
+  fill_timing(&out, *p.engine);
   return out;
 }
 
@@ -80,6 +107,7 @@ RunOut run_mis_bench(const Graph& g, uint32_t threads) {
   out.checksum = stats_checksum(p.net.stats());
   for (NodeId u = 0; u < g.n(); ++u)
     out.checksum = fold(out.checksum, res.in_mis[u] ? 1 : 0);
+  fill_timing(&out, *p.engine);
   return out;
 }
 
@@ -99,7 +127,8 @@ int main(int argc, char** argv) {
   BenchJson json;
   std::printf("== engine scaling at n=%u (gnm m=%llu) ==\n\n", n,
               static_cast<unsigned long long>(g.m()));
-  Table t({"workload", "threads", "rounds", "wall ms", "speedup", "identical"});
+  Table t({"workload", "threads", "rounds", "wall ms", "msgs/sec", "speedup",
+           "identical"});
 
   auto sweep_workload = [&](const char* name,
                             const std::function<RunOut(uint32_t)>& run) {
@@ -107,9 +136,13 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < sweep.size(); ++i) {
       RunOut r = run(sweep[i]);
       if (i == 0) base = r;
-      json.add(name, n, sweep[i], r.rounds, r.wall_ms, r.messages);
+      json.add(name, n, sweep[i], r.rounds, r.wall_ms, r.messages,
+               timing_extra(r));
+      double secs = std::max(1e-9, r.wall_ms / 1e3);
       t.add_row({name, Table::num(uint64_t{sweep[i]}), Table::num(r.rounds),
                  Table::num(static_cast<uint64_t>(r.wall_ms)),
+                 Table::num(static_cast<uint64_t>(
+                     static_cast<double>(r.messages) / secs)),
                  sweep[i] == 1 ? "1.00x"
                               : [&] {
                                   char b[32];

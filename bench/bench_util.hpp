@@ -45,8 +45,10 @@ inline void print_fit(const std::string& label, const std::vector<double>& measu
 }
 
 /// Orientation + broadcast-tree pipeline used by the Section 5 benches.
-/// `threads > 1` attaches a round engine to the network for the whole
-/// pipeline lifetime (results are bit-identical to threads == 1).
+/// A round engine is attached for the whole pipeline lifetime — also at
+/// threads == 1, so the per-shard wall-clock profile (Engine::shard_timing)
+/// exists at every point of a thread sweep; results are bit-identical across
+/// thread counts either way.
 struct Pipeline {
   Network net;
   std::unique_ptr<Engine> engine;
@@ -61,8 +63,7 @@ struct Pipeline {
 
   Pipeline(const Graph& g, uint64_t seed, uint32_t threads = 1)
       : net(make_net(g.n(), seed)),
-        engine(threads > 1 ? std::make_unique<Engine>(net, EngineConfig{threads})
-                           : nullptr),
+        engine(std::make_unique<Engine>(net, EngineConfig{threads})),
         shared(g.n(), seed),
         orient(run_orientation(shared, net, g)),
         bt(build_broadcast_trees(shared, net, g, orient.orientation, seed)) {}
@@ -123,16 +124,19 @@ struct WallTimer {
 /// bench at its own path.
 class BenchJson {
  public:
+  /// `extra` is spliced verbatim before the row's closing brace — callers
+  /// append pre-formatted fields like `, "msgs_per_sec": …` or a nested
+  /// timing object.
   void add(const std::string& bench, uint64_t n, uint32_t threads, uint64_t rounds,
-           double wall_ms, uint64_t messages = 0) {
+           double wall_ms, uint64_t messages = 0, const std::string& extra = "") {
     char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "{\"bench\": \"%s\", \"n\": %llu, \"threads\": %u, "
-                  "\"rounds\": %llu, \"wall_ms\": %.3f, \"messages\": %llu}",
+                  "\"rounds\": %llu, \"wall_ms\": %.3f, \"messages\": %llu",
                   bench.c_str(), static_cast<unsigned long long>(n), threads,
                   static_cast<unsigned long long>(rounds), wall_ms,
                   static_cast<unsigned long long>(messages));
-    rows_.emplace_back(buf);
+    rows_.push_back(std::string(buf) + extra + "}");
   }
 
   bool save(const std::string& path) const {

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "engine/engine.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 
 namespace ncc {
@@ -11,6 +12,7 @@ BfsResult run_bfs(const Shared& shared, Network& net, const Graph& g,
   const NodeId n = g.n();
   NCC_ASSERT(source < n);
   const Overlay& topo = shared.topo();
+  obs::Span span(net, "bfs");
   uint64_t start_rounds = net.stats().total_rounds();
 
   BfsResult res;
@@ -25,6 +27,7 @@ BfsResult run_bfs(const Shared& shared, Network& net, const Graph& g,
   std::vector<std::vector<NodeId>> parts(S);
   while (true) {
     ++res.phases;
+    obs::Span phase_span(net, "bfs.phase");
     engine_for(net, active.size(),
                [&](uint64_t i) { payload[active[i]] = Val{active[i], 0}; });
     auto exch = neighborhood_exchange(shared, net, bt, active, payload,

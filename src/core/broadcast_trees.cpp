@@ -1,10 +1,13 @@
 #include "core/broadcast_trees.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace ncc {
 
 BroadcastTrees build_broadcast_trees(const Shared& shared, Network& net, const Graph& g,
                                      const Orientation& orientation, uint64_t rng_tag) {
   NCC_ASSERT_MSG(orientation.complete(), "broadcast trees need a full orientation");
+  obs::Span span(net, "setup.broadcast_trees");
   std::vector<MulticastMembership> memberships;
   memberships.reserve(2 * g.m());
   for (NodeId u = 0; u < g.n(); ++u) {
@@ -25,6 +28,7 @@ MultiAggregationResult neighborhood_exchange(const Shared& shared, Network& net,
                                              const std::vector<Val>& payload_by_node,
                                              const CombineFn& combine, uint64_t rng_tag,
                                              const LeafAnnotateFn& annotate) {
+  obs::Span span(net, "neighborhood_exchange");
   std::vector<MulticastSend> sends;
   sends.reserve(senders.size());
   for (NodeId u : senders) sends.push_back({u, u, payload_by_node[u]});

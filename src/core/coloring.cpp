@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 #include "primitives/aggregation.hpp"
 #include "primitives/multicast.hpp"
@@ -19,6 +20,7 @@ ColoringResult run_coloring(const Shared& shared, Network& net, const Graph& g,
                             const ColoringParams& params, uint64_t rng_tag) {
   const NodeId n = g.n();
   const Overlay& topo = shared.topo();
+  obs::Span span(net, "coloring");
   const Orientation& ori = orient.orientation;
   NCC_ASSERT_MSG(ori.complete(), "coloring needs a completed orientation");
   uint64_t start_rounds = net.stats().total_rounds();

@@ -3,11 +3,13 @@
 #include <unordered_set>
 
 #include "core/mst.hpp"
+#include "obs/tracer.hpp"
 
 namespace ncc {
 
 ComponentsResult run_components(const Shared& shared, Network& net, const Graph& g,
                                 uint64_t rng_tag) {
+  obs::Span span(net, "components");
   // Unit-weight copy: the MST of an unweighted graph is a spanning forest and
   // the Boruvka leaders are component labels.
   std::vector<Edge> unit_edges = g.edges();

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "engine/node_program.hpp"
+#include "obs/tracer.hpp"
 
 namespace ncc {
 
@@ -61,6 +62,7 @@ class GossipProgram final : public NodeProgram {
 }  // namespace
 
 GossipResult run_gossip(Network& net) {
+  obs::Span span(net, "gossip");
   GossipProgram prog(net);
   ProgramResult run = run_program(net, prog);
   GossipResult res;
@@ -70,6 +72,7 @@ GossipResult run_gossip(Network& net) {
 }
 
 BroadcastResult run_broadcast(Network& net) {
+  obs::Span span(net, "broadcast");
   const NodeId n = net.n();
   const uint32_t cap = net.cap();
   // The broadcast payload: a fixed magic well above any node id, so a

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 #include "primitives/aggregation.hpp"
 
@@ -36,6 +37,7 @@ IdentificationResult run_identification(const Shared& shared, Network& net,
   NCC_ASSERT(input.candidates.size() == input.learning.size());
   NCC_ASSERT(input.potential.size() == input.playing.size());
   NCC_ASSERT_MSG(params.q < (1u << kTrialBits), "trial count exceeds group encoding");
+  obs::Span span(net, "identification");
   uint64_t start_rounds = net.rounds();
 
   // Poisoned-schedule recovery: the trial count q scales the delivery

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/assert.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 #include "primitives/aggregation.hpp"
 
@@ -17,6 +18,7 @@ MatchingResult run_matching(const Shared& shared, Network& net, const Graph& g,
                             const BroadcastTrees& bt, uint64_t rng_tag) {
   const NodeId n = g.n();
   const Overlay& topo = shared.topo();
+  obs::Span span(net, "matching");
   uint64_t start_rounds = net.stats().total_rounds();
 
   MatchingResult res;

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "engine/engine.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 
 namespace ncc {
@@ -10,6 +11,7 @@ MisResult run_mis(const Shared& shared, Network& net, const Graph& g,
                   const BroadcastTrees& bt, uint64_t rng_tag) {
   const NodeId n = g.n();
   const Overlay& topo = shared.topo();
+  obs::Span span(net, "mis");
   uint64_t start_rounds = net.stats().total_rounds();
 
   MisResult res;

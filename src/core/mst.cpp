@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 #include "primitives/aggregation.hpp"
 #include "primitives/multicast.hpp"
@@ -47,6 +48,7 @@ MstResult run_mst(const Shared& shared, Network& net, const Graph& g,
                   const MstParams& params, uint64_t rng_tag) {
   const NodeId n = g.n();
   const Overlay& topo = shared.topo();
+  obs::Span span(net, "mst");
   const uint32_t logn = cap_log(n);
   NCC_ASSERT_MSG(n <= (1u << 16), "FindMin key packing supports n <= 2^16");
   NCC_ASSERT_MSG(g.max_weight() <= (1u << 20), "weights must be <= 2^20 (poly(n))");

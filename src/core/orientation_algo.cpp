@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "core/identification.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 #include "primitives/aggregation.hpp"
 #include "primitives/multicast.hpp"
@@ -72,6 +73,7 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
                                      const OrientationAlgoParams& params) {
   const NodeId n = g.n();
   NCC_ASSERT(n == net.n());
+  obs::Span span(net, "setup.orientation");
   const Overlay& topo = shared.topo();
   const uint32_t logn = cap_log(n);
   constexpr double kE = 2.718281828459045;

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <chrono>
 #include <mutex>
 #include <unordered_map>
 
@@ -8,6 +9,13 @@
 namespace ncc {
 
 namespace {
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 std::mutex g_registry_mu;
 std::unordered_map<const Network*, Engine*>& registry() {
@@ -38,6 +46,7 @@ class DirectSink final : public MsgSink {
 Engine::Engine(Network& net, EngineConfig cfg)
     : net_(net), cfg_(cfg), pool_(cfg.threads) {
   staged_.resize(pool_.threads());
+  timing_.resize(pool_.threads());
   {
     std::lock_guard<std::mutex> lk(g_registry_mu);
     auto [it, fresh] = registry().emplace(&net_, this);
@@ -48,7 +57,13 @@ Engine::Engine(Network& net, EngineConfig cfg)
   hooks.shards = pool_.threads();
   hooks.min_messages = cfg_.delivery_cutoff;
   hooks.parallel = [this](uint32_t tasks, const std::function<void(uint32_t)>& fn) {
-    pool_.run(tasks, [&fn](uint64_t t) { fn(static_cast<uint32_t>(t)); });
+    pool_.run(tasks, [this, &fn](uint64_t t) {
+      uint64_t t0 = now_ns();
+      fn(static_cast<uint32_t>(t));
+      EngineShardTiming& tm = timing_[t];
+      tm.deliver_ns += now_ns() - t0;
+      ++tm.deliveries;
+    });
   };
   net_.install_exec_hooks(std::move(hooks));
 }
@@ -90,16 +105,26 @@ void Engine::send_loop(uint64_t count,
   ShardPlan plan = ShardPlan::make(count, want);
   if (count == 0) return;
   run_shards(plan.shards, [&](uint32_t s) {
+    uint64_t t0 = now_ns();
     BufferSink sink(&staged_[s]);
     for (uint64_t i = plan.begin(s); i < plan.end(s); ++i) step(i, sink);
+    EngineShardTiming& tm = timing_[s];
+    tm.stage_ns += now_ns() - t0;
+    ++tm.loops;
   });
   // Merge in shard order == global item order; send_bulk keeps the strict
   // send accounting on the caller thread and hands each shard buffer over in
   // a single staging call.
   for (uint32_t s = 0; s < plan.shards; ++s) {
+    uint64_t t0 = now_ns();
     net_.send_bulk(staged_[s]);
     staged_[s].clear();
+    timing_[s].merge_ns += now_ns() - t0;
   }
+}
+
+void Engine::reset_timing() {
+  timing_.assign(pool_.threads(), EngineShardTiming{});
 }
 
 uint32_t engine_shards(const Network& net) {

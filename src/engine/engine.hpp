@@ -30,6 +30,19 @@
 
 namespace ncc {
 
+/// Wall-clock profile of one shard, accumulated across the engine's
+/// lifetime (or since reset_timing()). Strictly observational: timing never
+/// feeds back into scheduling and is kept out of every determinism-compared
+/// byte stream — emitters gate it behind a timing flag (see bench_engine and
+/// the Perfetto exporter's timing tracks).
+struct EngineShardTiming {
+  uint64_t stage_ns = 0;    // send_loop step callbacks run on this shard
+  uint64_t merge_ns = 0;    // merging this shard's staged buffer (caller thread)
+  uint64_t deliver_ns = 0;  // parallel end_round delivery tasks on this shard
+  uint64_t loops = 0;       // send_loop invocations that ran this shard
+  uint64_t deliveries = 0;  // parallel delivery tasks timed on this shard
+};
+
 struct EngineConfig {
   /// Total parallelism including the calling thread; 0 = hardware threads.
   uint32_t threads = 1;
@@ -88,11 +101,18 @@ class Engine {
   /// loop's. The round stays open; the caller ends it with net().end_round().
   void send_loop(uint64_t count, const std::function<void(uint64_t, MsgSink&)>& step);
 
+  /// Per-shard wall-clock profile (one entry per pool thread). Each shard's
+  /// stage/deliver slots are only ever written by the worker running that
+  /// shard, so reading between rounds is race-free.
+  const std::vector<EngineShardTiming>& shard_timing() const { return timing_; }
+  void reset_timing();
+
  private:
   Network& net_;
   EngineConfig cfg_;
   ThreadPool pool_;
   std::vector<std::vector<Message>> staged_;  // one buffer per shard
+  std::vector<EngineShardTiming> timing_;     // one profile per shard
 };
 
 /// Helpers for primitives/ and core/: route the loop through `net`'s

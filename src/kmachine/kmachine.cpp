@@ -7,15 +7,18 @@
 
 namespace ncc {
 
-KMachineTracker::KMachineTracker(Network& net, uint32_t k, uint64_t seed) : k_(k) {
+KMachineTracker::KMachineTracker(Network& net, uint32_t k, uint64_t seed)
+    : net_(net), k_(k) {
   NCC_ASSERT(k >= 2);
   Rng rng(mix64(seed ^ 0x6d61636833ULL));
   machine_.resize(net.n());
   for (NodeId u = 0; u < net.n(); ++u)
     machine_[u] = static_cast<uint32_t>(rng.next_below(k_));
-  net.set_delivery_hook(
+  hook_id_ = net_.add_delivery_hook(
       [this](const Message& m, uint64_t round) { on_deliver(m, round); });
 }
+
+KMachineTracker::~KMachineTracker() { net_.remove_delivery_hook(hook_id_); }
 
 uint64_t KMachineTracker::link_id(uint32_t a, uint32_t b) const {
   if (a > b) std::swap(a, b);

@@ -24,9 +24,14 @@ namespace ncc {
 
 class KMachineTracker {
  public:
-  /// Installs the delivery hook on `net`. The tracker must outlive the runs
-  /// it observes. `k` machines, random vertex partition from `seed`.
+  /// Subscribes to `net`'s delivery stream (coexists with any other
+  /// subscribers) and unsubscribes on destruction. `k` machines, random
+  /// vertex partition from `seed`.
   KMachineTracker(Network& net, uint32_t k, uint64_t seed);
+  ~KMachineTracker();
+
+  KMachineTracker(const KMachineTracker&) = delete;
+  KMachineTracker& operator=(const KMachineTracker&) = delete;
 
   uint32_t k() const { return k_; }
   uint32_t machine_of(NodeId u) const { return machine_[u]; }
@@ -49,6 +54,8 @@ class KMachineTracker {
   void on_deliver(const Message& m, uint64_t round);
   uint64_t link_id(uint32_t a, uint32_t b) const;
 
+  Network& net_;
+  Network::HookId hook_id_ = 0;
   uint32_t k_;
   std::vector<uint32_t> machine_;
   // Per observed NCC round: the max link load (folded incrementally).

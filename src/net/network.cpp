@@ -147,13 +147,38 @@ void Network::end_round() {
     stats_.max_recv_load = std::max(stats_.max_recv_load, a.max_recv);
     stats_.messages_dropped += a.dropped;
   }
-  if (hook_) {
+  if (!delivery_hooks_.empty()) {
+    // Every subscriber sees the identical stream: (destination, arrival)
+    // order, and within one message the subscribers run in subscription
+    // order. The delivered inboxes are thread-count independent, so the
+    // streams (and anything subscribers derive from them) are too.
     for (NodeId u = 0; u < n; ++u)
-      for (const Message& m : inboxes_[u]) hook_(m, stats_.rounds);
+      for (const Message& m : inboxes_[u])
+        for (auto& sub : delivery_hooks_) sub.fn(m, stats_.rounds);
   }
   pending_.clear();
   ++stats_.rounds;
-  if (round_hook_) round_hook_(stats_.rounds - 1, stats_);
+  for (auto& sub : round_hooks_) sub.fn(stats_.rounds - 1, stats_);
+}
+
+Network::HookId Network::add_delivery_hook(DeliveryHook hook) {
+  HookId id = next_hook_id_++;
+  delivery_hooks_.push_back({id, std::move(hook)});
+  return id;
+}
+
+void Network::remove_delivery_hook(HookId id) {
+  std::erase_if(delivery_hooks_, [id](const auto& s) { return s.id == id; });
+}
+
+Network::HookId Network::add_round_hook(RoundHook hook) {
+  HookId id = next_hook_id_++;
+  round_hooks_.push_back({id, std::move(hook)});
+  return id;
+}
+
+void Network::remove_round_hook(HookId id) {
+  std::erase_if(round_hooks_, [id](const auto& s) { return s.id == id; });
 }
 
 const std::vector<Message>& Network::inbox(NodeId u) const {

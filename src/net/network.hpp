@@ -128,17 +128,27 @@ class Network {
   uint64_t rounds() const { return stats_.rounds; }
   const NetStats& stats() const { return stats_; }
 
-  /// Observer invoked for every *delivered* message (k-machine accounting).
-  /// Receives the message and the round in which it was delivered. Always
-  /// invoked sequentially in (destination, arrival) order, engine or not.
-  using DeliveryHook = std::function<void(const Message&, uint64_t round)>;
-  void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
+  /// Observer subscription handle (add_*_hook); 0 is never issued.
+  using HookId = uint64_t;
 
-  /// Observer invoked sequentially at the end of every end_round() with the
+  /// Observers invoked for every *delivered* message (k-machine accounting,
+  /// tracing, congestion monitors). Each receives the message and the round
+  /// in which it was delivered. Hooks are an ordered subscriber list: every
+  /// subscriber sees the identical stream, sequentially in (destination,
+  /// arrival) order — engine or not — and within one message subscribers run
+  /// in subscription order. Subscribers must unsubscribe (remove) before
+  /// they are destroyed.
+  using DeliveryHook = std::function<void(const Message&, uint64_t round)>;
+  HookId add_delivery_hook(DeliveryHook hook);
+  void remove_delivery_hook(HookId id);
+
+  /// Observers invoked sequentially at the end of every end_round() with the
   /// index of the round just closed and the cumulative stats (scenario
-  /// metrics sampling). Runs after delivery, on the caller thread.
+  /// metrics sampling, span bookkeeping). Run after delivery, on the caller
+  /// thread, in subscription order.
   using RoundHook = std::function<void(uint64_t round, const NetStats&)>;
-  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+  HookId add_round_hook(RoundHook hook);
+  void remove_round_hook(HookId id);
 
   /// Fault-injection attachment (see scenario/faults.hpp); at most one set of
   /// fault hooks at a time.
@@ -169,6 +179,12 @@ class Network {
   const NetExecHooks& exec_hooks() const { return hooks_; }
 
  private:
+  template <typename Hook>
+  struct Subscriber {
+    HookId id;
+    Hook fn;
+  };
+
   NetConfig config_;
   uint32_t cap_;
   uint64_t drop_seed_;  // forked per (round, dst) for the drop subsets
@@ -184,8 +200,9 @@ class Network {
   // Per-node reservoir progress; after delivery it equals the full
   // addressed (pre-drop) count, which the merged-view stats read.
   std::vector<uint32_t> recv_seen_;
-  DeliveryHook hook_;
-  RoundHook round_hook_;
+  HookId next_hook_id_ = 1;
+  std::vector<Subscriber<DeliveryHook>> delivery_hooks_;
+  std::vector<Subscriber<RoundHook>> round_hooks_;
 };
 
 }  // namespace ncc

@@ -6,10 +6,13 @@
 
 namespace ncc {
 
-RoundTrace::RoundTrace(Network& net) : n_(net.n()), in_degree_(net.n(), 0) {
-  net.set_delivery_hook(
+RoundTrace::RoundTrace(Network& net)
+    : net_(net), n_(net.n()), in_degree_(net.n(), 0) {
+  hook_id_ = net_.add_delivery_hook(
       [this](const Message& m, uint64_t round) { on_deliver(m, round); });
 }
+
+RoundTrace::~RoundTrace() { net_.remove_delivery_hook(hook_id_); }
 
 void RoundTrace::close_round() {
   if (current_round_ == UINT64_MAX) return;

@@ -25,8 +25,15 @@ struct RoundSample {
 
 class RoundTrace {
  public:
-  /// Installs the delivery hook on `net` (replacing any existing hook).
+  /// Subscribes to `net`'s delivery stream. Hooks are an ordered subscriber
+  /// list, so a RoundTrace coexists with metrics collectors, congestion
+  /// monitors and tracers on the same network; the subscription is removed
+  /// on destruction.
   explicit RoundTrace(Network& net);
+  ~RoundTrace();
+
+  RoundTrace(const RoundTrace&) = delete;
+  RoundTrace& operator=(const RoundTrace&) = delete;
 
   const std::vector<RoundSample>& samples() const { return samples_; }
 
@@ -43,6 +50,8 @@ class RoundTrace {
   void on_deliver(const Message& m, uint64_t round);
   void close_round();
 
+  Network& net_;
+  Network::HookId hook_id_ = 0;
   NodeId n_;
   uint64_t current_round_ = UINT64_MAX;
   std::vector<uint32_t> in_degree_;  // per node, current round

@@ -1,0 +1,105 @@
+#include "obs/congestion.hpp"
+
+#include <algorithm>
+
+namespace ncc::obs {
+
+CongestionMonitor::CongestionMonitor(Network& net, size_t max_rounds)
+    : net_(net),
+      columns_(NodeId{1} << floor_log2(net.n())),
+      max_rounds_(max_rounds),
+      in_degree_(net.n(), 0),
+      node_peak_(net.n(), 0),
+      node_total_(net.n(), 0),
+      hist_(33, 0) {
+  delivery_id_ = net_.add_delivery_hook(
+      [this](const Message& m, uint64_t) { on_deliver(m); });
+  round_id_ = net_.add_round_hook(
+      [this](uint64_t round, const NetStats&) { close_round(round); });
+}
+
+CongestionMonitor::~CongestionMonitor() {
+  net_.remove_delivery_hook(delivery_id_);
+  net_.remove_round_hook(round_id_);
+}
+
+void CongestionMonitor::on_deliver(const Message& m) {
+  uint32_t& deg = in_degree_[m.dst];
+  if (deg == 0) touched_.push_back(m.dst);
+  ++deg;
+}
+
+void CongestionMonitor::close_round(uint64_t round) {
+  uint32_t round_max = 0;
+  for (NodeId u : touched_) {
+    uint32_t deg = in_degree_[u];
+    in_degree_[u] = 0;
+    ++hist_[floor_log2(deg)];
+    node_peak_[u] = std::max(node_peak_[u], deg);
+    node_total_[u] += deg;
+    if (u < columns_) {
+      host_messages_ += deg;
+    } else {
+      attach_messages_ += deg;
+    }
+    if (deg > round_max) round_max = deg;
+    if (deg > peak_in_degree_) {
+      peak_in_degree_ = deg;
+      peak_node_ = u;
+      peak_round_ = round;
+    }
+  }
+  touched_.clear();
+  if (series_.size() < max_rounds_) {
+    series_.push_back(round_max);
+  } else {
+    series_truncated_ = true;
+  }
+}
+
+std::vector<std::pair<NodeId, uint64_t>> CongestionMonitor::hottest(size_t k) const {
+  std::vector<std::pair<NodeId, uint64_t>> all;
+  for (NodeId u = 0; u < static_cast<NodeId>(node_total_.size()); ++u)
+    if (node_total_[u] > 0) all.emplace_back(u, node_total_[u]);
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void CongestionMonitor::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("peak_in_degree", uint64_t{peak_in_degree_});
+  w.kv("peak_node", uint64_t{peak_node_});
+  w.kv("peak_round", peak_round_);
+  w.kv("columns", uint64_t{columns_});
+  w.kv("host_messages", host_messages_);
+  w.kv("attach_messages", attach_messages_);
+  w.key("degree_hist");
+  w.begin_array();
+  // Trailing zero buckets are elided (the array length is data-dependent but
+  // deterministic).
+  size_t last = 0;
+  for (size_t b = 0; b < hist_.size(); ++b)
+    if (hist_[b] > 0) last = b + 1;
+  for (size_t b = 0; b < last; ++b) w.value(hist_[b]);
+  w.end_array();
+  w.key("hottest_hosts");
+  w.begin_array();
+  for (const auto& [u, total] : hottest(8)) {
+    w.begin_object();
+    w.kv("node", uint64_t{u});
+    w.kv("messages", total);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("series_truncated", series_truncated_);
+  w.key("max_in_degree");
+  w.begin_array();
+  for (uint32_t v : series_) w.value(v);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace ncc::obs

@@ -1,0 +1,64 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+
+namespace ncc::obs {
+
+void JsonWriter::value(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  raw(buf);
+}
+
+void JsonWriter::open(char c) {
+  comma();
+  out_ += c;
+  first_.push_back(true);
+}
+
+void JsonWriter::close(char c) {
+  first_.pop_back();
+  out_ += c;
+}
+
+void JsonWriter::comma() {
+  if (pending_value_) {
+    pending_value_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ", ";
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::append_quoted(const std::string& s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+}  // namespace ncc::obs

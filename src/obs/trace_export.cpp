@@ -1,0 +1,115 @@
+#include "obs/trace_export.hpp"
+
+namespace ncc::obs {
+
+namespace {
+
+constexpr uint64_t kPhaseTid = 1;
+constexpr uint64_t kCounterTid = 2;
+constexpr uint64_t kShardTidBase = 100;
+
+void write_event_head(JsonWriter& w, const char* ph, uint64_t pid, uint64_t tid,
+                      const std::string& name, uint64_t ts_us) {
+  w.kv("ph", ph);
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.kv("name", name);
+  w.kv("ts", ts_us);
+}
+
+void write_metadata(JsonWriter& w, uint64_t pid, uint64_t tid,
+                    const char* what, const std::string& name) {
+  w.begin_object();
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.kv("name", what);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void write_cell(JsonWriter& w, const TraceCell& cell, uint64_t pid,
+                bool include_timing) {
+  write_metadata(w, pid, 0, "process_name", cell.name);
+  write_metadata(w, pid, kPhaseTid, "thread_name", "phases");
+  if (!cell.max_in_degree.empty())
+    write_metadata(w, pid, kCounterTid, "thread_name", "congestion");
+
+  // Phase spans: complete events in begin order (ts is nondecreasing, which
+  // the trace checker asserts per track). Nesting renders automatically from
+  // overlapping ts/dur; parents precede children because spans are recorded
+  // in begin order.
+  for (const SpanRecord& s : cell.spans) {
+    w.begin_object();
+    write_event_head(w, "X", pid, kPhaseTid, s.name, s.begin_round * kTraceRoundUs);
+    w.kv("dur", (s.end_round - s.begin_round) * kTraceRoundUs);
+    w.key("args");
+    w.begin_object();
+    w.kv("depth", uint64_t{s.depth});
+    w.kv("rounds", s.end_round - s.begin_round);
+    w.kv("charged", s.charged);
+    w.kv("messages", s.messages);
+    w.kv("dropped", s.dropped);
+    w.kv("fault_drops", s.fault_drops);
+    w.kv("corrupted", s.corrupted);
+    w.end_object();
+    w.end_object();
+  }
+
+  // Per-round congestion counter.
+  for (size_t r = 0; r < cell.max_in_degree.size(); ++r) {
+    w.begin_object();
+    write_event_head(w, "C", pid, kCounterTid, "max_in_degree",
+                     static_cast<uint64_t>(r) * kTraceRoundUs);
+    w.key("args");
+    w.begin_object();
+    w.kv("value", cell.max_in_degree[r]);
+    w.end_object();
+    w.end_object();
+  }
+
+  // Wall-clock shard profiles: three back-to-back duration events per shard
+  // showing the stage/merge/deliver split. Excluded from deterministic
+  // traces — wall time is not reproducible.
+  if (!include_timing) return;
+  for (size_t s = 0; s < cell.shard_timing.size(); ++s) {
+    const EngineShardTiming& tm = cell.shard_timing[s];
+    if (tm.stage_ns + tm.merge_ns + tm.deliver_ns == 0) continue;
+    uint64_t tid = kShardTidBase + s;
+    write_metadata(w, pid, tid, "thread_name", "shard " + std::to_string(s));
+    uint64_t ts = 0;
+    const struct {
+      const char* name;
+      uint64_t ns;
+    } stages[] = {{"stage", tm.stage_ns},
+                  {"merge", tm.merge_ns},
+                  {"deliver", tm.deliver_ns}};
+    for (const auto& st : stages) {
+      uint64_t dur = st.ns / 1000;
+      w.begin_object();
+      write_event_head(w, "X", pid, tid, st.name, ts);
+      w.kv("dur", dur);
+      w.end_object();
+      ts += dur;
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(JsonWriter& w, const std::vector<TraceCell>& cells,
+                        bool include_timing) {
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (size_t i = 0; i < cells.size(); ++i)
+    write_cell(w, cells[i], i + 1, include_timing);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace ncc::obs

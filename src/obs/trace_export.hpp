@@ -1,0 +1,49 @@
+// Chrome trace-event export: renders recorded observability data (phase
+// spans, per-round congestion counters, engine shard wall-clock profiles) as
+// a trace-event JSON file loadable by chrome://tracing and Perfetto
+// (ui.perfetto.dev).
+//
+// Mapping: each scenario run (one sweep cell, or the single run of flat
+// mode) becomes one *process*; inside it, track (tid) 1 carries the phase
+// spans as duration ("ph":"X") events, track 2 carries per-round counters
+// ("ph":"C"), and tracks 100+s carry shard s's wall-clock stage/merge/
+// deliver profile. The simulated round clock is mapped to trace time at
+// 1 round = 1000 microseconds, so span durations read directly as round
+// counts in the UI.
+//
+// Determinism: with include_timing=false the emitted bytes are a pure
+// function of spans + counters (both thread-count invariant), so the trace
+// file is byte-identical at threads=1 vs threads=T — the trace_determinism
+// check compares exactly that. Wall-clock shard tracks only appear with
+// include_timing=true.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "obs/json.hpp"
+#include "obs/tracer.hpp"
+
+namespace ncc::obs {
+
+/// Everything the exporter needs from one scenario run.
+struct TraceCell {
+  std::string name;                    // process label, e.g. "bfs grid n=256 seed=1"
+  uint64_t rounds = 0;                 // total simulated rounds
+  std::vector<SpanRecord> spans;       // phase spans, in begin order
+  std::vector<uint32_t> max_in_degree; // per-round congestion counter (may be capped)
+  std::vector<EngineShardTiming> shard_timing;  // empty when no engine attached
+};
+
+/// Trace-time scale: one simulated round rendered as this many microseconds.
+inline constexpr uint64_t kTraceRoundUs = 1000;
+
+/// Write the whole trace document (`{"traceEvents": [...]}`); `cells` become
+/// processes pid 1..k. Wall-clock shard tracks are emitted only when
+/// `include_timing` is set.
+void write_chrome_trace(JsonWriter& w, const std::vector<TraceCell>& cells,
+                        bool include_timing);
+
+}  // namespace ncc::obs

@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "engine/engine.hpp"
+#include "obs/tracer.hpp"
 
 namespace ncc {
 
@@ -134,6 +135,7 @@ DownResult route_down(const Overlay& topo, Network& net,
                       const std::function<NodeId(uint64_t)>& dest_col,
                       const std::function<uint64_t(uint64_t)>& rank,
                       const CombineFn& combine, MulticastTrees* record) {
+  obs::Span span(net, "route.down");
   const uint32_t F = topo.levels() - 1;  // final routing level
   const NodeId cols = topo.columns();
   NCC_ASSERT(at_col.size() == cols);
@@ -434,6 +436,7 @@ DownResult route_down(const Overlay& topo, Network& net,
 UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees,
                   const std::unordered_map<uint64_t, Val>& payloads,
                   const std::function<uint64_t(uint64_t)>& rank) {
+  obs::Span span(net, "route.up");
   const uint32_t F = topo.levels() - 1;
   const NodeId cols = topo.columns();
   NCC_ASSERT(trees.levels == topo.levels());

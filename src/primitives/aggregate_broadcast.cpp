@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "engine/engine.hpp"
+#include "obs/tracer.hpp"
 
 namespace ncc {
 
@@ -19,6 +20,7 @@ AbResult aggregate_and_broadcast(const Overlay& topo, Network& net,
   const uint32_t steps = topo.agg_steps();
   const NodeId cols = topo.columns();
   NCC_ASSERT(inputs.size() == n);
+  obs::Span span(net, "aggregate_broadcast");
   AbResult res;
   uint64_t start_rounds = net.rounds();
 
@@ -144,6 +146,7 @@ uint64_t sync_barrier(const Overlay& topo, Network& net) {
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
   const uint32_t steps = topo.agg_steps();
+  obs::Span span(net, "sync_barrier");
   uint64_t start_rounds = net.rounds();
 
   // Attach round: every non-hosting node reports its 1.

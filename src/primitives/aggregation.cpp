@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 
 namespace ncc {
@@ -19,6 +20,7 @@ AggregationResult run_aggregation(const Shared& shared, Network& net,
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
   const uint32_t batch = cap_log(n);  // ceil(log n) packets per round per node
+  obs::Span span(net, "aggregation");
   uint64_t start_rounds = net.rounds();
 
   AggregationResult res;

@@ -16,6 +16,9 @@
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
+// Every primitive/algorithm sees the tracing layer through its context: the
+// obs::Span guard is a no-op unless a Tracer is attached to the network.
+#include "obs/tracer.hpp"
 #include "overlay/overlay.hpp"
 
 namespace ncc {

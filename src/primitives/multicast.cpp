@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "engine/engine.hpp"
+#include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
 
 namespace ncc {
@@ -18,6 +19,7 @@ MulticastSetupResult setup_multicast_trees(const Shared& shared, Network& net,
                                            const std::vector<MulticastMembership>& members,
                                            uint64_t rng_tag) {
   const Overlay& topo = shared.topo();
+  obs::Span span(net, "multicast.setup");
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
   const uint32_t batch = cap_log(n);
@@ -102,6 +104,7 @@ MulticastResult run_multicast_impl(const Shared& shared, Network& net,
                                    uint32_t ell_hat, uint64_t rng_tag,
                                    bool allow_multi_source) {
   const Overlay& topo = shared.topo();
+  obs::Span span(net, "multicast");
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
   const uint32_t batch = cap_log(n);

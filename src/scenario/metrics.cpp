@@ -1,69 +1,10 @@
 #include "scenario/metrics.hpp"
 
-#include <cstdio>
-
 namespace ncc::scenario {
-
-void JsonWriter::value(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  raw(buf);
-}
-
-void JsonWriter::open(char c) {
-  comma();
-  out_ += c;
-  first_.push_back(true);
-}
-
-void JsonWriter::close(char c) {
-  first_.pop_back();
-  out_ += c;
-}
-
-void JsonWriter::comma() {
-  if (pending_value_) {
-    pending_value_ = false;
-    return;  // value follows its key, no comma
-  }
-  if (!first_.empty()) {
-    if (!first_.back()) out_ += ", ";
-    first_.back() = false;
-  }
-}
-
-void JsonWriter::append_quoted(const std::string& s) {
-  out_ += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out_ += "\\\"";
-        break;
-      case '\\':
-        out_ += "\\\\";
-        break;
-      case '\n':
-        out_ += "\\n";
-        break;
-      case '\t':
-        out_ += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out_ += buf;
-        } else {
-          out_ += c;
-        }
-    }
-  }
-  out_ += '"';
-}
 
 MetricsCollector::MetricsCollector(Network& net, size_t max_rounds)
     : net_(net), max_rounds_(max_rounds) {
-  net_.set_round_hook([this](uint64_t, const NetStats& s) {
+  hook_id_ = net_.add_round_hook([this](uint64_t, const NetStats& s) {
     uint64_t sent = s.messages_sent - last_sent_;
     uint64_t dropped = (s.messages_dropped + s.fault_drops) - last_dropped_;
     uint64_t corrupted = s.corrupted - last_corrupted_;
@@ -82,7 +23,7 @@ MetricsCollector::MetricsCollector(Network& net, size_t max_rounds)
   });
 }
 
-MetricsCollector::~MetricsCollector() { net_.set_round_hook(nullptr); }
+MetricsCollector::~MetricsCollector() { net_.remove_round_hook(hook_id_); }
 
 void MetricsCollector::write_json(JsonWriter& w) const {
   w.begin_object();

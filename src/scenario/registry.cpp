@@ -54,6 +54,8 @@ struct TreeSetup {
 /// Rounds spent waiting are real simulated rounds, counted toward the
 /// round limit and reported as `heal_wait_rounds`.
 uint64_t await_partition_heal(Network& net, const ScenarioSpec& spec) {
+  if (spec.faults.partition_windows.empty()) return 0;
+  obs::Span span(net, "setup.heal_wait");
   const uint64_t grace = 8ull * cap_log(net.n());  // a few barriers of lookahead
   uint64_t waited = 0;
   bool again = true;

@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "engine/engine.hpp"
+#include "obs/congestion.hpp"
+#include "obs/tracer.hpp"
 #include "scenario/faults.hpp"
 #include "scenario/metrics.hpp"
 #include "scenario/registry.hpp"
@@ -103,10 +106,22 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
       threads > 1 ? std::make_unique<Engine>(net, EngineConfig{threads}) : nullptr;
   FaultInjector faults(net, spec.faults, spec.seed, spec.round_limit);
   MetricsCollector metrics(net, opts.max_series_rounds);
+  // The observability layer attaches whenever its output is consumed: the
+  // full JSON document carries deterministic "spans"/"congestion" sections,
+  // and collect_trace asks for the Chrome-trace payload even on compact
+  // sweep-cell runs.
+  bool want_obs = opts.build_json || opts.collect_trace;
+  std::optional<obs::Tracer> tracer;
+  std::optional<obs::CongestionMonitor> congestion;
+  if (want_obs) {
+    tracer.emplace(net);
+    congestion.emplace(net, opts.max_series_rounds);
+  }
 
   ScenarioRunResult result;
   auto t0 = std::chrono::steady_clock::now();
   try {
+    obs::Span root(net, "run");
     result = algo(net, *graph, spec);
     out.verdict = result.verdict;
     out.ok = result.ok;
@@ -128,6 +143,17 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   out.corrupted = st.corrupted;
   out.crashed = faults.crashed_count();
   out.failed = verdict_failed(out.expect, out);
+  if (opts.collect_trace && tracer) {
+    std::ostringstream label;
+    label << spec.name << " " << spec.algorithm << " "
+          << overlay_name(spec.overlay) << " n=" << graph->n()
+          << " cf=" << spec.capacity_factor << " seed=" << spec.seed;
+    out.trace.name = label.str();
+    out.trace.rounds = st.rounds;
+    out.trace.spans = tracer->spans();
+    out.trace.max_in_degree = congestion->max_in_degree_series();
+    if (engine) out.trace.shard_timing = engine->shard_timing();
+  }
   if (!opts.build_json) return out;
 
   JsonWriter w;
@@ -156,6 +182,10 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   w.end_object();
   w.key("per_round");
   metrics.write_json(w);
+  w.key("spans");
+  tracer->write_json(w);
+  w.key("congestion");
+  congestion->write_json(w);
   if (opts.timing) {
     w.key("timing");
     w.begin_object();

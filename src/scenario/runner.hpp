@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace_export.hpp"
 #include "scenario/spec.hpp"
 
 namespace ncc::scenario {
@@ -27,6 +28,11 @@ struct RunOptions {
   /// off — it builds compact per-cell records from the outcome fields and
   /// would otherwise pay for a per-round series it never reads.
   bool build_json = true;
+  /// Fill ScenarioOutcome::trace with the run's span stream, congestion
+  /// counter series, and engine shard timing (for the Chrome trace export).
+  /// Observability is always on when build_json is set — this flag extends
+  /// it to compact (sweep-cell) runs.
+  bool collect_trace = false;
 };
 
 struct ScenarioOutcome {
@@ -47,6 +53,8 @@ struct ScenarioOutcome {
   uint32_t crashed = 0;
   double wall_ms = 0.0;
   std::string json;  // one JSON object describing the run
+  /// Trace-export payload; populated only when RunOptions::collect_trace.
+  obs::TraceCell trace;
 };
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts = {});

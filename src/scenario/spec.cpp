@@ -365,6 +365,17 @@ bool validate_spec(ScenarioSpec& spec, std::string* error) {
     return fail(
         "fault injection requires a `round_limit` (lost protocol "
         "tokens can jam termination detection forever)");
+  // The AQ_d aggregation tree concentrates up to 2d-1 in-messages per round
+  // at the root's host (measured by the observability tests); at
+  // capacity_factor 1 the receive budget is only d+1 and barrier counts are
+  // silently lost, so a capacity-1 augmented-cube spec is a configuration
+  // error, not a scenario.
+  if (spec.overlay == OverlayKind::kAugmentedCube && spec.capacity_factor < 2)
+    return fail(
+        "augmented_cube requires `capacity_factor >= 2`: its aggregation "
+        "tree delivers up to 2d-1 messages per round to the root's host, "
+        "which overflows the capacity-1 receive budget and drops barrier "
+        "counts (see README, Observability)");
   if (spec.expect.empty()) spec.expect = spec.faults.any() ? "any" : "ok";
   return true;
 }

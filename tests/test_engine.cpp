@@ -173,7 +173,7 @@ TEST(Network, DeliveryHookOrderIsSequentialUnderEngine) {
     std::optional<Engine> eng;
     if (threads > 0) eng.emplace(net, eager(threads));
     std::vector<std::pair<NodeId, NodeId>> seen;  // (dst, src) in hook order
-    net.set_delivery_hook(
+    net.add_delivery_hook(
         [&](const Message& m, uint64_t) { seen.emplace_back(m.dst, m.src); });
     engine_send_loop(net, 31, [&](uint64_t i, MsgSink& out) {
       NodeId u = static_cast<NodeId>(i + 1);

@@ -100,7 +100,7 @@ TEST(NetworkDeathTest, RejectsSelfMessages) {
 TEST(Network, DeliveryHookSeesEveryDeliveredMessage) {
   Network net = make(8);
   std::vector<std::pair<NodeId, uint64_t>> seen;
-  net.set_delivery_hook([&](const Message& m, uint64_t round) {
+  net.add_delivery_hook([&](const Message& m, uint64_t round) {
     seen.emplace_back(m.dst, round);
   });
   net.send(0, 1, 1, {1});

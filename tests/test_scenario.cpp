@@ -159,6 +159,12 @@ TEST(ScenarioSpec, RejectsMalformedSpecs) {
       "perturb_for");
   expect_reject("graph = clique\nn = 64\nalgorithm = bfs\noverlay = torus\n",
                 "overlay");
+  // The AQ_d aggregation tree needs a receive budget of 2d-1 at the root's
+  // host (measured in tests/test_obs.cpp); capacity_factor 1 cannot carry it.
+  expect_reject(
+      "graph = clique\nn = 64\nalgorithm = bfs\noverlay = augmented_cube\n"
+      "capacity_factor = 1\n",
+      "capacity_factor >= 2");
 }
 
 TEST(ScenarioSpec, OverlayKeyParsesAndRoundTrips) {

@@ -18,6 +18,10 @@
 //   --no-timing      omit the wall-clock sections — output is then a pure
 //                    function of (spec, seed), byte-identical across thread
 //                    counts (the determinism contract extends through faults)
+//   --trace PATH     also write a Chrome trace-event file (chrome://tracing /
+//                    ui.perfetto.dev) with one process per run: phase spans,
+//                    per-round congestion counters, and — unless --no-timing —
+//                    per-shard wall-clock tracks
 //   --list           print the registered algorithms and exit
 //
 // Exit status: 0 only when every spec parsed and every cell's verdict
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/trace_export.hpp"
 #include "scenario/metrics.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
@@ -196,6 +201,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   RunOptions opts;
   std::string json_path;
+  std::string trace_path;
   bool list = false;
   bool sweep_mode = false;
 
@@ -223,6 +229,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--no-timing") {
       opts.timing = false;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     } else if (arg == "--list") {
       list = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -237,6 +247,12 @@ int main(int argc, char** argv) {
   // Sweep cells are reported as compact records built from outcome fields;
   // skip assembling the full per-run JSON nobody reads in this mode.
   opts.build_json = !sweep_mode;
+  opts.collect_trace = !trace_path.empty();
+  if (opts.collect_trace && trace_path[0] == '-') {
+    std::fprintf(stderr, "ncc_run: --trace wants a file path, got %s\n",
+                 trace_path.c_str());
+    return 1;
+  }
 
   if (list) {
     std::printf("registered algorithms:\n");
@@ -247,7 +263,7 @@ int main(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: ncc_run [--dir DIR] [--sweep] [--threads T] [--json PATH] "
-                 "[--no-timing] [--list] [spec.scn ...]\n");
+                 "[--no-timing] [--trace PATH] [--list] [spec.scn ...]\n");
     return 1;
   }
   std::sort(paths.begin(), paths.end());
@@ -256,6 +272,7 @@ int main(int argc, char** argv) {
            "fault drops", "crashed", "wall ms"});
   std::vector<std::string> rows;         // flat mode: full per-cell JSON objects
   std::vector<std::string> sweep_rows;   // sweep mode: one grouped object per file
+  std::vector<obs::TraceCell> trace_cells;  // --trace: one process per run
   std::vector<SpecSummary> summaries;
   int parse_failures = 0;
   uint64_t total_failed = 0;
@@ -300,6 +317,8 @@ int main(int argc, char** argv) {
       ScenarioOutcome out;
       if (spec) {
         out = run_scenario(*spec, opts);
+        if (opts.collect_trace && out.ran)
+          trace_cells.push_back(std::move(out.trace));
       } else {
         // An unexpandable cell is a result too: a failed one, so a bad grid
         // combination gates CI instead of vanishing from the report. There is
@@ -373,6 +392,23 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("json: %zu %s -> %s\n", out_rows.size(),
               sweep_mode ? "sweeps" : "scenarios", json_path.c_str());
+
+  if (opts.collect_trace) {
+    // Wall-clock shard tracks follow the timing flag: with --no-timing the
+    // trace bytes are a pure function of (spec, seed), which is what the
+    // trace determinism check compares across thread counts.
+    JsonWriter tw;
+    obs::write_chrome_trace(tw, trace_cells, opts.timing);
+    std::FILE* tf = std::fopen(trace_path.c_str(), "w");
+    if (!tf) {
+      std::fprintf(stderr, "ncc_run: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(tw.str().data(), 1, tw.str().size(), tf);
+    std::fputc('\n', tf);
+    std::fclose(tf);
+    std::printf("trace: %zu runs -> %s\n", trace_cells.size(), trace_path.c_str());
+  }
 
   if (parse_failures > 0) {
     std::fprintf(stderr, "ncc_run: %d spec(s) failed to parse\n", parse_failures);

@@ -1,0 +1,112 @@
+// trace_check — validator for the Chrome trace-event files ncc_run --trace
+// emits. CI runs it on every uploaded trace artifact; the observability
+// tests run the same checks in-process via obs/json_check.
+//
+//   trace_check trace.json [trace2.json ...]
+//
+// Checks, per file:
+//  * the document parses as JSON and has a traceEvents array;
+//  * every event carries ph/pid/tid/name/ts (and a non-negative dur for
+//    "X" complete events);
+//  * per (pid, tid) track, "X" event timestamps are monotonically
+//    non-decreasing (spans are recorded in begin order);
+//  * at least one phase span ("X" on the phases track) exists.
+// Exit 0 when every file passes, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_check.hpp"
+
+using ncc::obs::JsonValue;
+
+namespace {
+
+bool check_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "trace_check: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+
+  JsonValue doc;
+  std::string error;
+  if (!ncc::obs::json_parse(buf.str(), &doc, &error)) {
+    std::fprintf(stderr, "trace_check: %s: parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is_array()) {
+    std::fprintf(stderr, "trace_check: %s: missing traceEvents array\n",
+                 path.c_str());
+    return false;
+  }
+
+  uint64_t spans = 0, counters = 0, metadata = 0;
+  std::map<std::pair<double, double>, double> last_ts;  // (pid, tid) -> ts
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    auto bad = [&](const char* why) {
+      std::fprintf(stderr, "trace_check: %s: event %zu: %s\n", path.c_str(), i,
+                   why);
+      return false;
+    };
+    if (!e.is_object()) return bad("not an object");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    const JsonValue* name = e.find("name");
+    if (!ph || !ph->is_string()) return bad("missing ph");
+    if (!pid || !pid->is_number()) return bad("missing pid");
+    if (!tid || !tid->is_number()) return bad("missing tid");
+    if (!name || !name->is_string()) return bad("missing name");
+    if (ph->string == "M") {
+      ++metadata;
+      continue;
+    }
+    const JsonValue* ts = e.find("ts");
+    if (!ts || !ts->is_number() || ts->number < 0) return bad("missing ts");
+    if (ph->string == "X") {
+      const JsonValue* dur = e.find("dur");
+      if (!dur || !dur->is_number() || dur->number < 0)
+        return bad("X event without non-negative dur");
+      auto key = std::make_pair(pid->number, tid->number);
+      auto it = last_ts.find(key);
+      if (it != last_ts.end() && ts->number < it->second)
+        return bad("non-monotonic ts within track");
+      last_ts[key] = ts->number;
+      ++spans;
+    } else if (ph->string == "C") {
+      ++counters;
+    } else {
+      return bad("unknown ph");
+    }
+  }
+  if (spans == 0) {
+    std::fprintf(stderr, "trace_check: %s: no duration events\n", path.c_str());
+    return false;
+  }
+  std::printf("trace_check: %s: ok (%llu spans, %llu counters, %llu metadata)\n",
+              path.c_str(), static_cast<unsigned long long>(spans),
+              static_cast<unsigned long long>(counters),
+              static_cast<unsigned long long>(metadata));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check trace.json [...]\n");
+    return 1;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok &= check_trace(argv[i]);
+  return ok ? 0 : 1;
+}
