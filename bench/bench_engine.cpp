@@ -1,16 +1,20 @@
 // Engine scaling bench: wall-clock of the sharded round engine across thread
-// counts on fixed workloads, with a bit-identity check against the
-// single-threaded run (the engine's determinism contract).
+// counts and input sizes on fixed workloads, with a bit-identity check
+// against the single-threaded run (the engine's determinism contract).
 //
 //   ./bench_engine [--quick] [--threads MAX] [--json PATH]
 //
 // Workloads: gossip (clique-saturating all-to-all — stresses the parallel
 // end_round delivery), and the Section 5 BFS/MIS pipelines on a gnm graph
-// (stress the butterfly router's sharded step loop). Emits BENCH_engine.json
-// rows {bench, n, threads, rounds, wall_ms, messages, msgs_per_sec, timing}
-// so future PRs can track the perf trajectory; `timing` is the engine's
-// per-stage wall-clock split (stage/merge/deliver, summed over shards) —
-// observational only, never part of any determinism-compared bytes.
+// (stress the butterfly router's sharded step loop). Sweeps n in {512, 4096}
+// so the rows capture how the threading overhead amortizes with input size —
+// the evidence the ROADMAP's million-node item asks for. Emits
+// BENCH_engine.json rows {bench, n, threads, rounds, wall_ms, messages,
+// msgs_per_sec, peak_bytes, allocs, timing}; `timing` (wall-clock split) and
+// the memory columns (container capacities / allocation counts) are
+// observational only, never part of any determinism-compared bytes — but
+// peak_bytes/allocs are reproducible for a fixed (workload, n, threads), so
+// bench_compare diffs them exactly.
 #include "bench_util.hpp"
 
 #include "core/bfs.hpp"
@@ -31,18 +35,24 @@ struct RunOut {
   uint64_t checksum = 0;  // folds outputs + NetStats: must match across threads
   // Engine per-stage wall-clock, summed over shards (ms).
   double stage_ms = 0, merge_ms = 0, deliver_ms = 0;
+  // Peak container bytes (network + staged buffers) and alloc count.
+  uint64_t peak_bytes = 0;
+  uint64_t allocs = 0;
 };
 
-void fill_timing(RunOut* out, const Engine& eng) {
+void fill_profiles(RunOut* out, const Network& net, const Engine& eng) {
   for (const EngineShardTiming& tm : eng.shard_timing()) {
     out->stage_ms += static_cast<double>(tm.stage_ns) / 1e6;
     out->merge_ms += static_cast<double>(tm.merge_ns) / 1e6;
     out->deliver_ms += static_cast<double>(tm.deliver_ns) / 1e6;
   }
+  out->peak_bytes = mem_peak_bytes(net, &eng);
+  out->allocs = mem_allocs(net, &eng);
 }
 
-/// The JSON tail shared by every row: throughput plus the per-stage split.
-std::string timing_extra(const RunOut& r) {
+/// The JSON tail shared by every row: throughput, the memory columns, and
+/// the per-stage wall-clock split.
+std::string row_extra(const RunOut& r) {
   char buf[192];
   double secs = std::max(1e-9, r.wall_ms / 1e3);
   std::snprintf(buf, sizeof(buf),
@@ -50,7 +60,7 @@ std::string timing_extra(const RunOut& r) {
                 "\"merge_ms\": %.3f, \"deliver_ms\": %.3f}",
                 static_cast<double>(r.messages) / secs, r.stage_ms, r.merge_ms,
                 r.deliver_ms);
-  return buf;
+  return mem_extra(r.peak_bytes, r.allocs) + buf;
 }
 
 uint64_t stats_checksum(const NetStats& st) {
@@ -75,7 +85,7 @@ RunOut run_gossip_bench(NodeId n, uint32_t threads) {
   out.rounds = res.rounds;
   out.messages = net.stats().messages_sent;
   out.checksum = fold(stats_checksum(net.stats()), res.complete ? 1 : 0);
-  fill_timing(&out, eng);
+  fill_profiles(&out, net, eng);
   return out;
 }
 
@@ -92,7 +102,7 @@ RunOut run_bfs_bench(const Graph& g, uint32_t threads) {
     out.checksum = fold(out.checksum, res.dist[u]);
     out.checksum = fold(out.checksum, res.parent[u]);
   }
-  fill_timing(&out, *p.engine);
+  fill_profiles(&out, p.net, *p.engine);
   return out;
 }
 
@@ -107,7 +117,7 @@ RunOut run_mis_bench(const Graph& g, uint32_t threads) {
   out.checksum = stats_checksum(p.net.stats());
   for (NodeId u = 0; u < g.n(); ++u)
     out.checksum = fold(out.checksum, res.in_mis[u] ? 1 : 0);
-  fill_timing(&out, *p.engine);
+  fill_profiles(&out, p.net, *p.engine);
   return out;
 }
 
@@ -115,52 +125,61 @@ RunOut run_mis_bench(const Graph& g, uint32_t threads) {
 
 int main(int argc, char** argv) {
   BenchOpts o = parse_opts(argc, argv);
-  const NodeId n = o.quick ? 512 : 4096;
+  // Both modes sweep n beyond 512: the threading-overhead story only shows
+  // once the per-round work amortizes the wakeups. Quick mode keeps the
+  // thread sweep at {1, 2} for CI smoke runs.
+  const std::vector<NodeId> sizes{512, 4096};
   uint32_t max_threads = o.threads > 1 ? o.threads : (o.quick ? 2 : 8);
 
   std::vector<uint32_t> sweep{1};
   for (uint32_t t = 2; t <= max_threads; t *= 2) sweep.push_back(t);
 
-  Rng rng(9);
-  Graph g = gnm_graph(n, 8ull * n, rng);
-
   BenchJson json;
-  std::printf("== engine scaling at n=%u (gnm m=%llu) ==\n\n", n,
-              static_cast<unsigned long long>(g.m()));
-  Table t({"workload", "threads", "rounds", "wall ms", "msgs/sec", "speedup",
-           "identical"});
+  Table t({"workload", "n", "threads", "rounds", "wall ms", "msgs/sec",
+           "peak MB", "allocs", "speedup", "identical"});
 
-  auto sweep_workload = [&](const char* name,
-                            const std::function<RunOut(uint32_t)>& run) {
-    RunOut base;
-    for (size_t i = 0; i < sweep.size(); ++i) {
-      RunOut r = run(sweep[i]);
-      if (i == 0) base = r;
-      json.add(name, n, sweep[i], r.rounds, r.wall_ms, r.messages,
-               timing_extra(r));
-      double secs = std::max(1e-9, r.wall_ms / 1e3);
-      t.add_row({name, Table::num(uint64_t{sweep[i]}), Table::num(r.rounds),
-                 Table::num(static_cast<uint64_t>(r.wall_ms)),
-                 Table::num(static_cast<uint64_t>(
-                     static_cast<double>(r.messages) / secs)),
-                 sweep[i] == 1 ? "1.00x"
-                              : [&] {
-                                  char b[32];
-                                  std::snprintf(b, sizeof(b), "%.2fx",
-                                                base.wall_ms / std::max(0.001, r.wall_ms));
-                                  return std::string(b);
-                                }(),
-                 r.checksum == base.checksum ? "yes" : "NO"});
-    }
-  };
+  for (NodeId n : sizes) {
+    Rng rng(9);
+    Graph g = gnm_graph(n, 8ull * n, rng);
+    std::printf("== engine scaling at n=%u (gnm m=%llu) ==\n", n,
+                static_cast<unsigned long long>(g.m()));
 
-  sweep_workload("engine_gossip",
-                 [&](uint32_t th) { return run_gossip_bench(n, th); });
-  sweep_workload("engine_bfs", [&](uint32_t th) { return run_bfs_bench(g, th); });
-  sweep_workload("engine_mis", [&](uint32_t th) { return run_mis_bench(g, th); });
+    auto sweep_workload = [&](const char* name,
+                              const std::function<RunOut(uint32_t)>& run) {
+      RunOut base;
+      for (size_t i = 0; i < sweep.size(); ++i) {
+        RunOut r = run(sweep[i]);
+        if (i == 0) base = r;
+        json.add(name, n, sweep[i], r.rounds, r.wall_ms, r.messages,
+                 row_extra(r));
+        double secs = std::max(1e-9, r.wall_ms / 1e3);
+        t.add_row({name, Table::num(uint64_t{n}), Table::num(uint64_t{sweep[i]}),
+                   Table::num(r.rounds),
+                   Table::num(static_cast<uint64_t>(r.wall_ms)),
+                   Table::num(static_cast<uint64_t>(
+                       static_cast<double>(r.messages) / secs)),
+                   Table::num(static_cast<double>(r.peak_bytes) / (1024.0 * 1024.0), 1),
+                   Table::num(r.allocs),
+                   sweep[i] == 1 ? "1.00x"
+                                : [&] {
+                                    char b[32];
+                                    std::snprintf(b, sizeof(b), "%.2fx",
+                                                  base.wall_ms / std::max(0.001, r.wall_ms));
+                                    return std::string(b);
+                                  }(),
+                   r.checksum == base.checksum ? "yes" : "NO"});
+      }
+    };
+
+    sweep_workload("engine_gossip",
+                   [&](uint32_t th) { return run_gossip_bench(n, th); });
+    sweep_workload("engine_bfs", [&](uint32_t th) { return run_bfs_bench(g, th); });
+    sweep_workload("engine_mis", [&](uint32_t th) { return run_mis_bench(g, th); });
+  }
 
   t.print();
   std::printf("identical = outputs and NetStats bit-match the threads=1 run\n");
+  std::printf("peak MB = peak container capacity (network + staged buffers)\n");
   json.save(o.json.empty() ? "BENCH_engine.json" : o.json);
   return 0;
 }

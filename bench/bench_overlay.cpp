@@ -17,7 +17,9 @@
 // barrier in 2*ceil((d+1)/2)+2 rounds against the binary tree's 2d+2), all
 // through the real Shared/Network stack so barriers and injection rounds are
 // included. Emits BENCH_overlay.json: one row per (workload, overlay, n)
-// with rounds/messages/wall_ms; the row name encodes the overlay.
+// with rounds/messages/wall_ms plus the peak_bytes/allocs memory columns
+// (peak container capacity and allocation count — reproducible per row, so
+// bench_compare diffs them exactly); the row name encodes the overlay.
 #include <string>
 
 #include "bench_util.hpp"
@@ -46,6 +48,8 @@ struct Row {
   uint64_t messages = 0;
   double wall_ms = 0.0;
   uint32_t congestion = 0;
+  uint64_t peak_bytes = 0;  // peak container capacity (net + staged buffers)
+  uint64_t allocs = 0;      // capacity-growth events on the same containers
 };
 
 Row run_aggregation_workload(OverlayKind kind, NodeId n, uint32_t threads) {
@@ -65,7 +69,8 @@ Row run_aggregation_workload(OverlayKind kind, NodeId n, uint32_t threads) {
   AggregationResult res = run_aggregation(shared, net, prob, 1);
   NCC_ASSERT_MSG(res.at_target.size() == groups, "aggregation lost groups");
   return {net.stats().rounds, net.stats().messages_sent, timer.ms(),
-          res.route.congestion};
+          res.route.congestion, mem_peak_bytes(net, engine.get()),
+          mem_allocs(net, engine.get())};
 }
 
 Row run_multicast_workload(OverlayKind kind, NodeId n, uint32_t threads) {
@@ -85,7 +90,8 @@ Row run_multicast_workload(OverlayKind kind, NodeId n, uint32_t threads) {
   for (NodeId u = 0; u < n; ++u) delivered += !res.received[u].empty();
   NCC_ASSERT_MSG(delivered == n, "multicast missed members");
   return {net.stats().rounds, net.stats().messages_sent, timer.ms(),
-          setup.trees.congestion};
+          setup.trees.congestion, mem_peak_bytes(net, engine.get()),
+          mem_allocs(net, engine.get())};
 }
 
 Row run_barrier_workload(OverlayKind kind, NodeId n, uint32_t threads) {
@@ -99,7 +105,8 @@ Row run_barrier_workload(OverlayKind kind, NodeId n, uint32_t threads) {
   for (uint32_t i = 0; i < kBarriers; ++i) per_barrier = sync_barrier(topo, net);
   NCC_ASSERT_MSG(per_barrier == 2ull * topo.agg_steps() + 2,
                  "barrier schedule drifted off the tree depth");
-  return {net.stats().rounds, net.stats().messages_sent, timer.ms(), 0};
+  return {net.stats().rounds, net.stats().messages_sent, timer.ms(), 0,
+          mem_peak_bytes(net, engine.get()), mem_allocs(net, engine.get())};
 }
 
 }  // namespace
@@ -136,7 +143,8 @@ int main(int argc, char** argv) {
                    Table::num(static_cast<double>(r.rounds) / base.rounds, 2),
                    Table::num(static_cast<double>(r.messages) / base.messages, 2)});
         json.add(std::string(w.name) + "/" + overlay_name(kind), n, opts.threads,
-                 r.rounds, r.wall_ms, r.messages);
+                 r.rounds, r.wall_ms, r.messages,
+                 mem_extra(r.peak_bytes, r.allocs));
       }
     }
     t.print(std::string("== ") + w.name + " ==");

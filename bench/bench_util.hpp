@@ -108,6 +108,36 @@ inline BenchOpts parse_opts(int argc, char** argv) {
   return o;
 }
 
+/// Peak container bytes of a run: the Network's hot containers plus the
+/// engine's per-shard staged buffers (pass eng = nullptr when no engine was
+/// attached). This is the `peak_bytes` column of the bench JSON rows —
+/// observational (capacities depend on the shard layout), deterministic for a
+/// fixed (workload, n, threads), so bench_compare diffs it exactly.
+inline uint64_t mem_peak_bytes(const Network& net, const Engine* eng) {
+  uint64_t bytes = net.mem_stats().container_bytes_peak;
+  if (eng)
+    for (const EngineShardMemory& m : eng->shard_memory())
+      bytes += m.staged_bytes_peak;
+  return bytes;
+}
+
+/// Capacity-growth events on the same containers; the `allocs` column.
+inline uint64_t mem_allocs(const Network& net, const Engine* eng) {
+  uint64_t allocs = net.mem_stats().allocs;
+  if (eng)
+    for (const EngineShardMemory& m : eng->shard_memory()) allocs += m.allocs;
+  return allocs;
+}
+
+/// JSON tail for the memory columns, spliced into a BenchJson row.
+inline std::string mem_extra(uint64_t peak_bytes, uint64_t allocs) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ", \"peak_bytes\": %llu, \"allocs\": %llu",
+                static_cast<unsigned long long>(peak_bytes),
+                static_cast<unsigned long long>(allocs));
+  return buf;
+}
+
 /// Wall-clock stopwatch for the speedup rows.
 struct WallTimer {
   std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();

@@ -1,10 +1,12 @@
 # ctest acceptance check for the observability layer: with --no-timing, both
-# the scenario JSON (now carrying the deterministic "spans"/"congestion"
+# the scenario JSON (carrying the deterministic "spans"/"congestion"/"flows"
 # sections) and the Chrome trace-event file from `ncc_run --trace` must be
-# byte-identical at --threads 1 and --threads 8 — spans and congestion
-# counters are derived only from rounds + NetStats + delivered inboxes, all
-# thread-count invariant. The trace file must also pass trace_check
-# (well-formed, monotonic per-track timestamps).
+# byte-identical at --threads 1 and --threads 8 — spans, congestion counters,
+# live-message-bytes counters, and sampled token flows are derived only from
+# rounds + NetStats + the sequential deposit/arrive order, all thread-count
+# invariant. The trace file must also pass trace_check, which additionally
+# asserts the memory counter track and at least one sampled flow exist
+# (--require-memory/--require-flows) with matched flow begin/end ids.
 #
 #   cmake -DNCC_RUN=<path> -DTRACE_CHECK=<path> -DSCEN_DIR=<path>
 #         -DOUT_DIR=<path> -P trace_determinism.cmake
@@ -39,7 +41,8 @@ foreach(file scen_trace trace)
 endforeach()
 
 execute_process(
-  COMMAND ${TRACE_CHECK} ${OUT_DIR}/trace_t1.json
+  COMMAND ${TRACE_CHECK} --require-flows --require-memory
+          ${OUT_DIR}/trace_t1.json
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "trace_check rejected the emitted trace file")

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <unordered_map>
@@ -25,11 +26,16 @@ std::unordered_map<const Network*, Engine*>& registry() {
 
 class BufferSink final : public MsgSink {
  public:
-  explicit BufferSink(std::vector<Message>* buf) : buf_(buf) {}
-  void send(const Message& msg) override { buf_->push_back(msg); }
+  BufferSink(std::vector<Message>* buf, EngineShardMemory* mem)
+      : buf_(buf), mem_(mem) {}
+  void send(const Message& msg) override {
+    if (buf_->size() == buf_->capacity()) ++mem_->allocs;
+    buf_->push_back(msg);
+  }
 
  private:
   std::vector<Message>* buf_;
+  EngineShardMemory* mem_;
 };
 
 class DirectSink final : public MsgSink {
@@ -47,6 +53,7 @@ Engine::Engine(Network& net, EngineConfig cfg)
     : net_(net), cfg_(cfg), pool_(cfg.threads) {
   staged_.resize(pool_.threads());
   timing_.resize(pool_.threads());
+  memory_.resize(pool_.threads());
   {
     std::lock_guard<std::mutex> lk(g_registry_mu);
     auto [it, fresh] = registry().emplace(&net_, this);
@@ -106,11 +113,15 @@ void Engine::send_loop(uint64_t count,
   if (count == 0) return;
   run_shards(plan.shards, [&](uint32_t s) {
     uint64_t t0 = now_ns();
-    BufferSink sink(&staged_[s]);
+    BufferSink sink(&staged_[s], &memory_[s]);
     for (uint64_t i = plan.begin(s); i < plan.end(s); ++i) step(i, sink);
     EngineShardTiming& tm = timing_[s];
     tm.stage_ns += now_ns() - t0;
     ++tm.loops;
+    EngineShardMemory& mm = memory_[s];
+    mm.staged_msgs_peak = std::max<uint64_t>(mm.staged_msgs_peak, staged_[s].size());
+    mm.staged_bytes_peak = std::max<uint64_t>(
+        mm.staged_bytes_peak, staged_[s].capacity() * sizeof(Message));
   });
   // Merge in shard order == global item order; send_bulk keeps the strict
   // send accounting on the caller thread and hands each shard buffer over in
@@ -125,6 +136,7 @@ void Engine::send_loop(uint64_t count,
 
 void Engine::reset_timing() {
   timing_.assign(pool_.threads(), EngineShardTiming{});
+  memory_.assign(pool_.threads(), EngineShardMemory{});
 }
 
 uint32_t engine_shards(const Network& net) {

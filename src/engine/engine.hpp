@@ -43,6 +43,17 @@ struct EngineShardTiming {
   uint64_t deliveries = 0;  // parallel delivery tasks timed on this shard
 };
 
+/// Memory profile of one shard's staged send buffer, accumulated like
+/// EngineShardTiming. Capacities and allocation counts depend on the shard
+/// layout and buffer-reuse history, so — like wall-clock — they are strictly
+/// observational and never reach determinism-compared bytes (emitters gate
+/// them behind the memory flag, see obs::MemoryMonitor).
+struct EngineShardMemory {
+  uint64_t staged_msgs_peak = 0;   // max messages staged in one send_loop
+  uint64_t staged_bytes_peak = 0;  // peak capacity bytes of the staged buffer
+  uint64_t allocs = 0;             // staged-buffer capacity-growth events
+};
+
 struct EngineConfig {
   /// Total parallelism including the calling thread; 0 = hardware threads.
   uint32_t threads = 1;
@@ -105,6 +116,10 @@ class Engine {
   /// stage/deliver slots are only ever written by the worker running that
   /// shard, so reading between rounds is race-free.
   const std::vector<EngineShardTiming>& shard_timing() const { return timing_; }
+  /// Per-shard staged-buffer memory profile; same write discipline (each
+  /// slot only written by the worker running that shard).
+  const std::vector<EngineShardMemory>& shard_memory() const { return memory_; }
+  /// Clears both the timing and the memory profiles.
   void reset_timing();
 
  private:
@@ -113,6 +128,7 @@ class Engine {
   ThreadPool pool_;
   std::vector<std::vector<Message>> staged_;  // one buffer per shard
   std::vector<EngineShardTiming> timing_;     // one profile per shard
+  std::vector<EngineShardMemory> memory_;     // one memory profile per shard
 };
 
 /// Helpers for primitives/ and core/: route the loop through `net`'s

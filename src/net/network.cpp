@@ -28,16 +28,25 @@ void Network::send(const Message& msg) {
     ++stats_.send_violations;
   }
   ++stats_.messages_sent;
+  if (pending_.size() == pending_.capacity()) ++mem_.allocs;
   pending_.push_back(msg);
 }
 
 void Network::send_bulk(std::span<const Message> msgs) {
+  if (pending_.size() + msgs.size() > pending_.capacity()) ++mem_.allocs;
   pending_.reserve(pending_.size() + msgs.size());
   for (const Message& m : msgs) send(m);
 }
 
 void Network::end_round() {
   const NodeId n = config_.n;
+
+  // Live-message accounting at the pre-fault snapshot: what was sent this
+  // round, a thread-count-invariant quantity (see NetMemStats).
+  if (pending_.size() > mem_.live_msgs_peak) {
+    mem_.live_msgs_peak = pending_.size();
+    mem_.live_bytes_peak = pending_.size() * sizeof(Message);
+  }
 
   // Fault injection runs before delivery is sharded: the pending order is
   // thread-count independent, so decisions keyed on (round, index) are too.
@@ -77,19 +86,25 @@ void Network::end_round() {
   // higher rows untouched and unread.
   if (S > 1) {
     scatter_.resize(static_cast<size_t>(S) * S);
+    std::vector<uint64_t> scatter_allocs(chunks.shards, 0);
     hooks_.parallel(chunks.shards, [&](uint32_t p) {
       for (uint32_t s = 0; s < S; ++s) scatter_[static_cast<size_t>(p) * S + s].clear();
       for (uint64_t i = chunks.begin(p); i < chunks.end(p); ++i) {
         const Message& m = pending_[i];
-        scatter_[static_cast<size_t>(p) * S + nodes.shard_of(m.dst)].push_back(m);
+        auto& row = scatter_[static_cast<size_t>(p) * S + nodes.shard_of(m.dst)];
+        if (row.size() == row.capacity()) ++scatter_allocs[p];
+        row.push_back(m);
       }
     });
+    for (uint64_t a : scatter_allocs) mem_.allocs += a;
   }
 
   struct ShardAcc {
     uint32_t max_send = 0;
     uint32_t max_recv = 0;
     uint64_t dropped = 0;
+    uint64_t allocs = 0;          // inbox capacity-growth events
+    uint64_t inbox_cap_bytes = 0; // post-delivery inbox capacity footprint
   };
   std::vector<ShardAcc> acc(S);
   const uint64_t round = stats_.rounds;
@@ -112,6 +127,7 @@ void Network::end_round() {
       auto& box = inboxes_[m.dst];
       uint32_t k = recv_seen_[m.dst]++;
       if (box.size() < rcap) {
+        if (box.size() == box.capacity()) ++a.allocs;
         box.push_back(m);
       } else {
         // Reservoir over arrival order: replace a random survivor with
@@ -134,6 +150,7 @@ void Network::end_round() {
     for (NodeId u = lo; u < hi; ++u) {
       a.max_recv = std::max(a.max_recv, recv_seen_[u]);
       if (recv_seen_[u] > rcap) a.dropped += recv_seen_[u] - rcap;
+      a.inbox_cap_bytes += inboxes_[u].capacity() * sizeof(Message);
     }
   };
   if (S > 1) {
@@ -142,11 +159,16 @@ void Network::end_round() {
     run_shard(0);
   }
 
+  uint64_t container_bytes = pending_.capacity() * sizeof(Message);
+  for (const auto& row : scatter_) container_bytes += row.capacity() * sizeof(Message);
   for (const ShardAcc& a : acc) {
     stats_.max_send_load = std::max(stats_.max_send_load, a.max_send);
     stats_.max_recv_load = std::max(stats_.max_recv_load, a.max_recv);
     stats_.messages_dropped += a.dropped;
+    mem_.allocs += a.allocs;
+    container_bytes += a.inbox_cap_bytes;
   }
+  mem_.container_bytes_peak = std::max(mem_.container_bytes_peak, container_bytes);
   if (!delivery_hooks_.empty()) {
     // Every subscriber sees the identical stream: (destination, arrival)
     // order, and within one message the subscribers run in subscription
@@ -190,6 +212,7 @@ void Network::charge_rounds(uint64_t k) { stats_.charged_rounds += k; }
 
 void Network::reset_stats() {
   stats_ = NetStats{};
+  mem_ = NetMemStats{};
   pending_.clear();
   std::fill(send_count_.begin(), send_count_.end(), 0);
   std::fill(recv_seen_.begin(), recv_seen_.end(), 0);

@@ -55,6 +55,23 @@ struct NetStats {
   uint64_t total_rounds() const { return rounds + charged_rounds; }
 };
 
+/// Memory-accounting counters for the network's hot containers (pending
+/// buffer, per-node inboxes, scatter staging). Split by determinism class:
+/// the live-message peaks are derived from per-round message counts and are
+/// thread-count invariant; the capacity/allocation counters depend on the
+/// shard layout and buffer-reuse history, so — like wall-clock — they are
+/// observational only and must never reach determinism-compared bytes
+/// (emitters gate them behind the memory flag, see obs::MemoryMonitor).
+struct NetMemStats {
+  // Thread-count invariant (message counts are part of the determinism
+  // contract; sizeof(Message) is a constant).
+  uint64_t live_msgs_peak = 0;   // max messages in flight in any one round
+  uint64_t live_bytes_peak = 0;  // live_msgs_peak in message bytes
+  // Observational only: capacity footprint + allocation counts.
+  uint64_t container_bytes_peak = 0;  // peak capacity bytes across hot containers
+  uint64_t allocs = 0;                // capacity-growth events on hot containers
+};
+
 /// Execution hooks installed by an attached engine. The network itself stays
 /// engine-agnostic: `parallel(tasks, fn)` must run fn(0..tasks-1) to
 /// completion (any interleaving — the delivery algorithm is shard-order
@@ -127,6 +144,10 @@ class Network {
 
   uint64_t rounds() const { return stats_.rounds; }
   const NetStats& stats() const { return stats_; }
+  /// Memory-accounting counters (always maintained — a handful of compares
+  /// per round — but only *emitted* behind the memory flag; see NetMemStats
+  /// for the determinism split).
+  const NetMemStats& mem_stats() const { return mem_; }
 
   /// Observer subscription handle (add_*_hook); 0 is never issued.
   using HookId = uint64_t;
@@ -189,6 +210,7 @@ class Network {
   uint32_t cap_;
   uint64_t drop_seed_;  // forked per (round, dst) for the drop subsets
   NetStats stats_;
+  NetMemStats mem_;
   NetExecHooks hooks_;
   FaultHooks faults_;
   std::vector<Message> pending_;               // sent this round

@@ -1,0 +1,137 @@
+#include "obs/bench_diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace ncc::obs {
+
+namespace {
+
+// Deterministic counters: exact match required.
+constexpr const char* kHardMetrics[] = {"rounds", "messages", "peak_bytes",
+                                        "allocs"};
+// Machine-noise metrics: warn beyond the relative tolerance.
+constexpr const char* kSoftMetrics[] = {"wall_ms", "msgs_per_sec"};
+
+std::string row_key(const JsonValue& row) {
+  const JsonValue* bench = row.find("bench");
+  const JsonValue* n = row.find("n");
+  const JsonValue* threads = row.find("threads");
+  std::string key = bench && bench->is_string() ? bench->string : "?";
+  key += " n=";
+  key += n && n->is_number() ? std::to_string(static_cast<uint64_t>(n->number))
+                             : "?";
+  key += " threads=";
+  key += threads && threads->is_number()
+             ? std::to_string(static_cast<uint64_t>(threads->number))
+             : "?";
+  return key;
+}
+
+double rel_drift(double base, double fresh) {
+  if (base == 0.0) return fresh == 0.0 ? 0.0 : 1.0;
+  return std::fabs(fresh - base) / std::fabs(base);
+}
+
+}  // namespace
+
+BenchDiffResult diff_bench(const JsonValue& baseline, const JsonValue& fresh,
+                           const BenchDiffPolicy& policy) {
+  BenchDiffResult out;
+  auto issue = [&](BenchDiffIssue::Severity sev, const std::string& row,
+                   const std::string& metric, double b, double f,
+                   const std::string& note) {
+    out.issues.push_back(BenchDiffIssue{sev, row, metric, b, f, note});
+  };
+
+  if (!baseline.is_array() || !fresh.is_array()) {
+    issue(BenchDiffIssue::Severity::Fail, "", "",
+          0, 0, "bench documents must be JSON arrays of row objects");
+    return out;
+  }
+
+  // std::map keeps report order stable (sorted by key) regardless of row
+  // order in either file.
+  std::map<std::string, const JsonValue*> fresh_rows;
+  for (const JsonValue& row : fresh.array)
+    if (row.is_object()) fresh_rows[row_key(row)] = &row;
+
+  std::map<std::string, const JsonValue*> base_rows;
+  for (const JsonValue& row : baseline.array)
+    if (row.is_object()) base_rows[row_key(row)] = &row;
+
+  for (const auto& [key, brow] : base_rows) {
+    auto fit = fresh_rows.find(key);
+    if (fit == fresh_rows.end()) {
+      issue(BenchDiffIssue::Severity::Fail, key, "", 0, 0,
+            "baseline row missing from fresh run (sweep shrank?)");
+      continue;
+    }
+    const JsonValue& frow = *fit->second;
+    ++out.rows_compared;
+
+    for (const char* m : kHardMetrics) {
+      const JsonValue* bv = brow->find(m);
+      const JsonValue* fv = frow.find(m);
+      if (!bv || !bv->is_number()) continue;  // metric not in baseline yet
+      if (!fv || !fv->is_number()) {
+        issue(BenchDiffIssue::Severity::Warn, key, m, bv->number, 0,
+              "metric present in baseline but missing from fresh row");
+        continue;
+      }
+      if (bv->number != fv->number)
+        issue(BenchDiffIssue::Severity::Fail, key, m, bv->number, fv->number,
+              "deterministic counter drifted — behavioural change, "
+              "explain it and recommit the baseline");
+    }
+
+    for (const char* m : kSoftMetrics) {
+      const JsonValue* bv = brow->find(m);
+      const JsonValue* fv = frow.find(m);
+      if (!bv || !bv->is_number() || !fv || !fv->is_number()) continue;
+      double drift = rel_drift(bv->number, fv->number);
+      if (drift > policy.soft_tolerance)
+        issue(BenchDiffIssue::Severity::Warn, key, m, bv->number, fv->number,
+              "wall-clock drift beyond tolerance (noisy metric, warn only)");
+    }
+  }
+
+  for (const auto& [key, frow] : fresh_rows) {
+    (void)frow;
+    if (!base_rows.count(key))
+      issue(BenchDiffIssue::Severity::Warn, key, "", 0, 0,
+            "fresh row has no baseline (sweep grew — recommit baseline)");
+  }
+
+  return out;
+}
+
+std::string render_report(const BenchDiffResult& result) {
+  std::string rep;
+  char buf[512];
+  for (const BenchDiffIssue& i : result.issues) {
+    const char* sev =
+        i.severity == BenchDiffIssue::Severity::Fail ? "FAIL" : "warn";
+    if (i.metric.empty()) {
+      std::snprintf(buf, sizeof(buf), "%s [%s] %s\n", sev, i.row.c_str(),
+                    i.note.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%s [%s] %s: baseline %.3f -> fresh %.3f (%s)\n", sev,
+                    i.row.c_str(), i.metric.c_str(), i.baseline, i.fresh,
+                    i.note.c_str());
+    }
+    rep += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%s: %zu rows compared, %zu issues (%s)\n",
+                result.failed() ? "FAIL" : "PASS", result.rows_compared,
+                result.issues.size(),
+                result.failed() ? "deterministic counters drifted"
+                                : "no hard regressions");
+  rep += buf;
+  return rep;
+}
+
+}  // namespace ncc::obs

@@ -6,6 +6,8 @@ namespace {
 
 constexpr uint64_t kPhaseTid = 1;
 constexpr uint64_t kCounterTid = 2;
+constexpr uint64_t kMemoryTid = 3;
+constexpr uint64_t kFlowTidBase = 10;  // + flow id; flows are capped well below 90
 constexpr uint64_t kShardTidBase = 100;
 
 void write_event_head(JsonWriter& w, const char* ph, uint64_t pid, uint64_t tid,
@@ -37,6 +39,12 @@ void write_cell(JsonWriter& w, const TraceCell& cell, uint64_t pid,
   write_metadata(w, pid, kPhaseTid, "thread_name", "phases");
   if (!cell.max_in_degree.empty())
     write_metadata(w, pid, kCounterTid, "thread_name", "congestion");
+  if (!cell.live_bytes.empty())
+    write_metadata(w, pid, kMemoryTid, "thread_name", "memory");
+  for (const SampledFlow& f : cell.flows)
+    write_metadata(w, pid, kFlowTidBase + f.id, "thread_name",
+                   "flow g" + std::to_string(f.group) +
+                       (f.up ? " up" : " down"));
 
   // Phase spans: complete events in begin order (ts is nondecreasing, which
   // the trace checker asserts per track). Nesting renders automatically from
@@ -69,6 +77,57 @@ void write_cell(JsonWriter& w, const TraceCell& cell, uint64_t pid,
     w.kv("value", cell.max_in_degree[r]);
     w.end_object();
     w.end_object();
+  }
+
+  // Per-round live-message-bytes memory counter. Like the congestion track
+  // this is deterministic (message counts are part of the engine contract),
+  // so it stays in the byte-compared trace.
+  for (size_t r = 0; r < cell.live_bytes.size(); ++r) {
+    w.begin_object();
+    write_event_head(w, "C", pid, kMemoryTid, "live_msg_bytes",
+                     static_cast<uint64_t>(r) * kTraceRoundUs);
+    w.key("args");
+    w.begin_object();
+    w.kv("value", cell.live_bytes[r]);
+    w.end_object();
+    w.end_object();
+  }
+
+  // Sampled token flows: each flow gets its own track (different flows
+  // overlap in time, so sharing one track would break per-track ts
+  // monotonicity), carrying one short slice per hop chained by flow events
+  // ("s" at the first hop, "t" between, "f" at the last) that share the
+  // flow's id — in the Perfetto UI the journey renders as arrows between
+  // the hop slices. Hops are recorded in execution order, so within one
+  // flow rounds never decrease. Single-hop flows get their slice but no
+  // arrows (a flow chain needs both ends), which keeps begin/end ids
+  // matched — the invariant trace_check enforces.
+  for (const SampledFlow& f : cell.flows) {
+    std::string label = "g" + std::to_string(f.group) +
+                        (f.up ? " up" : " down");
+    for (size_t h = 0; h < f.hops.size(); ++h) {
+      const FlowHop& hop = f.hops[h];
+      uint64_t ts = hop.round * kTraceRoundUs;
+      w.begin_object();
+      write_event_head(w, "X", pid, kFlowTidBase + f.id,
+                       label + " L" + std::to_string(hop.level), ts);
+      w.kv("dur", kTraceRoundUs / 2);
+      w.key("args");
+      w.begin_object();
+      w.kv("level", static_cast<uint64_t>(hop.level));
+      w.kv("edge", static_cast<uint64_t>(hop.edge));
+      w.kv("host", static_cast<uint64_t>(hop.host));
+      w.end_object();
+      w.end_object();
+      if (f.hops.size() < 2) continue;
+      const char* ph = h == 0 ? "s" : (h + 1 == f.hops.size() ? "f" : "t");
+      w.begin_object();
+      write_event_head(w, ph, pid, kFlowTidBase + f.id, label, ts);
+      w.kv("cat", "flow");
+      w.kv("id", f.id);
+      if (ph[0] == 'f') w.kv("bp", "e");  // bind the end to the enclosing slice
+      w.end_object();
+    }
   }
 
   // Wall-clock shard profiles: three back-to-back duration events per shard

@@ -5,17 +5,21 @@
 //
 // Mapping: each scenario run (one sweep cell, or the single run of flat
 // mode) becomes one *process*; inside it, track (tid) 1 carries the phase
-// spans as duration ("ph":"X") events, track 2 carries per-round counters
-// ("ph":"C"), and tracks 100+s carry shard s's wall-clock stage/merge/
+// spans as duration ("ph":"X") events, track 2 carries the per-round
+// congestion counter ("ph":"C"), track 3 the per-round live-message-bytes
+// memory counter, tracks 10+id each carry one sampled token flow (hop
+// slices chained by flow events "s"/"t"/"f" sharing the flow's id — one
+// track per flow keeps per-track timestamps monotonic, since different
+// flows overlap in time), and tracks 100+s carry shard s's wall-clock stage/merge/
 // deliver profile. The simulated round clock is mapped to trace time at
 // 1 round = 1000 microseconds, so span durations read directly as round
 // counts in the UI.
 //
 // Determinism: with include_timing=false the emitted bytes are a pure
-// function of spans + counters (both thread-count invariant), so the trace
-// file is byte-identical at threads=1 vs threads=T — the trace_determinism
-// check compares exactly that. Wall-clock shard tracks only appear with
-// include_timing=true.
+// function of spans + counters + live bytes + sampled flows (all
+// thread-count invariant), so the trace file is byte-identical at threads=1
+// vs threads=T — the trace_determinism check compares exactly that.
+// Wall-clock shard tracks only appear with include_timing=true.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "obs/flow.hpp"
 #include "obs/json.hpp"
 #include "obs/tracer.hpp"
 
@@ -34,6 +39,8 @@ struct TraceCell {
   uint64_t rounds = 0;                 // total simulated rounds
   std::vector<SpanRecord> spans;       // phase spans, in begin order
   std::vector<uint32_t> max_in_degree; // per-round congestion counter (may be capped)
+  std::vector<uint64_t> live_bytes;    // per-round live message bytes (deterministic)
+  std::vector<SampledFlow> flows;      // sampled token journeys (deterministic)
   std::vector<EngineShardTiming> shard_timing;  // empty when no engine attached
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "engine/engine.hpp"
+#include "obs/flow.hpp"
 #include "obs/tracer.hpp"
 
 namespace ncc {
@@ -136,6 +137,9 @@ DownResult route_down(const Overlay& topo, Network& net,
                       const std::function<uint64_t(uint64_t)>& rank,
                       const CombineFn& combine, MulticastTrees* record) {
   obs::Span span(net, "route.down");
+  // Cached once: deposits run only on the caller thread, in deterministic
+  // merge order, so hops recorded here are thread-count invariant.
+  obs::FlowSampler* flows = obs::FlowSampler::of(net);
   const uint32_t F = topo.levels() - 1;  // final routing level
   const NodeId cols = topo.columns();
   NCC_ASSERT(at_col.size() == cols);
@@ -177,6 +181,11 @@ DownResult route_down(const Overlay& topo, Network& net,
     congestion.visit(topo.overlay_node(level, col), group);
     group_meta(group);
     ++progress;
+    if (flows)
+      flows->record_hop(
+          group, /*up=*/false, level,
+          level == F ? 0 : topo.route_edge(level, col, group_meta(group).first),
+          topo.host(col), net.rounds());
     if (level == F) {
       // A reliable network never misroutes (the destination-driven descent
       // ends at the group's root column), so there a mismatch is still a hard
@@ -437,6 +446,8 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
                   const std::unordered_map<uint64_t, Val>& payloads,
                   const std::function<uint64_t(uint64_t)>& rank) {
   obs::Span span(net, "route.up");
+  // Same caller-thread determinism argument as route_down's sampler use.
+  obs::FlowSampler* flows = obs::FlowSampler::of(net);
   const uint32_t F = topo.levels() - 1;
   const NodeId cols = topo.columns();
   NCC_ASSERT(trees.levels == topo.levels());
@@ -475,6 +486,9 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
     uint64_t idx = topo.index(level, col);
     group_rank(group);
     ++progress;
+    if (flows)
+      flows->record_hop(group, /*up=*/true, level, 0, topo.host(col),
+                        net.rounds());
     if (level == 0) {
       result.at_col[col].push_back({group, v});
       return;

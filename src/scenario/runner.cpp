@@ -7,6 +7,8 @@
 
 #include "engine/engine.hpp"
 #include "obs/congestion.hpp"
+#include "obs/flow.hpp"
+#include "obs/memory.hpp"
 #include "obs/tracer.hpp"
 #include "scenario/faults.hpp"
 #include "scenario/metrics.hpp"
@@ -113,9 +115,13 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   bool want_obs = opts.build_json || opts.collect_trace;
   std::optional<obs::Tracer> tracer;
   std::optional<obs::CongestionMonitor> congestion;
+  std::optional<obs::MemoryMonitor> memmon;
+  std::optional<obs::FlowSampler> flowsamp;
   if (want_obs) {
     tracer.emplace(net);
     congestion.emplace(net, opts.max_series_rounds);
+    memmon.emplace(net, opts.max_series_rounds);
+    flowsamp.emplace(net, spec.seed);
   }
 
   ScenarioRunResult result;
@@ -143,6 +149,10 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   out.corrupted = st.corrupted;
   out.crashed = faults.crashed_count();
   out.failed = verdict_failed(out.expect, out);
+  if (memmon) {
+    out.peak_live_bytes = memmon->peak_live_bytes();
+    out.allocs = memmon->total_allocs();
+  }
   if (opts.collect_trace && tracer) {
     std::ostringstream label;
     label << spec.name << " " << spec.algorithm << " "
@@ -152,6 +162,8 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     out.trace.rounds = st.rounds;
     out.trace.spans = tracer->spans();
     out.trace.max_in_degree = congestion->max_in_degree_series();
+    out.trace.live_bytes = memmon->live_bytes_series();
+    out.trace.flows = flowsamp->flows();
     if (engine) out.trace.shard_timing = engine->shard_timing();
   }
   if (!opts.build_json) return out;
@@ -186,12 +198,23 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   tracer->write_json(w);
   w.key("congestion");
   congestion->write_json(w);
+  // Sampled token flows are thread-count invariant (hops are recorded at the
+  // router's sequential deposit/arrive points), so — unlike timing/memory —
+  // the section lives inside the determinism-compared bytes.
+  w.key("flows");
+  flowsamp->write_json(w);
+  // The non-deterministic sections always trail, timing before memory, so
+  // byte-segregation tests can truncate the document at the first gated key.
   if (opts.timing) {
     w.key("timing");
     w.begin_object();
     w.kv("wall_ms", out.wall_ms);
     w.kv("threads", threads);
     w.end_object();
+  }
+  if (opts.memory) {
+    w.key("memory");
+    memmon->write_json(w);
   }
   w.end_object();
   out.json = w.str();

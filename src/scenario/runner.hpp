@@ -2,11 +2,15 @@
 // (engine threads, fault injection, metrics), dispatches to the algorithm
 // registry, and renders the machine-readable result object.
 //
-// The emitted JSON is a pure function of (spec, seed) when `timing` is off:
-// the determinism acceptance check compares the bytes of threads=1 vs
-// threads=8 runs. With `timing` on, a trailing "timing" section adds
-// wall-clock and thread count (excluded from the determinism contract, since
-// wall time is inherently non-reproducible).
+// The emitted JSON is a pure function of (spec, seed) when `timing` and
+// `memory` are off: the determinism acceptance check compares the bytes of
+// threads=1 vs threads=8 runs. With `timing` on, a trailing "timing" section
+// adds wall-clock and thread count; with `memory` on, a trailing "memory"
+// section adds container capacities and allocation counts. Both are excluded
+// from the determinism contract (wall time is non-reproducible, capacities
+// depend on the shard layout); the deterministic halves of observability —
+// spans, congestion, sampled flows, per-round live bytes — stay in the
+// compared bytes.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,10 @@ struct RunOptions {
   uint32_t threads_override = 0;
   /// Emit the non-deterministic "timing" section (wall_ms, threads).
   bool timing = true;
+  /// Emit the non-deterministic "memory" section (container capacities and
+  /// allocation counts; see obs::MemoryMonitor). Off by default — like
+  /// timing it must never reach determinism-compared bytes.
+  bool memory = false;
   /// Cap on the per-round series length in the JSON.
   size_t max_series_rounds = 512;
   /// Assemble the full per-run JSON document. The sweep driver turns this
@@ -52,6 +60,12 @@ struct ScenarioOutcome {
   uint64_t corrupted = 0;  // payloads mutated by byzantine fault injection
   uint32_t crashed = 0;
   double wall_ms = 0.0;
+  /// Deterministic: max bytes of messages in flight in any one round (0 when
+  /// observability was off for this run).
+  uint64_t peak_live_bytes = 0;
+  /// Observational: allocation count on network/engine hot containers —
+  /// display-only, never in determinism-compared bytes.
+  uint64_t allocs = 0;
   std::string json;  // one JSON object describing the run
   /// Trace-export payload; populated only when RunOptions::collect_trace.
   obs::TraceCell trace;

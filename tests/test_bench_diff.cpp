@@ -1,0 +1,137 @@
+// Perf-regression ledger tests: the bench_compare policy as a library.
+// Deterministic counters (rounds, messages, peak_bytes, allocs) must fail on
+// any drift — including the acceptance scenario, an injected >20%
+// message-count regression — while wall-clock metrics only warn, and row-set
+// changes fail (shrank) or warn (grew).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_diff.hpp"
+#include "obs/json_check.hpp"
+
+using namespace ncc::obs;
+
+namespace {
+
+JsonValue parse(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(json_parse(text, &v, &err)) << err;
+  return v;
+}
+
+std::string row(const char* bench, int n, int threads, uint64_t rounds,
+                uint64_t messages, double wall_ms, uint64_t peak_bytes,
+                uint64_t allocs) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\": \"%s\", \"n\": %d, \"threads\": %d, "
+                "\"rounds\": %llu, \"wall_ms\": %.3f, \"messages\": %llu, "
+                "\"peak_bytes\": %llu, \"allocs\": %llu}",
+                bench, n, threads, static_cast<unsigned long long>(rounds),
+                wall_ms, static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(peak_bytes),
+                static_cast<unsigned long long>(allocs));
+  return buf;
+}
+
+uint64_t count_fails(const BenchDiffResult& r) {
+  uint64_t fails = 0;
+  for (const BenchDiffIssue& i : r.issues)
+    fails += i.severity == BenchDiffIssue::Severity::Fail;
+  return fails;
+}
+
+}  // namespace
+
+TEST(BenchDiff, IdenticalDocumentsPass) {
+  std::string doc = "[" + row("engine_bfs", 512, 1, 2297, 210034, 70.9, 1u << 20, 42) +
+                    "," + row("engine_bfs", 512, 2, 2297, 210034, 78.5, 1u << 21, 57) +
+                    "]";
+  auto base = parse(doc);
+  BenchDiffResult r = diff_bench(base, base);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.rows_compared, 2u);
+  EXPECT_TRUE(r.issues.empty());
+}
+
+TEST(BenchDiff, InjectedMessageRegressionFails) {
+  // The acceptance scenario: a fresh run sending >20% more messages than the
+  // committed baseline must exit non-zero. Message counts are deterministic,
+  // so ANY drift fails — 25% is well past every threshold.
+  auto base = parse("[" + row("engine_bfs", 512, 1, 2297, 200000, 70.9, 1000, 42) + "]");
+  auto fresh = parse("[" + row("engine_bfs", 512, 1, 2297, 250000, 70.9, 1000, 42) + "]");
+  BenchDiffResult r = diff_bench(base, fresh);
+  EXPECT_TRUE(r.failed());
+  ASSERT_EQ(count_fails(r), 1u);
+  EXPECT_EQ(r.issues[0].metric, "messages");
+  EXPECT_NE(render_report(r).find("FAIL"), std::string::npos);
+}
+
+TEST(BenchDiff, HardCountersFailOnAnyDrift) {
+  auto base = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "]");
+  struct Case {
+    const char* metric;
+    std::string fresh_row;
+  } cases[] = {
+      {"rounds", row("b", 64, 1, 101, 5000, 1.0, 4096, 7)},
+      {"messages", row("b", 64, 1, 100, 5001, 1.0, 4096, 7)},
+      {"peak_bytes", row("b", 64, 1, 100, 5000, 1.0, 8192, 7)},
+      {"allocs", row("b", 64, 1, 100, 5000, 1.0, 4096, 8)},
+  };
+  for (const Case& c : cases) {
+    auto fresh = parse("[" + c.fresh_row + "]");
+    BenchDiffResult r = diff_bench(base, fresh);
+    EXPECT_TRUE(r.failed()) << c.metric;
+    ASSERT_EQ(count_fails(r), 1u) << c.metric;
+    EXPECT_EQ(r.issues[0].metric, c.metric);
+  }
+}
+
+TEST(BenchDiff, WallClockDriftOnlyWarns) {
+  auto base = parse("[" + row("b", 64, 1, 100, 5000, 10.0, 4096, 7) + "]");
+  auto fresh = parse("[" + row("b", 64, 1, 100, 5000, 19.0, 4096, 7) + "]");
+  BenchDiffResult r = diff_bench(base, fresh);
+  EXPECT_FALSE(r.failed());  // 90% slower: warn, never fail
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].severity, BenchDiffIssue::Severity::Warn);
+  EXPECT_EQ(r.issues[0].metric, "wall_ms");
+
+  // Within tolerance: silent.
+  auto close_doc = parse("[" + row("b", 64, 1, 100, 5000, 11.0, 4096, 7) + "]");
+  EXPECT_TRUE(diff_bench(base, close_doc).issues.empty());
+}
+
+TEST(BenchDiff, RowSetChanges) {
+  auto base = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "," +
+                    row("b", 64, 2, 100, 5000, 1.0, 4096, 9) + "]");
+  // Fresh lost the threads=2 row -> FAIL; gained a threads=4 row -> warn.
+  auto fresh = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "," +
+                     row("b", 64, 4, 100, 5000, 1.0, 4096, 11) + "]");
+  BenchDiffResult r = diff_bench(base, fresh);
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(count_fails(r), 1u);
+  EXPECT_EQ(r.issues.size(), 2u);
+}
+
+TEST(BenchDiff, MetricMissingFromFreshWarns) {
+  // Baseline carries the new memory columns, fresh was built by an older
+  // binary: downgrade to a warning instead of failing the gate on absence.
+  auto base = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "]");
+  auto fresh = parse(
+      "[{\"bench\": \"b\", \"n\": 64, \"threads\": 1, \"rounds\": 100, "
+      "\"wall_ms\": 1.0, \"messages\": 5000}]");
+  BenchDiffResult r = diff_bench(base, fresh);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.issues.size(), 2u);  // peak_bytes + allocs missing
+}
+
+TEST(BenchDiff, MalformedDocumentsFail) {
+  auto arr = parse("[]");
+  auto obj = parse("{\"not\": \"an array\"}");
+  EXPECT_TRUE(diff_bench(obj, arr).failed());
+  EXPECT_TRUE(diff_bench(arr, obj).failed());
+  // Two empty arrays: nothing to compare, nothing failed.
+  EXPECT_FALSE(diff_bench(arr, arr).failed());
+}

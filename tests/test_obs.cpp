@@ -13,7 +13,9 @@
 #include "engine/engine.hpp"
 #include "net/trace.hpp"
 #include "obs/congestion.hpp"
+#include "obs/flow.hpp"
 #include "obs/json_check.hpp"
+#include "obs/memory.hpp"
 #include "obs/trace_export.hpp"
 #include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
@@ -391,6 +393,198 @@ TEST(JsonCheck, ParsesGoodAndRejectsBadDocuments) {
         "{\"a\":1} trailing", "[01x]"}) {
     EXPECT_FALSE(obs::json_parse(bad, &v, &err)) << "accepted: " << bad;
   }
+}
+
+TEST(Memory, MonitorTracksLiveBytesAndContainerFootprint) {
+  Network net = make_net(8);
+  obs::MemoryMonitor mon(net);
+  // Round 0: 3 messages in flight; round 1: 1; round 2: none.
+  for (NodeId s = 1; s < 4; ++s) net.send(s, 0, 0x1, {s});
+  net.end_round();
+  net.send(1, 0, 0x1, {9});
+  net.end_round();
+  net.end_round();
+
+  EXPECT_EQ(mon.peak_live_bytes(), 3 * sizeof(Message));
+  ASSERT_EQ(mon.live_bytes_series().size(), 3u);
+  EXPECT_EQ(mon.live_bytes_series()[0], 3 * sizeof(Message));
+  EXPECT_EQ(mon.live_bytes_series()[1], 1 * sizeof(Message));
+  EXPECT_EQ(mon.live_bytes_series()[2], 0u);
+  EXPECT_FALSE(mon.series_truncated());
+
+  const NetMemStats& nm = net.mem_stats();
+  EXPECT_EQ(nm.live_msgs_peak, 3u);
+  EXPECT_EQ(nm.live_bytes_peak, 3 * sizeof(Message));
+  EXPECT_GT(nm.allocs, 0u);  // pending_/inbox growth from empty
+  EXPECT_GT(nm.container_bytes_peak, 0u);
+  EXPECT_GE(mon.total_allocs(), nm.allocs);
+  EXPECT_GE(mon.peak_container_bytes(), nm.container_bytes_peak);
+}
+
+TEST(Memory, EngineStagedBufferProfileCountsAndResets) {
+  Network net = make_net(16);
+  Engine eng(net, EngineConfig{2, /*loop_cutoff=*/1, /*delivery_cutoff=*/1});
+  eng.send_loop(16, [](uint64_t i, MsgSink& out) {
+    out.send(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % 16), 0x1,
+             {i});
+  });
+  net.end_round();
+  uint64_t staged_peak = 0, allocs = 0;
+  for (const EngineShardMemory& m : eng.shard_memory()) {
+    staged_peak += m.staged_msgs_peak;
+    allocs += m.allocs;
+    EXPECT_EQ(m.staged_bytes_peak % sizeof(Message), 0u);
+  }
+  EXPECT_EQ(staged_peak, 16u);  // every staged message counted exactly once
+  EXPECT_GT(allocs, 0u);        // buffers grew from empty
+  eng.reset_timing();
+  for (const EngineShardMemory& m : eng.shard_memory()) {
+    EXPECT_EQ(m.staged_msgs_peak, 0u);
+    EXPECT_EQ(m.staged_bytes_peak, 0u);
+    EXPECT_EQ(m.allocs, 0u);
+  }
+}
+
+TEST(Memory, SectionOnlyBehindTheFlag) {
+  // The memory section is segregated exactly like timing: absent by default,
+  // and when enabled it only appends trailing bytes — the deterministic
+  // prefix is untouched.
+  auto spec = base_spec("mis", 64);
+  scenario::RunOptions quiet_opts, mem_opts, both_opts;
+  quiet_opts.timing = mem_opts.timing = false;
+  both_opts.timing = true;
+  mem_opts.memory = both_opts.memory = true;
+  auto quiet = scenario::run_scenario(spec, quiet_opts);
+  auto with_mem = scenario::run_scenario(spec, mem_opts);
+  auto with_both = scenario::run_scenario(spec, both_opts);
+
+  EXPECT_EQ(quiet.json.find("\"memory\""), std::string::npos);
+  EXPECT_EQ(quiet.json.find("allocs"), std::string::npos);
+  EXPECT_NE(with_mem.json.find("\"memory\""), std::string::npos);
+
+  // memory JSON == quiet JSON plus the trailing section.
+  size_t cut = with_mem.json.find(", \"memory\"");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_EQ(with_mem.json.substr(0, cut), quiet.json.substr(0, cut));
+
+  // With both flags the sections trail in fixed order: timing, then memory.
+  size_t tcut = with_both.json.find(", \"timing\"");
+  size_t mcut = with_both.json.find(", \"memory\"");
+  ASSERT_NE(tcut, std::string::npos);
+  ASSERT_NE(mcut, std::string::npos);
+  EXPECT_LT(tcut, mcut);
+  EXPECT_EQ(with_both.json.substr(0, tcut), quiet.json.substr(0, tcut));
+}
+
+TEST(Memory, PeakLiveBytesDeterministicAcrossThreads) {
+  auto spec = base_spec("mis", 64);
+  scenario::RunOptions t1, t8;
+  t1.timing = t8.timing = false;
+  t1.threads_override = 1;
+  t8.threads_override = 8;
+  auto o1 = scenario::run_scenario(spec, t1);
+  auto o8 = scenario::run_scenario(spec, t8);
+  ASSERT_TRUE(o1.ran && o8.ran);
+  EXPECT_GT(o1.peak_live_bytes, 0u);
+  EXPECT_EQ(o1.peak_live_bytes, o8.peak_live_bytes);
+}
+
+TEST(Flows, SampledFlowsIdenticalAcrossThreadsAndNonEmpty) {
+  // Token journeys are recorded at the router's sequential deposit/arrive
+  // points, so the sampled flows are bit-identical at threads=1 vs threads=8.
+  auto spec = base_spec("aggregate", 64);
+  scenario::RunOptions t1, t8;
+  t1.timing = t8.timing = false;
+  t1.collect_trace = t8.collect_trace = true;
+  t1.threads_override = 1;
+  t8.threads_override = 8;
+  auto o1 = scenario::run_scenario(spec, t1);
+  auto o8 = scenario::run_scenario(spec, t8);
+  ASSERT_TRUE(o1.ran && o8.ran);
+  EXPECT_EQ(o1.json, o8.json);
+
+  ASSERT_FALSE(o1.trace.flows.empty());
+  ASSERT_EQ(o1.trace.flows.size(), o8.trace.flows.size());
+  for (size_t i = 0; i < o1.trace.flows.size(); ++i) {
+    const obs::SampledFlow& a = o1.trace.flows[i];
+    const obs::SampledFlow& b = o8.trace.flows[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.group, b.group);
+    EXPECT_EQ(a.up, b.up);
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    for (size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].level, b.hops[h].level);
+      EXPECT_EQ(a.hops[h].edge, b.hops[h].edge);
+      EXPECT_EQ(a.hops[h].host, b.hops[h].host);
+      EXPECT_EQ(a.hops[h].round, b.hops[h].round);
+    }
+  }
+  // A combining-phase journey descends the routing levels over multiple hops.
+  bool multi_hop = false;
+  for (const obs::SampledFlow& f : o1.trace.flows)
+    multi_hop |= f.hops.size() >= 2;
+  EXPECT_TRUE(multi_hop);
+}
+
+TEST(Flows, TraceCarriesMemoryCounterAndMatchedFlowEvents) {
+  auto spec = base_spec("aggregate", 64);
+  scenario::RunOptions opts;
+  opts.timing = false;
+  opts.collect_trace = true;
+  auto out = scenario::run_scenario(spec, opts);
+  ASSERT_TRUE(out.ran);
+  ASSERT_FALSE(out.trace.live_bytes.empty());
+  ASSERT_FALSE(out.trace.flows.empty());
+
+  obs::JsonWriter w;
+  obs::write_chrome_trace(w, {out.trace}, /*include_timing=*/false);
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(w.str(), &doc, &error)) << error;
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_TRUE(events && events->is_array());
+
+  uint64_t memory_counters = 0;
+  std::map<double, std::pair<uint64_t, uint64_t>> flow_ends;  // id -> (s, f)
+  for (const obs::JsonValue& e : events->array) {
+    const obs::JsonValue* ph = e.find("ph");
+    ASSERT_TRUE(ph && ph->is_string());
+    if (ph->string == "C") {
+      const obs::JsonValue* name = e.find("name");
+      const obs::JsonValue* value = e.find("args")->find("value");
+      ASSERT_TRUE(value && value->is_number());
+      EXPECT_GE(value->number, 0.0);
+      if (name->string == "live_msg_bytes") ++memory_counters;
+    } else if (ph->string == "s" || ph->string == "f") {
+      const obs::JsonValue* id = e.find("id");
+      ASSERT_TRUE(id && id->is_number()) << "flow event without id";
+      if (ph->string == "s") ++flow_ends[id->number].first;
+      if (ph->string == "f") ++flow_ends[id->number].second;
+    }
+  }
+  EXPECT_GT(memory_counters, 0u);
+  ASSERT_FALSE(flow_ends.empty());
+  for (const auto& [id, counts] : flow_ends) {
+    EXPECT_EQ(counts.first, 1u) << "flow id " << id;
+    EXPECT_EQ(counts.second, 1u) << "flow id " << id;
+  }
+}
+
+TEST(Flows, SamplerCapsAdmissionAndHops) {
+  Network net = make_net(8);
+  obs::FlowSampler sampler(net, /*seed=*/3, /*max_flows=*/2, /*max_hops=*/4);
+  ASSERT_EQ(obs::FlowSampler::of(net), &sampler);
+  // Hammer many groups: at most max_flows journeys are admitted, and a
+  // journey never exceeds max_hops hops (truncation flagged).
+  for (uint64_t g = 0; g < 64; ++g)
+    for (uint64_t hop = 0; hop < 8; ++hop)
+      sampler.record_hop(g, false, static_cast<uint32_t>(hop), 0, 0, hop);
+  EXPECT_LE(sampler.flows().size(), 2u);
+  ASSERT_FALSE(sampler.flows().empty());  // first group is always followed
+  EXPECT_EQ(sampler.flows()[0].group, 0u);
+  for (const obs::SampledFlow& f : sampler.flows())
+    EXPECT_LE(f.hops.size(), 4u);
+  EXPECT_TRUE(sampler.truncated());
 }
 
 TEST(EngineTiming, ShardProfileAccumulatesAndResets) {

@@ -18,11 +18,17 @@
 //   --no-timing      omit the wall-clock sections — output is then a pure
 //                    function of (spec, seed), byte-identical across thread
 //                    counts (the determinism contract extends through faults)
+//   --memory         append the observational "memory" section (container
+//                    capacities, allocation counts) to each run's JSON and a
+//                    peak live-bytes column to the per-spec summary; like
+//                    timing, the section is excluded from determinism compares
 //   --trace PATH     also write a Chrome trace-event file (chrome://tracing /
 //                    ui.perfetto.dev) with one process per run: phase spans,
-//                    per-round congestion counters, and — unless --no-timing —
+//                    per-round congestion + live-message-bytes counters,
+//                    sampled token flows, and — unless --no-timing —
 //                    per-shard wall-clock tracks
 //   --list           print the registered algorithms and exit
+//   --help           print the option reference and exit
 //
 // Exit status: 0 only when every spec parsed and every cell's verdict
 // satisfies its spec's `expect` class (degraded verdicts under declared fault
@@ -68,9 +74,11 @@ struct SpecSummary {
   std::string name;
   uint64_t cells = 0, ok = 0, degraded = 0, round_limit = 0, errors = 0,
            failed = 0;
+  uint64_t peak_live_bytes = 0;  // max over the spec's cells (deterministic)
 
   void account(const ScenarioOutcome& out) {
     ++cells;
+    peak_live_bytes = std::max(peak_live_bytes, out.peak_live_bytes);
     if (out.verdict == "ok") {
       ++ok;
     } else if (out.verdict.rfind("degraded", 0) == 0) {
@@ -195,6 +203,42 @@ void write_cell_json(JsonWriter& w, const std::string& label,
   w.end_object();
 }
 
+void print_help() {
+  std::printf(
+      "usage: ncc_run [options] spec.scn [spec2.scn ...]\n"
+      "\n"
+      "Runs declarative scenario specs (every file is parsed as a sweep; a\n"
+      "file without sweep.* axes is a one-cell sweep) and emits\n"
+      "machine-readable results. Exit 0 only when every cell's verdict\n"
+      "satisfies its spec's `expect` class.\n"
+      "\n"
+      "options:\n"
+      "  --dir DIR     run all *.scn files under DIR (sorted; repeatable)\n"
+      "  --sweep       group output per sweep file with axis metadata and\n"
+      "                derived summaries (default JSON: BENCH_sweeps.json)\n"
+      "  --threads T   override every cell's engine thread count (results\n"
+      "                are bit-identical across T by the determinism contract)\n"
+      "  --json PATH   write results as JSON (default BENCH_scenarios.json)\n"
+      "  --no-timing   omit wall-clock sections; output becomes a pure\n"
+      "                function of (spec, seed), byte-identical across\n"
+      "                thread counts\n"
+      "  --memory      append the observational \"memory\" section to each\n"
+      "                run's JSON (network/engine container capacities and\n"
+      "                allocation counts, per-shard staged-buffer peaks) and\n"
+      "                a peak live-bytes column to the per-spec summary.\n"
+      "                Capacities depend on the shard layout, so — like\n"
+      "                timing — the section is excluded from determinism-\n"
+      "                compared bytes; the deterministic live-message-bytes\n"
+      "                peak/series are always collected and feed the trace's\n"
+      "                memory counter track\n"
+      "  --trace PATH  write a Chrome trace-event file (one process per\n"
+      "                run): phase spans, congestion + live-message-bytes\n"
+      "                counter tracks, sampled token flow events, and —\n"
+      "                unless --no-timing — per-shard wall-clock tracks\n"
+      "  --list        print the registered algorithms and exit\n"
+      "  --help        print this reference and exit\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +273,11 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--no-timing") {
       opts.timing = false;
+    } else if (arg == "--memory") {
+      opts.memory = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -263,7 +312,8 @@ int main(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: ncc_run [--dir DIR] [--sweep] [--threads T] [--json PATH] "
-                 "[--no-timing] [--trace PATH] [--list] [spec.scn ...]\n");
+                 "[--no-timing] [--memory] [--trace PATH] [--list] [--help] "
+                 "[spec.scn ...]\n");
     return 1;
   }
   std::sort(paths.begin(), paths.end());
@@ -371,12 +421,25 @@ int main(int argc, char** argv) {
   t.print("== scenario results ==");
 
   // The per-spec regression summary CI reads: every spec's verdict mix and
-  // how many cells failed their expectation.
-  Table s({"spec", "cells", "ok", "degraded", "round limit", "error", "FAILED"});
-  for (const SpecSummary& sm : summaries)
-    s.add_row({sm.name, Table::num(sm.cells), Table::num(sm.ok),
-               Table::num(sm.degraded), Table::num(sm.round_limit),
-               Table::num(sm.errors), Table::num(sm.failed)});
+  // how many cells failed their expectation. With --memory the deterministic
+  // peak live-bytes (max over the spec's cells) rides along.
+  std::vector<std::string> sum_headers = {"spec",        "cells", "ok",
+                                          "degraded",    "round limit",
+                                          "error",       "FAILED"};
+  if (opts.memory) sum_headers.push_back("peak live KiB");
+  Table s(sum_headers);
+  for (const SpecSummary& sm : summaries) {
+    std::vector<std::string> row = {sm.name,
+                                    Table::num(sm.cells),
+                                    Table::num(sm.ok),
+                                    Table::num(sm.degraded),
+                                    Table::num(sm.round_limit),
+                                    Table::num(sm.errors),
+                                    Table::num(sm.failed)};
+    if (opts.memory)
+      row.push_back(Table::num(static_cast<double>(sm.peak_live_bytes) / 1024.0, 1));
+    s.add_row(std::move(row));
+  }
   s.print("== per-spec summary ==");
 
   const std::vector<std::string>& out_rows = sweep_mode ? sweep_rows : rows;
