@@ -2,9 +2,11 @@
 // rows/series of one paper table/theorem (see DESIGN.md experiment index) and
 // a ratio-fit line showing how flat measured/predicted is across the sweep.
 //
-// Common flags: --quick (shrink sweeps for CI smoke runs), --threads T (run
-// the simulation on T engine threads), --json PATH (write the run's
-// machine-readable result rows, BENCH_engine.json-style, for the
+// Common flags: --quick (shrink sweeps for CI smoke runs), --big (also run
+// the million-node rows — slow and memory-hungry, skipped by CI; bench_diff
+// skips baseline rows marked "big" that a non---big run did not regenerate),
+// --threads T (run the simulation on T engine threads), --json PATH (write
+// the run's machine-readable result rows, BENCH_engine.json-style, for the
 // perf-trajectory tooling; each run overwrites the file).
 #pragma once
 
@@ -88,6 +90,7 @@ inline bool quick_mode(int argc, char** argv) {
 
 struct BenchOpts {
   bool quick = false;
+  bool big = false;      // also run the million-node rows (slow, lots of RAM)
   uint32_t threads = 1;  // 0 = hardware threads
   std::string json;      // output path; empty = no JSON emitted
 };
@@ -98,6 +101,8 @@ inline BenchOpts parse_opts(int argc, char** argv) {
     std::string k = argv[i];
     if (k == "--quick") {
       o.quick = true;
+    } else if (k == "--big") {
+      o.big = true;
     } else if (k == "--threads" && i + 1 < argc) {
       o.threads = static_cast<uint32_t>(std::stoul(argv[++i]));
     } else if (k == "--json" && i + 1 < argc) {

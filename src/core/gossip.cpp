@@ -24,7 +24,7 @@ class GossipProgram final : public NodeProgram {
     batch_ = next_batch();
   }
 
-  void step(NodeId u, uint64_t, const std::vector<Message>&, MsgSink& out) override {
+  void step(NodeId u, uint64_t, const InboxView&, MsgSink& out) override {
     for (uint64_t j = 1; j <= batch_; ++j) {
       NodeId dst = static_cast<NodeId>((u + sent_offset_ + j) % n_);
       out.send(u, dst, kTagToken, {u});
@@ -61,10 +61,10 @@ class GossipProgram final : public NodeProgram {
 
 }  // namespace
 
-GossipResult run_gossip(Network& net) {
+GossipResult run_gossip(Network& net, uint64_t max_rounds) {
   obs::Span span(net, "gossip");
   GossipProgram prog(net);
-  ProgramResult run = run_program(net, prog);
+  ProgramResult run = run_program(net, prog, max_rounds);
   GossipResult res;
   res.rounds = run.rounds;
   res.complete = prog.complete();

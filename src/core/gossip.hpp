@@ -18,7 +18,10 @@ struct GossipResult {
 };
 
 /// Round-robin all-to-all token dissemination at full node capacity.
-GossipResult run_gossip(Network& net);
+/// `max_rounds` caps the run (benches use a bounded slice at very large n,
+/// where full gossip's n*(n-1) messages are infeasible by construction);
+/// a capped run reports complete == false.
+GossipResult run_gossip(Network& net, uint64_t max_rounds = UINT64_MAX);
 
 struct BroadcastResult {
   uint64_t rounds = 0;

@@ -24,18 +24,13 @@ std::unordered_map<const Network*, Engine*>& registry() {
   return reg;
 }
 
-class BufferSink final : public MsgSink {
+class ArenaSink final : public MsgSink {
  public:
-  BufferSink(std::vector<Message>* buf, EngineShardMemory* mem)
-      : buf_(buf), mem_(mem) {}
-  void send(const Message& msg) override {
-    if (buf_->size() == buf_->capacity()) ++mem_->allocs;
-    buf_->push_back(msg);
-  }
+  explicit ArenaSink(MsgArena* buf) : buf_(buf) {}
+  void send(const Message& msg) override { buf_->push(msg); }
 
  private:
-  std::vector<Message>* buf_;
-  EngineShardMemory* mem_;
+  MsgArena* buf_;
 };
 
 class DirectSink final : public MsgSink {
@@ -51,7 +46,7 @@ class DirectSink final : public MsgSink {
 
 Engine::Engine(Network& net, EngineConfig cfg)
     : net_(net), cfg_(cfg), pool_(cfg.threads) {
-  staged_.resize(pool_.threads());
+  arenas_.resize(pool_.threads());
   timing_.resize(pool_.threads());
   memory_.resize(pool_.threads());
   {
@@ -111,25 +106,31 @@ void Engine::send_loop(uint64_t count,
   uint32_t want = count >= cfg_.loop_cutoff ? pool_.threads() : 1;
   ShardPlan plan = ShardPlan::make(count, want);
   if (count == 0) return;
+  // Arenas come from the network's pool (caller thread, before the parallel
+  // region), so capacity is reused across rounds and steady-state staging
+  // allocates nothing.
+  for (uint32_t s = 0; s < plan.shards; ++s) arenas_[s] = net_.acquire_arena();
   run_shards(plan.shards, [&](uint32_t s) {
     uint64_t t0 = now_ns();
-    BufferSink sink(&staged_[s], &memory_[s]);
+    ArenaSink sink(&arenas_[s]);
     for (uint64_t i = plan.begin(s); i < plan.end(s); ++i) step(i, sink);
     EngineShardTiming& tm = timing_[s];
     tm.stage_ns += now_ns() - t0;
     ++tm.loops;
     EngineShardMemory& mm = memory_[s];
-    mm.staged_msgs_peak = std::max<uint64_t>(mm.staged_msgs_peak, staged_[s].size());
-    mm.staged_bytes_peak = std::max<uint64_t>(
-        mm.staged_bytes_peak, staged_[s].capacity() * sizeof(Message));
+    mm.staged_msgs_peak = std::max<uint64_t>(mm.staged_msgs_peak, arenas_[s].size());
+    mm.staged_bytes_peak =
+        std::max<uint64_t>(mm.staged_bytes_peak, arenas_[s].capacity_bytes());
   });
-  // Merge in shard order == global item order; send_bulk keeps the strict
-  // send accounting on the caller thread and hands each shard buffer over in
-  // a single staging call.
+  // Merge in shard order == global item order: stage_run keeps the strict
+  // send accounting on the caller thread (a header-only scan) and takes each
+  // shard's arena zero-copy as the next pending run. Capacity growth during
+  // staging is drained into the shard's memory profile first, so the network
+  // does not double count it.
   for (uint32_t s = 0; s < plan.shards; ++s) {
     uint64_t t0 = now_ns();
-    net_.send_bulk(staged_[s]);
-    staged_[s].clear();
+    memory_[s].allocs += arenas_[s].take_allocs();
+    net_.stage_run(std::move(arenas_[s]));
     timing_[s].merge_ns += now_ns() - t0;
   }
 }

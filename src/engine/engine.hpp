@@ -37,10 +37,14 @@ namespace ncc {
 /// the Perfetto exporter's timing tracks).
 struct EngineShardTiming {
   uint64_t stage_ns = 0;    // send_loop step callbacks run on this shard
-  uint64_t merge_ns = 0;    // merging this shard's staged buffer (caller thread)
-  uint64_t deliver_ns = 0;  // parallel end_round delivery tasks on this shard
+  uint64_t merge_ns = 0;    // handing this shard's staged arena to the network
+                            // (header accounting scan, caller thread)
+  uint64_t deliver_ns = 0;  // end_round delivery tasks on this shard: the
+                            // scatter/count/placement passes, per-task wall
+                            // (includes scheduler waits when cores are
+                            // oversubscribed — see docs/ARCHITECTURE.md)
   uint64_t loops = 0;       // send_loop invocations that ran this shard
-  uint64_t deliveries = 0;  // parallel delivery tasks timed on this shard
+  uint64_t deliveries = 0;  // delivery tasks timed on this shard
 };
 
 /// Memory profile of one shard's staged send buffer, accumulated like
@@ -50,8 +54,8 @@ struct EngineShardTiming {
 /// them behind the memory flag, see obs::MemoryMonitor).
 struct EngineShardMemory {
   uint64_t staged_msgs_peak = 0;   // max messages staged in one send_loop
-  uint64_t staged_bytes_peak = 0;  // peak capacity bytes of the staged buffer
-  uint64_t allocs = 0;             // staged-buffer capacity-growth events
+  uint64_t staged_bytes_peak = 0;  // peak capacity bytes of the staged arena
+  uint64_t allocs = 0;             // staged-arena capacity-growth events
 };
 
 struct EngineConfig {
@@ -107,9 +111,11 @@ class Engine {
   void for_each(uint64_t count, const std::function<void(uint64_t)>& fn);
 
   /// Parallel step loop with staged sends: step(i, sink) runs shard-parallel,
-  /// sinks buffer per shard, and the buffers are merged into the network in
-  /// shard order before returning — the send order equals the sequential
-  /// loop's. The round stays open; the caller ends it with net().end_round().
+  /// sinks stage into per-shard arenas (acquired from the network's pool, so
+  /// capacity is reused across rounds), and the arenas are handed over
+  /// zero-copy in shard order before returning — the send order equals the
+  /// sequential loop's. The round stays open; the caller ends it with
+  /// net().end_round().
   void send_loop(uint64_t count, const std::function<void(uint64_t, MsgSink&)>& step);
 
   /// Per-shard wall-clock profile (one entry per pool thread). Each shard's
@@ -126,9 +132,9 @@ class Engine {
   Network& net_;
   EngineConfig cfg_;
   ThreadPool pool_;
-  std::vector<std::vector<Message>> staged_;  // one buffer per shard
-  std::vector<EngineShardTiming> timing_;     // one profile per shard
-  std::vector<EngineShardMemory> memory_;     // one memory profile per shard
+  std::vector<MsgArena> arenas_;           // one staged arena per shard
+  std::vector<EngineShardTiming> timing_;  // one profile per shard
+  std::vector<EngineShardMemory> memory_;  // one memory profile per shard
 };
 
 /// Helpers for primitives/ and core/: route the loop through `net`'s

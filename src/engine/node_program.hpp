@@ -22,9 +22,10 @@ class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
 
-  /// One round of node `u`: `inbox` holds the messages delivered to u at the
-  /// start of this round; stage sends via `out`.
-  virtual void step(NodeId u, uint64_t round, const std::vector<Message>& inbox,
+  /// One round of node `u`: `inbox` views the messages delivered to u at the
+  /// start of this round (in the network's flat inbox arena); stage sends
+  /// via `out`.
+  virtual void step(NodeId u, uint64_t round, const InboxView& inbox,
                     MsgSink& out) = 0;
 
   /// Called after each round barrier (sequentially); return true to stop.

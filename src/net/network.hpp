@@ -55,21 +55,78 @@ struct NetStats {
   uint64_t total_rounds() const { return rounds + charged_rounds; }
 };
 
-/// Memory-accounting counters for the network's hot containers (pending
-/// buffer, per-node inboxes, scatter staging). Split by determinism class:
-/// the live-message peaks are derived from per-round message counts and are
-/// thread-count invariant; the capacity/allocation counters depend on the
-/// shard layout and buffer-reuse history, so — like wall-clock — they are
-/// observational only and must never reach determinism-compared bytes
-/// (emitters gate them behind the memory flag, see obs::MemoryMonitor).
+/// Memory-accounting counters for the network's hot containers (pending run
+/// arenas + pool, the flat inbox arena, the scatter index rows, per-node
+/// offset arrays). Split by determinism class: the live-message peaks are
+/// derived from per-round message counts and are thread-count invariant; the
+/// capacity/allocation counters depend on the shard layout and buffer-reuse
+/// history, so — like wall-clock — they are observational only and must never
+/// reach determinism-compared bytes (emitters gate them behind the memory
+/// flag, see obs::MemoryMonitor).
 struct NetMemStats {
   // Thread-count invariant (message counts are part of the determinism
-  // contract; sizeof(Message) is a constant).
+  // contract; sizeof(Message) — the logical AoS message size — is a
+  // constant, kept as the unit so the series is layout-independent).
   uint64_t live_msgs_peak = 0;   // max messages in flight in any one round
   uint64_t live_bytes_peak = 0;  // live_msgs_peak in message bytes
   // Observational only: capacity footprint + allocation counts.
   uint64_t container_bytes_peak = 0;  // peak capacity bytes across hot containers
   uint64_t allocs = 0;                // capacity-growth events on hot containers
+};
+
+/// Read-only view of one node's delivered inbox inside the network's flat
+/// per-round inbox arena. Iteration and indexing materialize `Message` values
+/// on the fly from the SoA headers, so existing call sites —
+/// `for (const Message& m : net.inbox(u))`, `.size()`, `.front().word(0)` —
+/// keep working unchanged (the range-for binds a const reference to the
+/// yielded temporary). The view is invalidated by the next end_round() /
+/// reset_stats(), same lifetime the old per-node vectors had.
+class InboxView {
+ public:
+  InboxView() = default;
+  InboxView(const MsgHdr* hdr, const uint64_t* words, size_t count)
+      : hdr_(hdr), words_(words), count_(count) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  Message operator[](size_t i) const {
+    NCC_ASSERT(i < count_);
+    const MsgHdr& h = hdr_[i];
+    Message m;
+    m.src = h.src;
+    m.dst = h.dst;
+    m.tag = h.tag;
+    m.nwords = h.nwords;
+    for (uint8_t w = 0; w < h.nwords; ++w) m.words[w] = words_[h.off + w];
+    return m;
+  }
+  Message front() const { return (*this)[0]; }
+
+  class iterator {
+   public:
+    using value_type = Message;
+    using difference_type = std::ptrdiff_t;
+    iterator(const InboxView* v, size_t i) : v_(v), i_(i) {}
+    Message operator*() const { return (*v_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const InboxView* v_;
+    size_t i_;
+  };
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, count_); }
+
+ private:
+  const MsgHdr* hdr_ = nullptr;
+  const uint64_t* words_ = nullptr;
+  size_t count_ = 0;
 };
 
 /// Execution hooks installed by an attached engine. The network itself stays
@@ -123,9 +180,20 @@ class Network {
 
   /// Bulk staging: queue a whole buffer of messages in one call, with the
   /// same per-message accounting and ordering as a send() loop. Used by the
-  /// engine's barrier merge (and the router's per-shard merges) so staged
-  /// shard buffers are handed over wholesale instead of message by message.
+  /// router's per-shard merges so staged shard buffers are handed over
+  /// wholesale instead of message by message.
   void send_bulk(std::span<const Message> msgs);
+
+  /// Arena handoff, the zero-copy bulk path: callers (the engine's
+  /// send_loop) fill a pooled arena off-thread and stage it wholesale as the
+  /// next sorted run of this round's pending traffic. stage_run() only scans
+  /// the 20-byte headers for send accounting — no message is copied. Runs
+  /// concatenate in staging order, so handing over per-shard arenas in shard
+  /// order reproduces the sequential send order exactly (the determinism
+  /// contract's merge step). Arenas are recycled into an internal pool at
+  /// end_round(); acquire from the pool so capacity is reused across rounds.
+  MsgArena acquire_arena();
+  void stage_run(MsgArena&& run);
 
   /// Close the current round: enforce capacities, deliver messages into the
   /// per-node inboxes, advance the round counter. Runs shard-parallel across
@@ -134,8 +202,9 @@ class Network {
   void end_round();
 
   /// Inbox of `u` holding the messages delivered at the start of the current
-  /// round (i.e., the ones sent in the previous round).
-  const std::vector<Message>& inbox(NodeId u) const;
+  /// round (i.e., the ones sent in the previous round). The view reads the
+  /// flat inbox arena in place and is invalidated by the next end_round().
+  InboxView inbox(NodeId u) const;
 
   /// Charge `k` rounds without simulating them (used only for the
   /// shared-randomness setup broadcasts whose cost the paper states in
@@ -213,15 +282,33 @@ class Network {
   NetMemStats mem_;
   NetExecHooks hooks_;
   FaultHooks faults_;
-  std::vector<Message> pending_;               // sent this round
-  std::vector<uint32_t> send_count_;           // per-node sends this round
-  std::vector<std::vector<Message>> inboxes_;  // delivered last end_round
-  // Per-round delivery staging (kept as members so capacity is reused):
-  // scatter_[p * S + s] = chunk p's messages for destination shard s.
-  std::vector<std::vector<Message>> scatter_;
-  // Per-node reservoir progress; after delivery it equals the full
-  // addressed (pre-drop) count, which the merged-view stats read.
+  // Pending traffic as an ordered list of sorted runs: direct send()s append
+  // to an open tail arena, stage_run() hands over closed per-shard arenas in
+  // shard order — concatenating the runs in list order is the round's global
+  // send order. Arenas recycle through pool_ so capacity survives rounds.
+  std::vector<MsgArena> runs_;
+  bool tail_open_ = false;  // runs_.back() accepts direct send()s
+  std::vector<MsgArena> pool_;
+  std::vector<uint32_t> send_count_;  // per-node sends this round
+  // Delivered inboxes, flat: headers for node u live at
+  // inbox_hdr_[inbox_off_[u] .. +inbox_cnt_[u]) with payload words in
+  // inbox_words_ (hdr.off indexes it). Rebuilt every end_round in place.
+  std::vector<MsgHdr> inbox_hdr_;
+  std::vector<uint64_t> inbox_words_;
+  std::vector<uint64_t> inbox_off_;
+  std::vector<uint32_t> inbox_cnt_;
+  // Per-round delivery staging (members so capacity is reused):
+  // scatter_[p * S + s] = global pending indices of chunk p's messages for
+  // destination shard s, ascending (the counting-sort index pass).
+  std::vector<std::vector<uint32_t>> scatter_;
+  // Per-node scratch for the count/placement passes. recv_seen_[u] ends as
+  // the full addressed (pre-drop) count, which the merged-view stats read;
+  // wsum_[u] is the node's inbox word budget during the count pass and is
+  // reused as its arrival counter during placement; word_off_[u] is the
+  // node's word cursor.
   std::vector<uint32_t> recv_seen_;
+  std::vector<uint32_t> wsum_;
+  std::vector<uint64_t> word_off_;
   HookId next_hook_id_ = 1;
   std::vector<Subscriber<DeliveryHook>> delivery_hooks_;
   std::vector<Subscriber<RoundHook>> round_hooks_;

@@ -34,6 +34,15 @@ double rel_drift(double base, double fresh) {
   return std::fabs(fresh - base) / std::fabs(base);
 }
 
+// Rows marked "big": true are the million-node rows benches only produce
+// under --big (too slow / memory-hungry for CI's regeneration runs); a
+// baseline big row absent from the fresh run is expected, not a shrunken
+// sweep.
+bool row_is_big(const JsonValue& row) {
+  const JsonValue* b = row.find("big");
+  return b && b->kind == JsonValue::Kind::Bool && b->boolean;
+}
+
 }  // namespace
 
 BenchDiffResult diff_bench(const JsonValue& baseline, const JsonValue& fresh,
@@ -64,6 +73,12 @@ BenchDiffResult diff_bench(const JsonValue& baseline, const JsonValue& fresh,
   for (const auto& [key, brow] : base_rows) {
     auto fit = fresh_rows.find(key);
     if (fit == fresh_rows.end()) {
+      if (row_is_big(*brow)) {
+        issue(BenchDiffIssue::Severity::Warn, key, "", 0, 0,
+              "baseline row marked big — skipped (fresh run did not pass "
+              "--big)");
+        continue;
+      }
       issue(BenchDiffIssue::Severity::Fail, key, "", 0, 0,
             "baseline row missing from fresh run (sweep shrank?)");
       continue;

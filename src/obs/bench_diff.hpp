@@ -7,7 +7,9 @@
 // msgs_per_sec — are machine noise, so they only warn, and only beyond a
 // relative tolerance. A baseline row missing from the fresh run is a FAIL
 // (the sweep silently shrank); a fresh row with no baseline is a WARN (the
-// sweep grew — recommit the baseline).
+// sweep grew — recommit the baseline). Exception: baseline rows marked
+// "big": true (the million-node rows produced only under --big) merely WARN
+// when absent — CI's regeneration runs never pass --big.
 //
 // The comparison is a library so tests can feed it synthetic documents (e.g.
 // prove an injected message-count regression fails); tools/bench_compare is

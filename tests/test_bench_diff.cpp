@@ -115,6 +115,25 @@ TEST(BenchDiff, RowSetChanges) {
   EXPECT_EQ(r.issues.size(), 2u);
 }
 
+TEST(BenchDiff, MissingBigRowOnlyWarns) {
+  // Baseline carries a million-node row produced under --big; regeneration
+  // runs (CI's perf-gate) never pass --big, so its absence is expected and
+  // must not fail the gate — unlike a plain row silently vanishing.
+  auto base =
+      parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "," +
+            "{\"bench\": \"b\", \"n\": 1048576, \"threads\": 1, \"rounds\": 2, "
+            "\"wall_ms\": 9000.0, \"messages\": 335000000, \"big\": true}]");
+  auto fresh = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "]");
+  BenchDiffResult r = diff_bench(base, fresh);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].severity, BenchDiffIssue::Severity::Warn);
+  // When the fresh run *does* regenerate the big row, it compares normally.
+  BenchDiffResult full = diff_bench(base, base);
+  EXPECT_TRUE(full.issues.empty());
+  EXPECT_EQ(full.rows_compared, 2u);
+}
+
 TEST(BenchDiff, MetricMissingFromFreshWarns) {
   // Baseline carries the new memory columns, fresh was built by an older
   // binary: downgrade to a warning instead of failing the gate on absence.

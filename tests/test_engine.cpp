@@ -13,6 +13,7 @@
 #include "engine/node_program.hpp"
 #include "engine/shard.hpp"
 #include "engine/thread_pool.hpp"
+#include "net/message.hpp"
 
 using namespace ncc;
 
@@ -196,7 +197,7 @@ class MinFloodProgram final : public NodeProgram {
     std::iota(cur_.begin(), cur_.end(), uint64_t{0});
   }
 
-  void step(NodeId u, uint64_t round, const std::vector<Message>& inbox,
+  void step(NodeId u, uint64_t round, const InboxView& inbox,
             MsgSink& out) override {
     for (const Message& m : inbox) cur_[u] = std::min(cur_[u], m.word(0));
     NodeId dst = static_cast<NodeId>((u + (uint64_t{1} << round)) % n_);
@@ -219,6 +220,122 @@ class MinFloodProgram final : public NodeProgram {
 };
 
 }  // namespace
+
+TEST(MsgArena, RoundTripAndAllocDrain) {
+  MsgArena a;
+  a.push(Message(3, 4, 7, {10, 20}));
+  a.push(Message((1u << 20) - 1, 0, 8, {}));
+  EXPECT_EQ(a.size(), 2u);
+  Message m0 = a.at(0);
+  EXPECT_EQ(m0.src, 3u);
+  EXPECT_EQ(m0.dst, 4u);
+  EXPECT_EQ(m0.tag, 7u);
+  EXPECT_EQ(m0.word(1), 20u);
+  Message m1 = a.at(1);
+  EXPECT_EQ(m1.src, (1u << 20) - 1);  // top-of-range id survives the header
+  EXPECT_EQ(m1.nwords, 0u);
+  // First fill grew capacity; take_allocs drains the counter exactly once.
+  EXPECT_GT(a.take_allocs(), 0u);
+  EXPECT_EQ(a.take_allocs(), 0u);
+  // A refill within the warm capacity allocates nothing.
+  a.clear();
+  a.push(Message(5, 6, 9, {1, 2}));
+  EXPECT_EQ(a.take_allocs(), 0u);
+}
+
+TEST(Arena, AllocsFlatAfterWarmUp) {
+  // Steady-state rounds must be allocation-free: a constant-volume workload
+  // grows every container (send runs, scatter rows, inbox arenas) during the
+  // first rounds, after which the pooled buffers are reused as-is.
+  Network net(net_cfg(256, 17, 2));
+  Engine eng(net, eager(4));
+  auto total_allocs = [&]() {
+    uint64_t a = net.mem_stats().allocs;
+    for (const EngineShardMemory& m : eng.shard_memory()) a += m.allocs;
+    return a;
+  };
+  auto round = [&]() {
+    engine_send_loop(net, 255, [&](uint64_t i, MsgSink& out) {
+      NodeId u = static_cast<NodeId>(i + 1);
+      out.send(u, 0, 1, {u, u * u});  // overloads node 0: reservoir path too
+      NodeId spread = static_cast<NodeId>(1 + (u * 37) % 254);
+      if (spread == u) spread = 255;
+      out.send(u, spread, 2, {u});
+    });
+    net.end_round();
+  };
+  for (int r = 0; r < 3; ++r) round();  // warm-up
+  uint64_t warm = total_allocs();
+  for (int r = 0; r < 8; ++r) round();
+  EXPECT_EQ(total_allocs(), warm);
+}
+
+TEST(Arena, InterleavedDirectAndLoopSendsMatchSequential) {
+  // Direct send()s open tail runs between the engine's staged run handoffs;
+  // the concatenated run order must still equal the plain sequential program
+  // order, bit for bit, including under receive-capacity truncation.
+  auto run = [](uint32_t threads) {
+    Network net(net_cfg(96, 13, 2));
+    std::optional<Engine> eng;
+    if (threads > 0) eng.emplace(net, eager(threads));
+    for (int round = 0; round < 2; ++round) {
+      net.send(1, 0, 1, {100});  // direct: tail run before any staged run
+      engine_send_loop(net, 95, [&](uint64_t i, MsgSink& out) {
+        NodeId u = static_cast<NodeId>(i + 1);
+        out.send(u, 0, 2, {u});
+      });
+      net.send(2, 0, 3, {200});  // direct: tail run between staged batches
+      engine_send_loop(net, 95, [&](uint64_t i, MsgSink& out) {
+        NodeId u = static_cast<NodeId>(i + 1);
+        NodeId other = static_cast<NodeId>(u % 95 + 1);
+        if (other == u) other = (u == 1) ? 2 : 1;
+        out.send(u, other, 4, {u * 3});
+      });
+      net.end_round();
+    }
+    std::vector<std::tuple<NodeId, uint32_t, uint64_t>> got;
+    for (const Message& m : net.inbox(0)) got.emplace_back(m.src, m.tag, m.word(0));
+    NetStats st = net.stats();
+    return std::make_tuple(got, st.messages_sent, st.messages_dropped,
+                           st.max_recv_load);
+  };
+  auto seq = run(0);
+  EXPECT_EQ(seq, run(1));
+  EXPECT_EQ(seq, run(8));
+  EXPECT_GT(std::get<2>(seq), 0u);  // node 0 was actually truncated
+}
+
+TEST(Arena, MillionNodeIdBounds) {
+  // Headers carry 32-bit node ids: drive traffic between ids at the extreme
+  // ends of a 2^20-node network so near-maximal ids cross the whole
+  // stage -> merge -> deliver path intact. Sparse sends keep this cheap even
+  // though the id space is a million wide.
+  const NodeId n = 1u << 20;
+  const std::vector<NodeId> probes{0, 1, n / 2, n - 2, n - 1};
+  auto run = [&](uint32_t threads) {
+    Network net(net_cfg(n, 33));
+    std::optional<Engine> eng;
+    if (threads > 0) eng.emplace(net, eager(threads));
+    for (int round = 0; round < 2; ++round) {
+      engine_send_loop(net, probes.size(), [&](uint64_t i, MsgSink& out) {
+        NodeId u = probes[i];
+        for (NodeId v : probes)
+          if (v != u) out.send(u, v, 9, {(uint64_t{u} << 20) | v});
+      });
+      net.end_round();
+    }
+    std::vector<std::tuple<NodeId, NodeId, uint64_t>> got;
+    for (NodeId v : probes)
+      for (const Message& m : net.inbox(v)) got.emplace_back(m.src, m.dst, m.word(0));
+    return std::make_pair(got, net.stats().messages_sent);
+  };
+  auto one = run(1);
+  auto eight = run(8);
+  EXPECT_EQ(one, eight);
+  ASSERT_EQ(one.first.size(), probes.size() * (probes.size() - 1));
+  for (const auto& [src, dst, w] : one.first)
+    EXPECT_EQ(w, (uint64_t{src} << 20) | dst);  // ids round-tripped unmangled
+}
 
 TEST(NodeProgram, MinFloodConvergesIdenticallyAcrossThreadCounts) {
   auto run = [](uint32_t threads) {
