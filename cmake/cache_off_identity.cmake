@@ -1,0 +1,44 @@
+# ctest acceptance check for the hot-key/cache spec defaults: a scenario that
+# spells out `traffic = uniform`, `request_waves = 1`, `cache = off` must
+# produce byte-identical ncc_run JSON to the same scenario with those lines
+# absent. This is the compatibility contract for the PR that introduced the
+# keys — every pre-existing spec (which omits them) keeps its exact output,
+# because the defaults are true no-ops, not merely "similar behaviour".
+#
+#   cmake -DNCC_RUN=<path> -DBASE_SPEC=<path> -DOUT_DIR=<path> -P cache_off_identity.cmake
+foreach(var NCC_RUN BASE_SPEC OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+# Same stem in sibling dirs so the scenario name embedded in the JSON matches.
+get_filename_component(stem ${BASE_SPEC} NAME)
+file(READ ${BASE_SPEC} base_text)
+file(MAKE_DIRECTORY ${OUT_DIR}/cache_ident_implicit ${OUT_DIR}/cache_ident_explicit)
+file(WRITE ${OUT_DIR}/cache_ident_implicit/${stem} "${base_text}")
+file(WRITE ${OUT_DIR}/cache_ident_explicit/${stem}
+     "${base_text}\ntraffic = uniform\nrequest_waves = 1\ncache = off\n")
+
+foreach(variant implicit explicit)
+  execute_process(
+    COMMAND ${NCC_RUN} --dir ${OUT_DIR}/cache_ident_${variant}
+            --threads 4 --no-timing
+            --json ${OUT_DIR}/cache_ident_${variant}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ncc_run on the ${variant}-defaults spec exited ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/cache_ident_implicit.json
+          ${OUT_DIR}/cache_ident_explicit.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "explicit `traffic = uniform` / `request_waves = 1` / `cache = off` "
+          "changed the JSON vs omitting them (defaults must be no-ops)")
+endif()

@@ -38,7 +38,8 @@ FlowSampler* FlowSampler::of(const Network& net) {
 }
 
 void FlowSampler::record_hop(uint64_t group, bool up, uint32_t level,
-                             uint32_t edge, NodeId host, uint64_t round) {
+                             uint32_t edge, NodeId host, uint64_t round,
+                             bool cache_hit) {
   auto& adm = admitted_[up ? 1 : 0];
   auto it = adm.find(group);
   if (it == adm.end()) {
@@ -69,7 +70,7 @@ void FlowSampler::record_hop(uint64_t group, bool up, uint32_t level,
     truncated_ = true;
     return;
   }
-  f.hops.push_back(FlowHop{level, edge, host, round});
+  f.hops.push_back(FlowHop{level, edge, host, round, cache_hit});
 }
 
 void FlowSampler::write_json(JsonWriter& w) const {
@@ -87,6 +88,8 @@ void FlowSampler::write_json(JsonWriter& w) const {
       w.kv("edge", static_cast<uint64_t>(h.edge));
       w.kv("host", static_cast<uint64_t>(h.host));
       w.kv("round", h.round);
+      // Emitted only when set, so cache-off traces keep their exact bytes.
+      if (h.cache_hit) w.kv("cache_hit", true);
       w.end_object();
     }
     w.end_array();

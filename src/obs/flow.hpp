@@ -32,6 +32,10 @@ struct FlowHop {
   uint32_t edge = 0;   // out-edge it takes next (0 at the terminal level)
   NodeId host = 0;     // real node hosting the routing state
   uint64_t round = 0;  // net.rounds() at arrival
+  /// The journey ended (or restarted) at an en-route combining cache: a
+  /// setup request answered from a cached payload, or a spreading packet
+  /// injected at a cache root.
+  bool cache_hit = false;
 };
 
 struct SampledFlow {
@@ -60,7 +64,7 @@ class FlowSampler {
   /// multicast arrival. Samples by seeded hash of `group`; a no-op for
   /// unsampled groups.
   void record_hop(uint64_t group, bool up, uint32_t level, uint32_t edge,
-                  NodeId host, uint64_t round);
+                  NodeId host, uint64_t round, bool cache_hit = false);
 
   const std::vector<SampledFlow>& flows() const { return flows_; }
   bool truncated() const { return truncated_; }

@@ -1,5 +1,7 @@
 #include "obs/trace_export.hpp"
 
+#include <algorithm>
+
 namespace ncc::obs {
 
 namespace {
@@ -7,6 +9,7 @@ namespace {
 constexpr uint64_t kPhaseTid = 1;
 constexpr uint64_t kCounterTid = 2;
 constexpr uint64_t kMemoryTid = 3;
+constexpr uint64_t kCacheTid = 4;
 constexpr uint64_t kFlowTidBase = 10;  // + flow id; flows are capped well below 90
 constexpr uint64_t kShardTidBase = 100;
 
@@ -41,6 +44,8 @@ void write_cell(JsonWriter& w, const TraceCell& cell, uint64_t pid,
     write_metadata(w, pid, kCounterTid, "thread_name", "congestion");
   if (!cell.live_bytes.empty())
     write_metadata(w, pid, kMemoryTid, "thread_name", "memory");
+  if (!cell.cache_series.empty())
+    write_metadata(w, pid, kCacheTid, "thread_name", "cache");
   for (const SampledFlow& f : cell.flows)
     write_metadata(w, pid, kFlowTidBase + f.id, "thread_name",
                    "flow g" + std::to_string(f.group) +
@@ -93,6 +98,22 @@ void write_cell(JsonWriter& w, const TraceCell& cell, uint64_t pid,
     w.end_object();
   }
 
+  // Combining-cache hit-rate counter: one sample per request wave, value =
+  // cumulative hits as an integer percentage of cumulative lookups (integral
+  // so the emitted bytes are exact). Deterministic — the cache mutates only
+  // at the router's sequential merge points — so the track is safe to keep
+  // in byte-compared traces; cache-off runs simply have no samples.
+  for (const auto& sample : cell.cache_series) {
+    w.begin_object();
+    write_event_head(w, "C", pid, kCacheTid, "cache_hit_rate",
+                     sample[0] * kTraceRoundUs);
+    w.key("args");
+    w.begin_object();
+    w.kv("value", sample[1] * 100 / std::max<uint64_t>(1, sample[2]));
+    w.end_object();
+    w.end_object();
+  }
+
   // Sampled token flows: each flow gets its own track (different flows
   // overlap in time, so sharing one track would break per-track ts
   // monotonicity), carrying one short slice per hop chained by flow events
@@ -117,6 +138,7 @@ void write_cell(JsonWriter& w, const TraceCell& cell, uint64_t pid,
       w.kv("level", static_cast<uint64_t>(hop.level));
       w.kv("edge", static_cast<uint64_t>(hop.edge));
       w.kv("host", static_cast<uint64_t>(hop.host));
+      if (hop.cache_hit) w.kv("cache_hit", true);
       w.end_object();
       w.end_object();
       if (f.hops.size() < 2) continue;

@@ -7,7 +7,9 @@
 // mode) becomes one *process*; inside it, track (tid) 1 carries the phase
 // spans as duration ("ph":"X") events, track 2 carries the per-round
 // congestion counter ("ph":"C"), track 3 the per-round live-message-bytes
-// memory counter, tracks 10+id each carry one sampled token flow (hop
+// memory counter, track 4 the combining-cache hit-rate counter (integer
+// percent, sampled once per request wave; absent unless the scenario ran
+// with `cache = lru`), tracks 10+id each carry one sampled token flow (hop
 // slices chained by flow events "s"/"t"/"f" sharing the flow's id — one
 // track per flow keeps per-track timestamps monotonic, since different
 // flows overlap in time), and tracks 100+s carry shard s's wall-clock stage/merge/
@@ -22,6 +24,7 @@
 // Wall-clock shard tracks only appear with include_timing=true.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,6 +44,9 @@ struct TraceCell {
   std::vector<uint32_t> max_in_degree; // per-round congestion counter (may be capped)
   std::vector<uint64_t> live_bytes;    // per-round live message bytes (deterministic)
   std::vector<SampledFlow> flows;      // sampled token journeys (deterministic)
+  /// Per-wave (round, cumulative cache hits, cumulative cache lookups)
+  /// samples; empty unless the run used `cache = lru` (deterministic).
+  std::vector<std::array<uint64_t, 3>> cache_series;
   std::vector<EngineShardTiming> shard_timing;  // empty when no engine attached
 };
 

@@ -1,0 +1,103 @@
+#include "overlay/cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace ncc {
+
+CombiningCache::CombiningCache(uint64_t states, uint32_t capacity)
+    : lru_(states), capacity_(capacity) {
+  NCC_ASSERT(capacity_ >= 1);
+}
+
+uint32_t CombiningCache::entries_at(uint64_t state) const {
+  return static_cast<uint32_t>(lru_[state].size());
+}
+
+CombiningCache::Entry* CombiningCache::find(uint64_t state, uint64_t group,
+                                            bool is_absorber) {
+  for (Entry& e : lru_[state])
+    if (e.group == group && e.is_absorber == is_absorber) return &e;
+  return nullptr;
+}
+
+CombiningCache::Entry* CombiningCache::take_slot(uint64_t state, Flushed* evicted,
+                                                 bool* was_valued_absorber) {
+  *was_valued_absorber = false;
+  std::vector<Entry>& v = lru_[state];
+  if (v.size() < capacity_) {
+    v.emplace_back();
+    return &v.back();
+  }
+  Entry* lru = &v[0];
+  for (Entry& e : v)
+    if (e.tick < lru->tick) lru = &e;
+  ++stats_.evictions;
+  if (lru->is_absorber && lru->has_val) {
+    *was_valued_absorber = true;
+    if (evicted) *evicted = {lru->group, lru->val};
+  }
+  return lru;
+}
+
+const Val* CombiningCache::lookup_payload(uint64_t state, uint64_t group) {
+  if (Entry* e = find(state, group, /*is_absorber=*/false)) {
+    e->tick = ++tick_;
+    ++stats_.hits;
+    return &e->val;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void CombiningCache::admit_payload(uint64_t state, uint64_t group, const Val& v) {
+  if (Entry* e = find(state, group, /*is_absorber=*/false)) {
+    e->val = v;
+    e->tick = ++tick_;
+    return;
+  }
+  bool valued_absorber = false;
+  Entry* e = take_slot(state, nullptr, &valued_absorber);
+  // Absorbers never outlive the combining descent that armed them (they all
+  // flush at the token transition), and the Spreading Phase that admits
+  // payloads runs outside any descent — so admission can never displace
+  // un-flushed aggregate mass.
+  NCC_ASSERT_MSG(!valued_absorber, "payload admission evicted a valued absorber");
+  *e = {group, v, ++tick_, /*is_absorber=*/false, /*has_val=*/true};
+}
+
+bool CombiningCache::absorb(uint64_t state, uint64_t group, const Val& v,
+                            const CombineFn& combine) {
+  Entry* e = find(state, group, /*is_absorber=*/true);
+  if (!e) {
+    ++stats_.misses;
+    return false;
+  }
+  e->val = e->has_val ? combine(e->val, v) : v;
+  e->has_val = true;
+  e->tick = ++tick_;
+  ++stats_.hits;
+  return true;
+}
+
+bool CombiningCache::arm_absorber(uint64_t state, uint64_t group, Flushed* evicted) {
+  if (find(state, group, /*is_absorber=*/true)) return false;  // already armed
+  bool valued_absorber = false;
+  Entry* e = take_slot(state, evicted, &valued_absorber);
+  *e = {group, Val{}, ++tick_, /*is_absorber=*/true, /*has_val=*/false};
+  return valued_absorber;
+}
+
+void CombiningCache::flush_absorbers(uint64_t state, std::vector<Flushed>* out) {
+  std::vector<Entry>& v = lru_[state];
+  size_t keep = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i].is_absorber) {
+      if (v[i].has_val) out->push_back({v[i].group, v[i].val});
+      continue;
+    }
+    v[keep++] = v[i];
+  }
+  v.resize(keep);
+}
+
+}  // namespace ncc

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 #include <unordered_set>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/flat_map.hpp"
+#include "overlay/cache.hpp"
 #include "engine/engine.hpp"
 #include "obs/flow.hpp"
 #include "obs/tracer.hpp"
@@ -135,7 +138,8 @@ DownResult route_down(const Overlay& topo, Network& net,
                       std::vector<std::vector<AggPacket>> at_col,
                       const std::function<NodeId(uint64_t)>& dest_col,
                       const std::function<uint64_t(uint64_t)>& rank,
-                      const CombineFn& combine, MulticastTrees* record) {
+                      const CombineFn& combine, MulticastTrees* record,
+                      CombiningCache* cache) {
   obs::Span span(net, "route.down");
   // Cached once: deposits run only on the caller thread, in deterministic
   // merge order, so hops recorded here are thread-count invariant.
@@ -151,24 +155,24 @@ DownResult route_down(const Overlay& topo, Network& net,
   // Cached group metadata (dest column and rank are hash evaluations that
   // every node can compute from the shared randomness). Populated on deposit
   // — always sequential — so the parallel step loop reads a frozen map.
-  std::unordered_map<uint64_t, std::pair<NodeId, uint64_t>> meta;
+  FlatMap<std::pair<NodeId, uint64_t>> meta;
   auto group_meta = [&](uint64_t g) -> const std::pair<NodeId, uint64_t>& {
-    auto it = meta.find(g);
-    if (it == meta.end()) {
+    auto [slot, fresh] = meta.emplace(g, {});
+    if (fresh) {
       NodeId dc = dest_col(g);
       NCC_ASSERT(dc < cols);
-      it = meta.emplace(g, std::make_pair(dc, rank(g))).first;
+      *slot = std::make_pair(dc, rank(g));
     }
-    return it->second;
+    return *slot;
   };
   auto meta_of = [&](uint64_t g) -> const std::pair<NodeId, uint64_t>& {
-    auto it = meta.find(g);
-    NCC_ASSERT(it != meta.end());
-    return it->second;
+    const auto* slot = meta.find(g);
+    NCC_ASSERT(slot != nullptr);
+    return *slot;
   };
 
   // Per routing state: combined pending packet per group.
-  std::vector<std::unordered_map<uint64_t, Val>> pending(topo.node_count());
+  std::vector<FlatMap<Val>> pending(topo.node_count());
   uint64_t pending_total = 0;
   ActiveSet active(topo.node_count());
   // Effects applied after end_round() on the caller thread; counted toward
@@ -176,11 +180,67 @@ DownResult route_down(const Overlay& topo, Network& net,
   // truly delivered nothing new.
   uint64_t progress = 0;
 
+  // Token state: tokens flow level 0 -> F behind the packets, one per
+  // (node, down-edge). Each token message carries its edge index and
+  // tokens_recv tracks in-edges as a bitmask (in-degree == down-degree of the
+  // level above: generators are involutions), so duplicate deliveries — the
+  // stall heartbeat re-sends — are idempotent. Level-0 nodes start ready.
+  // Declared before deposit() because the absorber admission rule reads
+  // token_ready (see below).
+  std::vector<uint64_t> tokens_recv(topo.node_count(), 0);
+  std::vector<uint64_t> token_sent(topo.node_count(), 0);
+  auto full_mask = [&](uint32_t level) -> uint64_t {
+    return (uint64_t{1} << topo.down_degree(level)) - 1;
+  };
+  auto token_ready = [&](uint64_t idx) {
+    uint32_t level = static_cast<uint32_t>(idx / cols);
+    return level == 0 || tokens_recv[idx] == full_mask(level - 1);
+  };
+
+  // En-route cache bookkeeping (overlay/cache.hpp). All cache traffic runs
+  // at the sequential deposit/token merge points, so hits and evictions are
+  // bit-identical across engine thread counts. Stats are reported as
+  // per-call deltas.
+  const CombiningCache::Stats cache_before =
+      cache ? cache->stats() : CombiningCache::Stats{};
+  // Dedup index into record->cache_roots: later hits of a group at the same
+  // state OR their subtree masks into the root recorded by the first hit.
+  std::map<std::pair<uint64_t, uint64_t>, size_t> croot_at;
+
   auto deposit = [&](uint32_t level, NodeId col, uint64_t group, const Val& v) {
     uint64_t idx = topo.index(level, col);
     congestion.visit(topo.overlay_node(level, col), group);
     group_meta(group);
     ++progress;
+    // Serving-side cache hit (tree setup only): the state holds this group's
+    // payload, so the request ends here. Snapshot-and-clear the subtree
+    // recorded below this state and register it as a cache root; the next
+    // Spreading Phase injects the cached payload there instead of descending
+    // from the group root. Clearing keeps the recorded tree and the cache
+    // root disjoint — the up phase serves every recorded edge exactly once.
+    if (cache && record && level < F) {
+      if (const Val* pv = cache->lookup_payload(idx, group)) {
+        uint64_t mask = 0;
+        auto cit = record->children[idx].find(group);
+        if (cit != record->children[idx].end()) {
+          mask = cit->second;
+          cit->second = 0;
+        }
+        auto [dit, fresh_root] = croot_at.emplace(std::make_pair(idx, group),
+                                                  record->cache_roots.size());
+        if (fresh_root) {
+          record->cache_roots.push_back({group, idx, *pv, mask});
+        } else {
+          record->cache_roots[dit->second].mask |= mask;
+        }
+        if (flows)
+          flows->record_hop(
+              group, /*up=*/false, level,
+              topo.route_edge(level, col, group_meta(group).first),
+              topo.host(col), net.rounds(), /*cache_hit=*/true);
+        return;
+      }
+    }
     if (flows)
       flows->record_hop(
           group, /*up=*/false, level,
@@ -207,39 +267,58 @@ DownResult route_down(const Overlay& topo, Network& net,
       if (record) record->root_col[group] = col;
       return;
     }
-    auto [it, fresh] = pending[idx].emplace(group, v);
+    // Absorber-side caching (pure aggregation descent): a repeat packet of a
+    // group whose earlier packet already departed parks in the armed
+    // absorber instead of climbing separately; its mass re-enters the
+    // pending queue at this state's token-completion transition.
+    if (cache && !record && level >= 1) {
+      if (Val* queued = pending[idx].find(group)) {
+        *queued = combine(*queued, v);
+        ++result.stats.combines;
+        active.add(idx);
+        return;
+      }
+      if (cache->absorb(idx, group, v, combine)) return;
+      pending[idx].emplace(group, v);
+      ++pending_total;
+      active.add(idx);
+      // Arm only while more packets can still arrive (tokens incomplete): an
+      // absorber armed after the flush transition would never drain.
+      if (!token_ready(idx)) {
+        CombiningCache::Flushed ev;
+        if (cache->arm_absorber(idx, group, &ev)) {
+          auto [slot, fresh] = pending[idx].emplace(ev.group, ev.val);
+          if (fresh) {
+            ++pending_total;
+          } else {
+            *slot = combine(*slot, ev.val);
+            ++result.stats.combines;
+          }
+        }
+      }
+      return;
+    }
+    auto [slot, fresh] = pending[idx].emplace(group, v);
     if (fresh) {
       ++pending_total;
     } else {
-      it->second = combine(it->second, v);
+      *slot = combine(*slot, v);
       ++result.stats.combines;
     }
     active.add(idx);
   };
 
-  for (NodeId c = 0; c < cols; ++c)
-    for (const AggPacket& p : at_col[c]) deposit(0, c, p.group, p.val);
-  at_col.clear();
-
+  // Initialize the tree record before the first deposits: the serving-hit
+  // branch reads record->children for level-0 states too.
   if (record) {
     record->levels = topo.levels();
     record->children.assign(topo.node_count(), {});
   }
 
-  // Token state: tokens flow level 0 -> F behind the packets, one per
-  // (node, down-edge). Each token message carries its edge index and
-  // tokens_recv tracks in-edges as a bitmask (in-degree == down-degree of the
-  // level above: generators are involutions), so duplicate deliveries — the
-  // stall heartbeat re-sends — are idempotent. Level-0 nodes start ready.
-  std::vector<uint64_t> tokens_recv(topo.node_count(), 0);
-  std::vector<uint64_t> token_sent(topo.node_count(), 0);
-  auto full_mask = [&](uint32_t level) -> uint64_t {
-    return (uint64_t{1} << topo.down_degree(level)) - 1;
-  };
-  auto token_ready = [&](uint64_t idx) {
-    uint32_t level = static_cast<uint32_t>(idx / cols);
-    return level == 0 || tokens_recv[idx] == full_mask(level - 1);
-  };
+  for (NodeId c = 0; c < cols; ++c)
+    for (const AggPacket& p : at_col[c]) deposit(0, c, p.group, p.val);
+  at_col.clear();
+
   uint64_t tokens_pending = 0;
   for (uint32_t l = 0; l < F; ++l)
     tokens_pending += static_cast<uint64_t>(topo.down_degree(l)) * cols;
@@ -275,6 +354,7 @@ DownResult route_down(const Overlay& topo, Network& net,
   std::vector<StepOut> outs(engine_shards(net));
   std::vector<std::vector<LocalMove>> arrivals(engine_shards(net));
   std::vector<uint64_t> items;
+  std::vector<CombiningCache::Flushed> flush_buf;
 
   bool first_round = true;
   while (pending_total > 0 || tokens_pending > 0) {
@@ -310,8 +390,7 @@ DownResult route_down(const Overlay& topo, Network& net,
         auto& pq = pending[idx];
         uint64_t edge_used = 0, edge_wanted = 0;
         for (uint32_t e = 0; e < deg; ++e) best[e].found = false;
-        for (const auto& [g, v] : pq) {
-          (void)v;
+        pq.for_each([&](uint64_t g, const Val&) {
           uint32_t e = topo.route_edge(level, col, meta_of(g).first);
           NCC_ASSERT(e < deg);
           edge_wanted |= uint64_t{1} << e;
@@ -319,12 +398,12 @@ DownResult route_down(const Overlay& topo, Network& net,
           if (!best[e].found || p < best[e].best) {
             best[e] = {true, p, g};
           }
-        }
+        });
         for (uint32_t e = 0; e < deg; ++e) {
           if (!best[e].found) continue;
           edge_used |= uint64_t{1} << e;
           uint64_t g = best[e].group;
-          Val v = pq[g];
+          Val v = *pq.find(g);
           pq.erase(g);
           ++out.freed;
           ++out.moved;
@@ -391,6 +470,23 @@ DownResult route_down(const Overlay& topo, Network& net,
       if (!(tokens_recv[idx] & bit)) {
         tokens_recv[idx] |= bit;
         ++progress;
+        // Token completion is the absorber drain point: every value parked
+        // at this state re-enters the pending queue here, exactly once, so
+        // aggregates stay exact. Runs at the sequential merge, like deposits.
+        if (cache && !record && token_ready(idx)) {
+          flush_buf.clear();
+          cache->flush_absorbers(idx, &flush_buf);
+          for (const CombiningCache::Flushed& f : flush_buf) {
+            auto [slot, fresh] = pending[idx].emplace(f.group, f.val);
+            if (fresh) {
+              ++pending_total;
+            } else {
+              *slot = combine(*slot, f.val);
+              ++result.stats.combines;
+            }
+            active.add(idx);
+          }
+        }
       }
       if (token_ready(idx) && token_sent[idx] != full_mask(level)) active.add(idx);
     };
@@ -439,12 +535,19 @@ DownResult route_down(const Overlay& topo, Network& net,
 
   result.stats.congestion = congestion.max();
   if (record) record->congestion = congestion.max();
+  if (cache) {
+    const CombiningCache::Stats& cs = cache->stats();
+    result.stats.cache_hits = cs.hits - cache_before.hits;
+    result.stats.cache_misses = cs.misses - cache_before.misses;
+    result.stats.cache_evictions = cs.evictions - cache_before.evictions;
+  }
   return result;
 }
 
 UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees,
                   const std::unordered_map<uint64_t, Val>& payloads,
-                  const std::function<uint64_t(uint64_t)>& rank) {
+                  const std::function<uint64_t(uint64_t)>& rank,
+                  CombiningCache* cache) {
   obs::Span span(net, "route.up");
   // Same caller-thread determinism argument as route_down's sampler use.
   obs::FlowSampler* flows = obs::FlowSampler::of(net);
@@ -459,16 +562,16 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
 
   // Populated on arrive() — always sequential — so the parallel step loop
   // reads a frozen map.
-  std::unordered_map<uint64_t, uint64_t> rank_cache;
+  FlatMap<uint64_t> rank_cache;
   auto group_rank = [&](uint64_t g) {
-    auto it = rank_cache.find(g);
-    if (it == rank_cache.end()) it = rank_cache.emplace(g, rank(g)).first;
-    return it->second;
+    auto [slot, fresh] = rank_cache.emplace(g, 0);
+    if (fresh) *slot = rank(g);
+    return *slot;
   };
   auto rank_of = [&](uint64_t g) {
-    auto it = rank_cache.find(g);
-    NCC_ASSERT(it != rank_cache.end());
-    return it->second;
+    const uint64_t* slot = rank_cache.find(g);
+    NCC_ASSERT(slot != nullptr);
+    return *slot;
   };
 
   // Per routing state: groups being served and the mask of remaining
@@ -477,10 +580,14 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
     Val val;
     uint64_t mask;
   };
-  std::vector<std::unordered_map<uint64_t, Serving>> serving(topo.node_count());
+  std::vector<FlatMap<Serving>> serving(topo.node_count());
   uint64_t edges_remaining = 0;
   ActiveSet active(topo.node_count());
   uint64_t progress = 0;
+
+  // Per-call cache stats delta, as in route_down.
+  const CombiningCache::Stats cache_before =
+      cache ? cache->stats() : CombiningCache::Stats{};
 
   auto arrive = [&](uint32_t level, NodeId col, uint64_t group, const Val& v) {
     uint64_t idx = topo.index(level, col);
@@ -490,6 +597,11 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
       flows->record_hop(group, /*up=*/true, level, 0, topo.host(col),
                         net.rounds());
     if (level == 0) {
+      // Admission point: every state the payload passes (leaves included)
+      // caches it, so a later wave's setup request can terminate here.
+      // Arrivals are applied sequentially at the merge, so admission and
+      // eviction order is thread-count invariant.
+      if (cache) cache->admit_payload(idx, group, v);
       result.at_col[col].push_back({group, v});
       return;
     }
@@ -512,6 +624,7 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
       ++result.stats.misrouted;
       return;
     }
+    if (cache) cache->admit_payload(idx, group, v);  // same admission point
     edges_remaining += std::popcount(it->second);
     active.add(idx);
   };
@@ -526,6 +639,38 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
       continue;
     }
     arrive(F, rit->second, group, val);
+  }
+
+  // Inject the cached payloads at the cache roots route_down recorded: each
+  // serves exactly the subtree whose setup requests terminated at that state
+  // (the mask snapshotted-and-cleared at hit time), so no recorded edge is
+  // served twice. Level-0 roots are leaf-local hits — delivered straight to
+  // the column, zero routing messages.
+  for (const MulticastTrees::CacheRoot& cr : trees.cache_roots) {
+    uint32_t level = static_cast<uint32_t>(cr.idx / cols);
+    NodeId col = static_cast<NodeId>(cr.idx % cols);
+    group_rank(cr.group);
+    ++progress;
+    if (flows)
+      flows->record_hop(cr.group, /*up=*/true, level, 0, topo.host(col),
+                        net.rounds(), /*cache_hit=*/true);
+    if (cache) cache->admit_payload(cr.idx, cr.group, cr.val);  // refresh
+    if (level == 0) {
+      result.at_col[col].push_back({cr.group, cr.val});
+      continue;
+    }
+    if (cr.mask == 0) continue;  // nothing recorded below this state
+    if (!serving[cr.idx].emplace(cr.group, Serving{cr.val, cr.mask}).second) {
+      // Roots are deduplicated per (idx, group) at record time, so a
+      // collision means a corrupted id — count it, don't abort (the same
+      // contract as arrive()).
+      NCC_ASSERT_MSG(net.corruption_possible(),
+                     "duplicate cache-root injection on a reliable network");
+      ++result.stats.misrouted;
+      continue;
+    }
+    edges_remaining += std::popcount(cr.mask);
+    active.add(cr.idx);
   }
 
   // Tokens flow F -> 0, one per (node, reversed down-edge); a node at level l
@@ -594,7 +739,7 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
         auto& sv = serving[idx];
         uint64_t edge_used = 0, edge_wanted = 0;
         for (uint32_t e = 0; e < deg; ++e) best[e].found = false;
-        for (const auto& [g, srv] : sv) {
+        sv.for_each([&](uint64_t g, const Serving& srv) {
           Prio p{rank_of(g), g};
           uint64_t mask = srv.mask;
           while (mask) {
@@ -603,14 +748,14 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
             edge_wanted |= uint64_t{1} << e;
             if (!best[e].found || p < best[e].best) best[e] = {true, p, g};
           }
-        }
+        });
         for (uint32_t e = 0; e < deg; ++e) {
           if (!best[e].found) continue;
           edge_used |= uint64_t{1} << e;
-          auto sit = sv.find(best[e].group);
-          Val v = sit->second.val;
-          sit->second.mask &= ~(uint64_t{1} << e);
-          if (sit->second.mask == 0) sv.erase(sit);
+          Serving* sit = sv.find(best[e].group);
+          Val v = sit->val;
+          sit->mask &= ~(uint64_t{1} << e);
+          if (sit->mask == 0) sv.erase(best[e].group);
           ++out.freed;
           ++out.moved;
           NodeId ncol = topo.up_column(level, col, e);
@@ -709,6 +854,12 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
     }
   }
 
+  if (cache) {
+    const CombiningCache::Stats& cs = cache->stats();
+    result.stats.cache_hits = cs.hits - cache_before.hits;
+    result.stats.cache_misses = cs.misses - cache_before.misses;
+    result.stats.cache_evictions = cs.evictions - cache_before.evictions;
+  }
   return result;
 }
 

@@ -38,6 +38,8 @@
 
 namespace ncc {
 
+class CombiningCache;  // overlay/cache.hpp
+
 /// Aggregate value carried by a packet: two 64-bit words (an edge identifier
 /// plus a counter/weight — the widest aggregate the paper's algorithms use).
 using Val = std::array<uint64_t, 2>;
@@ -73,6 +75,21 @@ struct MulticastTrees {
   std::vector<std::vector<std::pair<uint64_t, NodeId>>> leaf_members;
   uint32_t congestion = 0;  // max #groups sharing one overlay node
 
+  /// A tree-setup request answered by the en-route combining cache
+  /// (overlay/cache.hpp): the request of `group` deposited at routing state
+  /// `idx` while the state held the group's payload, so the subtree recorded
+  /// below idx (`mask`, the up-edge bits snapshotted-and-cleared from
+  /// `children[idx]` at hit time) is served by injecting the cached payload
+  /// `val` at idx during route_up instead of descending from the group root.
+  /// Deduplicated per (idx, group): later hits OR their masks in.
+  struct CacheRoot {
+    uint64_t group = 0;
+    uint64_t idx = 0;  // routing-state index (level * columns + column)
+    Val val{};
+    uint64_t mask = 0;  // up-edges to serve; 0 only at level 0 (leaf-local hit)
+  };
+  std::vector<CacheRoot> cache_roots;
+
   /// Max number of leaf deliveries any single level-0 column performs.
   uint32_t max_leaf_load() const;
 };
@@ -96,6 +113,12 @@ struct RouteStats {
   /// Token retransmissions fired by the stall heartbeat (see file comment).
   /// Always zero on a reliable network.
   uint64_t token_resends = 0;
+  /// En-route combining cache traffic (zero unless a CombiningCache was
+  /// passed): requests answered at a caching state / lookups that fell
+  /// through / entries displaced by admission or arming.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
 };
 
 struct DownResult {
@@ -111,11 +134,17 @@ struct DownResult {
 /// column c. `dest_col(group)` gives h(group) in [0, 2^d); `rank(group)` the
 /// random rank rho(group). If `record` is non-null, tree edges and congestion
 /// are recorded into it (leaf_members must be pre-filled by the caller).
+/// `cache`, if non-null, enables en-route combining (overlay/cache.hpp): with
+/// `record` set (tree setup) deposits are served from cached payloads and
+/// recorded as `record->cache_roots`; without it (pure aggregation) deposits
+/// park in absorbers and re-enter the descent at token completion. All cache
+/// traffic lands in the stats' cache_* counters.
 DownResult route_down(const Overlay& topo, Network& net,
                       std::vector<std::vector<AggPacket>> at_col,
                       const std::function<NodeId(uint64_t)>& dest_col,
                       const std::function<uint64_t(uint64_t)>& rank,
-                      const CombineFn& combine, MulticastTrees* record = nullptr);
+                      const CombineFn& combine, MulticastTrees* record = nullptr,
+                      CombiningCache* cache = nullptr);
 
 struct UpResult {
   /// Packets delivered to level-0 leaf nodes: per column, (group, value).
@@ -125,9 +154,12 @@ struct UpResult {
 
 /// Multicast payloads from the tree roots (final level) up to the recorded
 /// leaves. `payloads` maps group -> packet value; every group must have a
-/// root recorded in `trees`.
+/// root recorded in `trees`. Cache roots recorded in `trees` are additionally
+/// served by injecting their cached payloads mid-overlay; `cache`, if
+/// non-null, admits every payload arrival so later setup descents can hit.
 UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees,
                   const std::unordered_map<uint64_t, Val>& payloads,
-                  const std::function<uint64_t(uint64_t)>& rank);
+                  const std::function<uint64_t(uint64_t)>& rank,
+                  CombiningCache* cache = nullptr);
 
 }  // namespace ncc

@@ -15,7 +15,7 @@ constexpr uint32_t kTagDeliver = 0x0a00;
 
 AggregationResult run_aggregation(const Shared& shared, Network& net,
                                   const AggregationProblem& problem,
-                                  uint64_t rng_tag) {
+                                  uint64_t rng_tag, CombiningCache* cache) {
   const Overlay& topo = shared.topo();
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
@@ -70,8 +70,8 @@ AggregationResult run_aggregation(const Shared& shared, Network& net,
   // --- Combining: random-rank routing with combining down the butterfly ---
   auto dest = [&](uint64_t g) { return shared.dest_col(g); };
   auto rank = [&](uint64_t g) { return shared.rank(g); };
-  DownResult down =
-      route_down(topo, net, std::move(at_col), dest, rank, problem.combine, nullptr);
+  DownResult down = route_down(topo, net, std::move(at_col), dest, rank,
+                               problem.combine, nullptr, cache);
   res.route = down.stats;
   sync_barrier(topo, net);
 

@@ -50,8 +50,12 @@ struct AggregationResult {
   uint32_t ell1 = 0;        // max memberships per node
 };
 
+/// `cache`, if non-null, enables en-route absorbers in the Combining Phase
+/// (overlay/cache.hpp): repeat packets of a hot group park at the first state
+/// that already forwarded the group and re-enter the descent combined.
 AggregationResult run_aggregation(const Shared& shared, Network& net,
                                   const AggregationProblem& problem,
-                                  uint64_t rng_tag = 0);
+                                  uint64_t rng_tag = 0,
+                                  CombiningCache* cache = nullptr);
 
 }  // namespace ncc

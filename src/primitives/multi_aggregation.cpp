@@ -20,7 +20,8 @@ namespace {
 MultiAggregationResult run_multi_aggregation_impl(
     const Shared& shared, Network& net, const MulticastTrees& trees,
     const std::vector<MulticastSend>& sends, const CombineFn& combine,
-    uint64_t rng_tag, const LeafAnnotateFn& annotate, bool allow_multi_source) {
+    uint64_t rng_tag, const LeafAnnotateFn& annotate, bool allow_multi_source,
+    CombiningCache* cache) {
   const Overlay& topo = shared.topo();
   const NodeId n = topo.n();
   const NodeId cols = topo.columns();
@@ -89,7 +90,7 @@ MultiAggregationResult run_multi_aggregation_impl(
 
   // Phase 2: multicast up the trees to the leaves.
   auto rank = [&](uint64_t g) { return shared.rank(g); };
-  UpResult up = route_up(topo, net, trees, payloads, rank);
+  UpResult up = route_up(topo, net, trees, payloads, rank, cache);
   res.up_route = up.stats;
   sync_barrier(topo, net);
 
@@ -148,7 +149,8 @@ MultiAggregationResult run_multi_aggregation_impl(
 
   // Phase 4: aggregate all packets for member u toward h(id(u)).
   auto dest = [&](uint64_t g) { return shared.dest_col(g); };
-  DownResult down = route_down(topo, net, std::move(at_col), dest, rank, combine, nullptr);
+  DownResult down =
+      route_down(topo, net, std::move(at_col), dest, rank, combine, nullptr, cache);
   res.down_route = down.stats;
   sync_barrier(topo, net);
 
@@ -191,17 +193,18 @@ MultiAggregationResult run_multi_aggregation(const Shared& shared, Network& net,
                                              const MulticastTrees& trees,
                                              const std::vector<MulticastSend>& sends,
                                              const CombineFn& combine, uint64_t rng_tag,
-                                             const LeafAnnotateFn& annotate) {
+                                             const LeafAnnotateFn& annotate,
+                                             CombiningCache* cache) {
   return run_multi_aggregation_impl(shared, net, trees, sends, combine, rng_tag,
-                                    annotate, /*allow_multi_source=*/false);
+                                    annotate, /*allow_multi_source=*/false, cache);
 }
 
 MultiAggregationResult run_multi_aggregation_multi(
     const Shared& shared, Network& net, const MulticastTrees& trees,
     const std::vector<MulticastSend>& sends, const CombineFn& combine,
-    uint64_t rng_tag, const LeafAnnotateFn& annotate) {
+    uint64_t rng_tag, const LeafAnnotateFn& annotate, CombiningCache* cache) {
   return run_multi_aggregation_impl(shared, net, trees, sends, combine, rng_tag,
-                                    annotate, /*allow_multi_source=*/true);
+                                    annotate, /*allow_multi_source=*/true, cache);
 }
 
 }  // namespace ncc

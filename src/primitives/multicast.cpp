@@ -17,7 +17,7 @@ constexpr uint32_t kTagLeafDeliver = 0x0d00;
 
 MulticastSetupResult setup_multicast_trees(const Shared& shared, Network& net,
                                            const std::vector<MulticastMembership>& members,
-                                           uint64_t rng_tag) {
+                                           uint64_t rng_tag, CombiningCache* cache) {
   const Overlay& topo = shared.topo();
   obs::Span span(net, "multicast.setup");
   const NodeId n = topo.n();
@@ -88,7 +88,7 @@ MulticastSetupResult setup_multicast_trees(const Shared& shared, Network& net,
   auto dest = [&](uint64_t g) { return shared.dest_col(g); };
   auto rank = [&](uint64_t g) { return shared.rank(g); };
   DownResult down = route_down(topo, net, std::move(at_col), dest, rank,
-                               agg::min_by_first, &res.trees);
+                               agg::min_by_first, &res.trees, cache);
   res.route = down.stats;
   sync_barrier(topo, net);
 
@@ -102,7 +102,7 @@ MulticastResult run_multicast_impl(const Shared& shared, Network& net,
                                    const MulticastTrees& trees,
                                    const std::vector<MulticastSend>& sends,
                                    uint32_t ell_hat, uint64_t rng_tag,
-                                   bool allow_multi_source) {
+                                   bool allow_multi_source, CombiningCache* cache) {
   const Overlay& topo = shared.topo();
   obs::Span span(net, "multicast");
   const NodeId n = topo.n();
@@ -124,7 +124,8 @@ MulticastResult run_multicast_impl(const Shared& shared, Network& net,
       NCC_ASSERT_MSG(allow_multi_source || per_source[s.source].empty(),
                      "a node may source at most one multicast");
       if (trees.root_col.find(s.group) == trees.root_col.end())
-        continue;  // group with no members
+        continue;  // group with no members, or one served entirely from
+                   // cache roots (no request reached the final level)
       per_source[s.source].push_back(&s);
     }
     uint32_t max_k = 0;
@@ -174,7 +175,7 @@ MulticastResult run_multicast_impl(const Shared& shared, Network& net,
 
   // Spreading phase: copy payloads up the recorded trees.
   auto rank = [&](uint64_t g) { return shared.rank(g); };
-  UpResult up = route_up(topo, net, trees, payloads, rank);
+  UpResult up = route_up(topo, net, trees, payloads, rank, cache);
   res.route = up.stats;
   sync_barrier(topo, net);
 
@@ -231,17 +232,18 @@ MulticastResult run_multicast_impl(const Shared& shared, Network& net,
 MulticastResult run_multicast(const Shared& shared, Network& net,
                               const MulticastTrees& trees,
                               const std::vector<MulticastSend>& sends, uint32_t ell_hat,
-                              uint64_t rng_tag) {
+                              uint64_t rng_tag, CombiningCache* cache) {
   return run_multicast_impl(shared, net, trees, sends, ell_hat, rng_tag,
-                            /*allow_multi_source=*/false);
+                            /*allow_multi_source=*/false, cache);
 }
 
 MulticastResult run_multicast_multi(const Shared& shared, Network& net,
                                     const MulticastTrees& trees,
                                     const std::vector<MulticastSend>& sends,
-                                    uint32_t ell_hat, uint64_t rng_tag) {
+                                    uint32_t ell_hat, uint64_t rng_tag,
+                                    CombiningCache* cache) {
   return run_multicast_impl(shared, net, trees, sends, ell_hat, rng_tag,
-                            /*allow_multi_source=*/true);
+                            /*allow_multi_source=*/true, cache);
 }
 
 }  // namespace ncc

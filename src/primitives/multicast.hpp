@@ -40,9 +40,13 @@ struct MulticastSetupResult {
 
 /// Build multicast trees for the given memberships. `sources` maps each group
 /// to its source node (needed later by multicast; not used for routing).
+/// `cache`, if non-null, serves setup requests from cached payloads
+/// (overlay/cache.hpp): hits terminate the descent and are recorded as
+/// trees.cache_roots for the next run_multicast over the same cache.
 MulticastSetupResult setup_multicast_trees(const Shared& shared, Network& net,
                                            const std::vector<MulticastMembership>& members,
-                                           uint64_t rng_tag = 0);
+                                           uint64_t rng_tag = 0,
+                                           CombiningCache* cache = nullptr);
 
 struct MulticastSend {
   uint64_t group;
@@ -64,7 +68,7 @@ struct MulticastResult {
 MulticastResult run_multicast(const Shared& shared, Network& net,
                               const MulticastTrees& trees,
                               const std::vector<MulticastSend>& sends, uint32_t ell_hat,
-                              uint64_t rng_tag = 0);
+                              uint64_t rng_tag = 0, CombiningCache* cache = nullptr);
 
 /// The extension remarked after Theorem 2.5: a node may source multiple
 /// multicast groups; the source->root handoff is batched ceil(log n) per
@@ -72,6 +76,7 @@ MulticastResult run_multicast(const Shared& shared, Network& net,
 MulticastResult run_multicast_multi(const Shared& shared, Network& net,
                                     const MulticastTrees& trees,
                                     const std::vector<MulticastSend>& sends,
-                                    uint32_t ell_hat, uint64_t rng_tag = 0);
+                                    uint32_t ell_hat, uint64_t rng_tag = 0,
+                                    CombiningCache* cache = nullptr);
 
 }  // namespace ncc

@@ -1,6 +1,7 @@
 #include "scenario/registry.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "baselines/sequential.hpp"
 #include "core/bfs.hpp"
@@ -13,9 +14,12 @@
 #include "core/mst.hpp"
 #include "core/orientation_algo.hpp"
 #include "graph/properties.hpp"
+#include "overlay/cache.hpp"
 #include "primitives/aggregation.hpp"
 #include "primitives/context.hpp"
+#include "primitives/multi_aggregation.hpp"
 #include "primitives/multicast.hpp"
+#include "scenario/traffic.hpp"
 
 namespace ncc::scenario {
 
@@ -243,75 +247,204 @@ ScenarioRunResult run_orientation_scenario(Network& net, const Graph& g,
   return r;
 }
 
-/// Primitives microbench: every node contributes 1 to group (u mod G); the
-/// per-group sums must come back exact (SUM aggregation, Theorem 2.3).
+/// Combining-cache plumbing shared by the primitives microbench adapters:
+/// the cache exists only when the spec asks for it, the counters and the
+/// per-wave series are appended only then, so default-spec JSON is unchanged.
+std::unique_ptr<CombiningCache> make_cache(const Shared& shared,
+                                           const ScenarioSpec& spec) {
+  if (spec.cache != ScenarioSpec::Cache::kLru) return nullptr;
+  return std::make_unique<CombiningCache>(shared.topo().node_count(),
+                                          spec.cache_size);
+}
+
+void sample_cache(ScenarioRunResult& r, const Network& net,
+                  const CombiningCache* cache) {
+  if (!cache) return;
+  const CombiningCache::Stats& cs = cache->stats();
+  r.cache_series.push_back({net.rounds(), cs.hits, cs.hits + cs.misses});
+}
+
+void append_cache_counters(ScenarioRunResult& r, const ScenarioSpec& spec,
+                           const CombiningCache* cache) {
+  if (spec.request_waves != 1)
+    r.counters.push_back({"waves", spec.request_waves});
+  if (!cache) return;
+  const CombiningCache::Stats& cs = cache->stats();
+  r.counters.push_back({"cache_hits", cs.hits});
+  r.counters.push_back({"cache_misses", cs.misses});
+  r.counters.push_back({"cache_evictions", cs.evictions});
+}
+
+/// Primitives microbench: every node contributes 1 to a traffic-drawn group
+/// (u mod G under uniform traffic); the per-group sums must come back exact
+/// (SUM aggregation, Theorem 2.3). With `cache = lru` the Combining Phase
+/// runs with absorbers — exactness must survive them.
 ScenarioRunResult run_aggregate_scenario(Network& net, const Graph& g,
                                          const ScenarioSpec& spec) {
   const NodeId n = g.n();
   const uint64_t groups = std::min<uint64_t>(n, 16);
   Shared shared(n, spec.seed, spec.overlay);
-  AggregationProblem prob;
-  prob.combine = agg::sum;
-  prob.target = [n](uint64_t grp) { return static_cast<NodeId>(grp % n); };
-  prob.ell2_hat = 1;
-  for (NodeId u = 0; u < n; ++u) prob.items.push_back({u, u % groups, Val{1, 0}});
-  AggregationResult res = run_aggregation(shared, net, prob, spec.seed);
-  uint64_t received = 0, exact = 0;
-  for (uint64_t grp = 0; grp < groups; ++grp) {
-    uint64_t expect = n / groups + (grp < n % groups ? 1 : 0);
-    auto it = res.at_target.find(grp);
-    uint64_t got = it == res.at_target.end() ? 0 : it->second[0];
-    received += got;
-    exact += got == expect;
+  std::unique_ptr<CombiningCache> cache = make_cache(shared, spec);
+  TrafficStream stream(spec, groups, spec.seed);
+  ScenarioRunResult r;
+  uint64_t algo_rounds = 0, received = 0, exact = 0, misrouted = 0, checks = 0;
+  for (uint32_t w = 0; w < spec.request_waves; ++w) {
+    AggregationProblem prob;
+    prob.combine = agg::sum;
+    prob.target = [n](uint64_t grp) { return static_cast<NodeId>(grp % n); };
+    prob.ell2_hat = 1;
+    std::vector<uint64_t> count(groups, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      uint64_t grp = stream.group_for(u);
+      ++count[grp];
+      prob.items.push_back({u, grp, Val{1, 0}});
+    }
+    AggregationResult res = run_aggregation(shared, net, prob, spec.seed + w,
+                                            cache.get());
+    for (uint64_t grp = 0; grp < groups; ++grp) {
+      auto it = res.at_target.find(grp);
+      uint64_t got = it == res.at_target.end() ? 0 : it->second[0];
+      received += got;
+      exact += got == count[grp];
+    }
+    algo_rounds += res.rounds;
+    misrouted += res.route.misrouted;
+    checks += groups;
+    sample_cache(r, net, cache.get());
   }
-  ScenarioRunResult r = exact == groups
+  ScenarioRunResult v = exact == checks
                             ? verdict_ok()
-                            : degraded(std::to_string(groups - exact) +
-                                       " of " + std::to_string(groups) +
+                            : degraded(std::to_string(checks - exact) +
+                                       " of " + std::to_string(checks) +
                                        " aggregates inexact");
+  r.ok = v.ok;
+  r.verdict = std::move(v.verdict);
   // misrouted distinguishes a router regression from ordinary fault loss: on
   // a fault-free spec (expect ok) a nonzero value fails CI with a diagnostic.
-  r.counters = {{"algo_rounds", res.rounds},
+  r.counters = {{"algo_rounds", algo_rounds},
                 {"groups", groups},
                 {"values_received", received},
-                {"misrouted", res.route.misrouted}};
+                {"misrouted", misrouted}};
+  append_cache_counters(r, spec, cache.get());
   return r;
 }
 
 /// Primitives microbench: node g multicasts a payload to group g's members
-/// {u : u mod G == g}; every member must receive its group's payload.
+/// (u mod G == g under uniform traffic; Zipf-skewed under `traffic = zipf`);
+/// every member must receive its group's payload, and the payload *content*
+/// is verified — a corrupted cached payload served on a hit counts as
+/// missing, never as silently delivered. With `request_waves > 1` the same
+/// group-keyed payloads are re-requested wave after wave, so a warm
+/// `cache = lru` serves repeat traffic from en-route hits.
 ScenarioRunResult run_multicast_scenario(Network& net, const Graph& g,
                                          const ScenarioSpec& spec) {
   const NodeId n = g.n();
   const uint64_t groups = std::min<uint64_t>(n, 8);
   Shared shared(n, spec.seed, spec.overlay);
-  std::vector<MulticastMembership> members;
-  for (NodeId u = 0; u < n; ++u) members.push_back({u, u % groups});
-  MulticastSetupResult setup = setup_multicast_trees(shared, net, members, spec.seed);
-  std::vector<MulticastSend> sends;
-  for (uint64_t grp = 0; grp < groups; ++grp)
-    sends.push_back({grp, static_cast<NodeId>(grp), Val{0x900d + grp, 0}});
-  MulticastResult res = run_multicast(shared, net, setup.trees, sends,
-                                      /*ell_hat=*/1, spec.seed);
-  uint64_t missing = 0, delivered = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    bool got = false;
-    for (const AggPacket& p : res.received[u])
-      if (p.group == u % groups && p.val[0] == 0x900d + u % groups) got = true;
-    if (got) {
-      ++delivered;
-    } else {
-      ++missing;
+  std::unique_ptr<CombiningCache> cache = make_cache(shared, spec);
+  TrafficStream stream(spec, groups, spec.seed);
+  ScenarioRunResult r;
+  uint64_t setup_rounds = 0, algo_rounds = 0;
+  uint64_t missing = 0, delivered = 0, misrouted = 0, lost_groups = 0;
+  for (uint32_t w = 0; w < spec.request_waves; ++w) {
+    std::vector<uint64_t> grp_of(n);
+    std::vector<MulticastMembership> members;
+    for (NodeId u = 0; u < n; ++u) {
+      grp_of[u] = stream.group_for(u);
+      members.push_back({u, grp_of[u]});
     }
+    MulticastSetupResult setup =
+        setup_multicast_trees(shared, net, members, spec.seed + w, cache.get());
+    std::vector<MulticastSend> sends;
+    for (uint64_t grp = 0; grp < groups; ++grp)
+      sends.push_back({grp, static_cast<NodeId>(grp), Val{0x900d + grp, 0}});
+    MulticastResult res = run_multicast(shared, net, setup.trees, sends,
+                                        /*ell_hat=*/1, spec.seed + w, cache.get());
+    for (NodeId u = 0; u < n; ++u) {
+      bool got = false;
+      for (const AggPacket& p : res.received[u])
+        if (p.group == grp_of[u] && p.val[0] == 0x900d + grp_of[u]) got = true;
+      if (got) {
+        ++delivered;
+      } else {
+        ++missing;
+      }
+    }
+    setup_rounds += setup.rounds;
+    algo_rounds += res.rounds;
+    misrouted += res.route.misrouted;
+    lost_groups += res.route.lost_groups;
+    sample_cache(r, net, cache.get());
   }
-  ScenarioRunResult r = missing == 0
+  ScenarioRunResult v = missing == 0
                             ? verdict_ok()
                             : degraded(std::to_string(missing) + " members missed payload");
-  r.counters = {{"setup_rounds", setup.rounds},
-                {"algo_rounds", res.rounds},
+  r.ok = v.ok;
+  r.verdict = std::move(v.verdict);
+  r.counters = {{"setup_rounds", setup_rounds},
+                {"algo_rounds", algo_rounds},
                 {"delivered", delivered},
-                {"misrouted", res.route.misrouted},
-                {"lost_groups", res.route.lost_groups}};
+                {"misrouted", misrouted},
+                {"lost_groups", lost_groups}};
+  append_cache_counters(r, spec, cache.get());
+  return r;
+}
+
+/// Primitives microbench over Multi-Aggregation (Theorem 2.6): members drawn
+/// from the traffic stream, node g sources group g's payload, every member
+/// must end up holding exactly its group's payload (singleton SUM). The
+/// Spreading Phase exercises cache serving, the final Combining Phase the
+/// absorbers — both in one algorithm.
+ScenarioRunResult run_multi_aggregation_scenario(Network& net, const Graph& g,
+                                                 const ScenarioSpec& spec) {
+  const NodeId n = g.n();
+  const uint64_t groups = std::min<uint64_t>(n, 8);
+  Shared shared(n, spec.seed, spec.overlay);
+  std::unique_ptr<CombiningCache> cache = make_cache(shared, spec);
+  TrafficStream stream(spec, groups, spec.seed);
+  ScenarioRunResult r;
+  uint64_t setup_rounds = 0, algo_rounds = 0;
+  uint64_t wrong = 0, delivered = 0, misrouted = 0, lost_groups = 0;
+  for (uint32_t w = 0; w < spec.request_waves; ++w) {
+    std::vector<uint64_t> grp_of(n);
+    std::vector<MulticastMembership> members;
+    for (NodeId u = 0; u < n; ++u) {
+      grp_of[u] = stream.group_for(u);
+      members.push_back({u, grp_of[u]});
+    }
+    MulticastSetupResult setup =
+        setup_multicast_trees(shared, net, members, spec.seed + w, cache.get());
+    std::vector<MulticastSend> sends;
+    for (uint64_t grp = 0; grp < groups; ++grp)
+      sends.push_back({grp, static_cast<NodeId>(grp), Val{0xa66 + grp, 0}});
+    MultiAggregationResult res =
+        run_multi_aggregation(shared, net, setup.trees, sends, agg::sum,
+                              spec.seed + w, nullptr, cache.get());
+    for (NodeId u = 0; u < n; ++u) {
+      if (res.at_node[u] && (*res.at_node[u])[0] == 0xa66 + grp_of[u]) {
+        ++delivered;
+      } else {
+        ++wrong;
+      }
+    }
+    setup_rounds += setup.rounds;
+    algo_rounds += res.rounds;
+    misrouted += res.up_route.misrouted + res.down_route.misrouted;
+    lost_groups += res.up_route.lost_groups + res.down_route.lost_groups;
+    sample_cache(r, net, cache.get());
+  }
+  ScenarioRunResult v = wrong == 0
+                            ? verdict_ok()
+                            : degraded(std::to_string(wrong) +
+                                       " nodes missed their aggregate");
+  r.ok = v.ok;
+  r.verdict = std::move(v.verdict);
+  r.counters = {{"setup_rounds", setup_rounds},
+                {"algo_rounds", algo_rounds},
+                {"delivered", delivered},
+                {"misrouted", misrouted},
+                {"lost_groups", lost_groups}};
+  append_cache_counters(r, spec, cache.get());
   return r;
 }
 
@@ -330,6 +463,7 @@ const std::vector<std::pair<std::string, ScenarioRunFn>>& algorithm_registry() {
       {"orientation", run_orientation_scenario},
       {"aggregate", run_aggregate_scenario},
       {"multicast", run_multicast_scenario},
+      {"multi_aggregation", run_multi_aggregation_scenario},
   };
   return reg;
 }

@@ -10,6 +10,7 @@
 // the paper's algorithms assume a reliable network.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -27,6 +28,10 @@ struct ScenarioRunResult {
   /// Deterministic algorithm-specific outputs (all integral so the JSON is
   /// byte-stable), e.g. phases, solution sizes, setup rounds.
   std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Per-wave combining-cache samples (round, cumulative hits, cumulative
+  /// lookups); empty unless the spec enables `cache = lru`. Feeds the
+  /// cache_hit_rate counter track of the Perfetto export.
+  std::vector<std::array<uint64_t, 3>> cache_series;
 };
 
 using ScenarioRunFn = ScenarioRunResult (*)(Network&, const Graph&,

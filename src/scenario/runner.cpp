@@ -25,6 +25,18 @@ void write_spec_fields(JsonWriter& w, const ScenarioSpec& spec) {
   w.kv("overlay", std::string(overlay_name(spec.overlay)));
   w.kv("seed", spec.seed);
   w.kv("capacity_factor", spec.capacity_factor);
+  // Traffic/cache fields mirror the spec's to_string discipline: emitted only
+  // when non-default, so pre-existing catalog/sweep JSON stays byte-identical.
+  if (spec.traffic == ScenarioSpec::Traffic::kZipf) {
+    w.kv("traffic", std::string("zipf"));
+    w.kv("zipf_s", spec.zipf_s);
+    w.kv("hot_keys", uint64_t{spec.hot_keys});
+  }
+  if (spec.request_waves != 1) w.kv("request_waves", uint64_t{spec.request_waves});
+  if (spec.cache == ScenarioSpec::Cache::kLru) {
+    w.kv("cache", std::string("lru"));
+    w.kv("cache_size", uint64_t{spec.cache_size});
+  }
   w.key("faults");
   w.begin_object();
   w.kv("crash_batches", static_cast<uint64_t>(spec.faults.crash_rounds.size()));
@@ -164,6 +176,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     out.trace.max_in_degree = congestion->max_in_degree_series();
     out.trace.live_bytes = memmon->live_bytes_series();
     out.trace.flows = flowsamp->flows();
+    out.trace.cache_series = result.cache_series;
     if (engine) out.trace.shard_timing = engine->shard_timing();
   }
   if (!opts.build_json) return out;

@@ -161,6 +161,18 @@ std::string ScenarioSpec::to_string() const {
        << "\n";
     if (weights == WeightMode::kRandom) os << "w_max = " << w_max << "\n";
   }
+  // Traffic/cache keys are emitted only when non-default, so every spec
+  // written before these axes existed round-trips byte-identically.
+  if (traffic == Traffic::kZipf) {
+    os << "traffic = zipf\n";
+    os << "zipf_s = " << fmt_double(zipf_s) << "\n";
+    os << "hot_keys = " << hot_keys << "\n";
+  }
+  if (request_waves != 1) os << "request_waves = " << request_waves << "\n";
+  if (cache == Cache::kLru) {
+    os << "cache = lru\n";
+    os << "cache_size = " << cache_size << "\n";
+  }
   os << "algorithm = " << algorithm << "\n";
   if (overlay != OverlayKind::kButterfly)
     os << "overlay = " << overlay_name(overlay) << "\n";
@@ -266,6 +278,34 @@ bool apply_spec_key(ScenarioSpec& spec, const std::string& key,
     }
   } else if (key == "w_max") {
     ok = parse_u64(val, &spec.w_max) && spec.w_max >= 1;
+  } else if (key == "traffic") {
+    if (val == "uniform") {
+      spec.traffic = ScenarioSpec::Traffic::kUniform;
+    } else if (val == "zipf") {
+      spec.traffic = ScenarioSpec::Traffic::kZipf;
+    } else {
+      return fail("traffic must be uniform|zipf, got `" + val + "`");
+    }
+  } else if (key == "zipf_s") {
+    ok = parse_double(val, &spec.zipf_s) && spec.zipf_s >= 0.0 && spec.zipf_s <= 8.0;
+    spec.provided.zipf_s = ok;
+  } else if (key == "hot_keys") {
+    ok = parse_u32(val, &spec.hot_keys) && spec.hot_keys >= 1;
+    spec.provided.hot_keys = ok;
+  } else if (key == "request_waves") {
+    ok = parse_u32(val, &spec.request_waves) && spec.request_waves >= 1 &&
+         spec.request_waves <= 64;
+  } else if (key == "cache") {
+    if (val == "off") {
+      spec.cache = ScenarioSpec::Cache::kOff;
+    } else if (val == "lru") {
+      spec.cache = ScenarioSpec::Cache::kLru;
+    } else {
+      return fail("cache must be off|lru, got `" + val + "`");
+    }
+  } else if (key == "cache_size") {
+    ok = parse_u32(val, &spec.cache_size) && spec.cache_size >= 1;
+    spec.provided.cache_size = ok;
   } else if (key == "algorithm") {
     spec.algorithm = val;
     spec.provided.algorithm = true;
@@ -361,6 +401,12 @@ bool validate_spec(ScenarioSpec& spec, std::string* error) {
     return fail("perturb_for must be < perturb_every");
   if (spec.provided.partition_frac && spec.faults.partition_windows.empty())
     return fail("partition_frac without `partition_windows`");
+  if (spec.traffic != ScenarioSpec::Traffic::kZipf) {
+    if (spec.provided.zipf_s) return fail("zipf_s without `traffic = zipf`");
+    if (spec.provided.hot_keys) return fail("hot_keys without `traffic = zipf`");
+  }
+  if (spec.cache != ScenarioSpec::Cache::kLru && spec.provided.cache_size)
+    return fail("cache_size without `cache = lru`");
   if (spec.faults.any() && spec.round_limit == 0)
     return fail(
         "fault injection requires a `round_limit` (lost protocol "

@@ -103,6 +103,23 @@ struct ScenarioSpec {
   WeightMode weights = WeightMode::kUnit;
   Weight w_max = 1 << 12;  // weights = random
 
+  // --- traffic (the request workload the primitives adapters generate) ---
+  /// uniform = today's round-robin group assignment; zipf = seeded Zipf-style
+  /// hot-key skew over `hot_keys` groups with exponent `zipf_s`.
+  enum class Traffic { kUniform, kZipf };
+  Traffic traffic = Traffic::kUniform;
+  double zipf_s = 1.0;     // skew exponent; requires traffic = zipf
+  uint32_t hot_keys = 8;   // size of the hot-key universe; requires traffic = zipf
+  /// Number of request waves the aggregate/multicast/multi_aggregation
+  /// adapters replay (each wave redraws its requests from the traffic
+  /// stream). 1 = today's single-shot behavior.
+  uint32_t request_waves = 1;
+
+  // --- en-route combining cache (overlay router) ---
+  enum class Cache { kOff, kLru };
+  Cache cache = Cache::kOff;
+  uint32_t cache_size = 16;  // LRU capacity per routing state; requires cache = lru
+
   // --- execution ---
   std::string algorithm;  // required; resolved by scenario/registry
   /// Emulated overlay the primitives route over (src/overlay/): the paper's
@@ -127,6 +144,7 @@ struct ScenarioSpec {
   /// cross-field validation, ignored by to_string / comparisons).
   struct ProvidedKeys {
     bool graph = false, n = false, algorithm = false, partition_frac = false;
+    bool zipf_s = false, hot_keys = false, cache_size = false;
   };
   ProvidedKeys provided;
 

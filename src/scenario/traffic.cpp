@@ -1,0 +1,49 @@
+#include "scenario/traffic.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ncc::scenario {
+
+ZipfSampler::ZipfSampler(uint32_t keys, double s) {
+  NCC_ASSERT(keys >= 1);
+  cdf_.resize(keys);
+  double total = 0.0;
+  for (uint32_t k = 0; k < keys; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k) + 1.0, s);
+    cdf_[k] = total;
+  }
+  for (uint32_t k = 0; k < keys; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;
+}
+
+uint32_t ZipfSampler::draw(Rng& rng) const {
+  double u = rng.next_double();
+  // First key whose cumulative mass covers u.
+  uint32_t lo = 0, hi = static_cast<uint32_t>(cdf_.size()) - 1;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+TrafficStream::TrafficStream(const ScenarioSpec& spec, uint64_t groups,
+                             uint64_t seed)
+    : groups_(groups),
+      zipf_(spec.traffic == ScenarioSpec::Traffic::kZipf),
+      sampler_(zipf_ ? spec.hot_keys : 1, spec.zipf_s),
+      rng_(mix64(seed ^ 0x7a1f5eedULL)) {
+  NCC_ASSERT(groups_ >= 1);
+}
+
+uint64_t TrafficStream::group_for(uint64_t index) {
+  if (!zipf_) return index % groups_;
+  return sampler_.draw(rng_) % groups_;
+}
+
+}  // namespace ncc::scenario
