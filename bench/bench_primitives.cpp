@@ -66,7 +66,7 @@ static void bench_aggregation(const BenchOpts& opts) {
         prob.items.push_back({u, rng.next_below(groups), Val{1, 0}});
     auto res = run_aggregation(shared, net, prob, mult);
     uint64_t sum = 0;
-    for (auto& [g, v] : res.at_target) sum += v[0];
+    res.at_target.for_each([&](uint64_t, const Val& v) { sum += v[0]; });
     NCC_ASSERT(sum == L);  // no value lost
     double pred = static_cast<double>(L) / n + (mult + prob.ell2_hat) / lg(n) + lg(n);
     t.add_row({Table::num(L), Table::num(groups), Table::num(res.rounds),

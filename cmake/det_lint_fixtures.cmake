@@ -1,0 +1,41 @@
+# ctest leg `det_lint_fixtures`: run det_lint over the golden violating
+# fixtures classified as deterministic and require (a) exit code 1 — the
+# findings convention, not a crash/usage error — and (b) every rule id
+# present in the report, so the checker provably still fires on each rule.
+#
+# Inputs: -DDET_LINT=<det_lint binary> -DREPO_DIR=<source root>
+#         -DOUT_DIR=<scratch dir>
+foreach(var DET_LINT REPO_DIR OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "det_lint_fixtures.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+set(report ${OUT_DIR}/det_lint_fixtures_report.txt)
+execute_process(
+  COMMAND ${DET_LINT}
+          --manifest ${REPO_DIR}/tests/lint_fixtures/manifest.txt
+          --repo ${REPO_DIR} --report ${report}
+          tests/lint_fixtures
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "det_lint on violating fixtures exited ${rc}, expected 1 (findings)\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+file(READ ${report} report_text)
+foreach(rule wall-clock randomness thread-identity unordered-container
+        pointer-key reinterpret-cast bad-suppression unused-suppression)
+  if(NOT report_text MATCHES "\\[${rule}\\]")
+    message(FATAL_ERROR "rule '${rule}' fired nowhere in the fixture report:\n${report_text}")
+  endif()
+endforeach()
+
+# The fully-suppressed and the clean fixture must not appear as finding lines.
+foreach(quiet suppressed_ok.cpp clean.cpp)
+  if(report_text MATCHES "${quiet}:[0-9]")
+    message(FATAL_ERROR "fixture ${quiet} should lint clean but has findings:\n${report_text}")
+  endif()
+endforeach()
+
+message(STATUS "det_lint_fixtures OK: exit 1 with all rules represented")

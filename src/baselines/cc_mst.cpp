@@ -1,6 +1,7 @@
 #include "baselines/cc_mst.hpp"
 
 #include <algorithm>
+// det-lint: allow(unordered-container) — nb_comp below is point-lookup only
 #include <unordered_map>
 
 #include "common/assert.hpp"
@@ -29,7 +30,6 @@ CcMstResult run_cc_mst(CongestedClique& cc, const Graph& g, uint64_t seed) {
   auto key_b = [&](uint64_t k) {
     return static_cast<NodeId>(k & ((uint64_t{1} << idbits) - 1));
   };
-  auto key_w = [&](uint64_t k) { return k >> (2 * idbits); };
 
   CcMstResult res;
   uint64_t start_rounds = cc.rounds();
@@ -45,6 +45,7 @@ CcMstResult run_cc_mst(CongestedClique& cc, const Graph& g, uint64_t seed) {
     for (NodeId u = 0; u < n; ++u)
       for (NodeId v : g.neighbors(u)) cc.send(u, v, comp[u]);
     cc.end_round();
+    // det-lint: allow(unordered-container) — keyed point lookups by neighbor id; never iterated
     std::vector<std::unordered_map<NodeId, NodeId>> nb_comp(n);
     for (NodeId u = 0; u < n; ++u)
       for (auto [src, word] : cc.inbox(u)) nb_comp[u][src] = static_cast<NodeId>(word);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+// det-lint: allow(unordered-container) — used_pairs_ is a membership guard, never iterated
 #include <unordered_set>
 #include <vector>
 
@@ -53,7 +54,8 @@ class CongestedClique {
   uint64_t messages_ = 0;
   uint32_t comm_degree_ = 0;
   std::vector<Pending> pending_;
-  std::unordered_set<uint64_t> used_pairs_;  // per-round (src, dst) guard
+  // det-lint: allow(unordered-container) — per-round (src, dst) membership guard; insert/clear only, never iterated
+  std::unordered_set<uint64_t> used_pairs_;
   std::vector<std::vector<std::pair<NodeId, uint64_t>>> inboxes_;
   DeliveryHook hook_;
 };

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 
 namespace ncc {
@@ -47,6 +48,16 @@ class FlatMap {
   const V* find(uint64_t key) const {
     size_t i = find_slot(key);
     return i == kNone ? nullptr : &slots_[i].val;
+  }
+
+  size_t count(uint64_t key) const { return find_slot(key) == kNone ? 0 : 1; }
+
+  /// Mapped value of a key that must be present (unordered_map::at shape,
+  /// minus the exception: absence is a caller bug, not a recoverable state).
+  const V& at(uint64_t key) const {
+    size_t i = find_slot(key);
+    NCC_ASSERT_MSG(i != kNone, "FlatMap::at: key not present");
+    return slots_[i].val;
   }
 
   /// Insert (key, val) if absent. Returns the mapped value (existing or
@@ -132,7 +143,9 @@ class FlatMap {
     if (size_ * 4 < slots_.size() * 3) return;  // keep load factor < 3/4
     std::vector<Slot> old_slots = std::move(slots_);
     std::vector<uint8_t> old_full = std::move(full_);
-    slots_.assign(old_slots.size() * 2, Slot{});
+    // Slot() (not Slot{}): value-init stays valid for V types whose default
+    // constructor is explicit (copy-list-init from {} would be rejected).
+    slots_.assign(old_slots.size() * 2, Slot());
     full_.assign(old_full.size() * 2, 0);
     mask_ = slots_.size() - 1;
     size_ = 0;

@@ -1,8 +1,7 @@
 #include "common/rng.hpp"
 
-#include <unordered_set>
-
 #include "common/assert.hpp"
+#include "common/flat_map.hpp"
 
 namespace ncc {
 
@@ -68,10 +67,10 @@ std::vector<uint64_t> Rng::sample_without_replacement(uint64_t n, uint64_t k) {
       out.push_back(all[i]);
     }
   } else {
-    std::unordered_set<uint64_t> seen;
+    FlatMap<uint8_t> seen;  // membership only — never iterated
     while (out.size() < k) {
       uint64_t v = next_below(n);
-      if (seen.insert(v).second) out.push_back(v);
+      if (seen.emplace(v, 1).second) out.push_back(v);
     }
   }
   return out;

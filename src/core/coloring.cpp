@@ -133,11 +133,12 @@ ColoringResult run_coloring(const Shared& shared, Network& net, const Graph& g,
         }
       }
       auto agg_res = run_aggregation(shared, net, prob, rep_tag ^ 3);
-      for (const auto& [grp, v] : agg_res.at_target) {
-        (void)v;
+      // Per-(node, color) groups are unique, so the removals commute and
+      // the FlatMap slot order cannot leak into the result.
+      agg_res.at_target.for_each([&](uint64_t grp, const Val&) {
         remove_color(static_cast<NodeId>(grp >> kColorBits),
                      static_cast<uint32_t>(grp & ((1u << kColorBits) - 1)));
-      }
+      });
 
       for (NodeId u : level_nodes)
         if (keep[u]) res.color[u] = pick[u];

@@ -1,7 +1,6 @@
 #include "core/components.hpp"
 
-#include <unordered_set>
-
+#include "common/flat_map.hpp"
 #include "core/mst.hpp"
 #include "obs/tracer.hpp"
 
@@ -22,7 +21,8 @@ ComponentsResult run_components(const Shared& shared, Network& net, const Graph&
   res.forest = std::move(mst.edges);
   res.phases = mst.phases;
   res.rounds = mst.rounds;
-  std::unordered_set<NodeId> distinct(res.leader.begin(), res.leader.end());
+  FlatMap<uint8_t> distinct;  // size only — order never observed
+  for (NodeId l : res.leader) distinct.emplace(l, 1);
   res.count = static_cast<uint32_t>(distinct.size());
   return res;
 }

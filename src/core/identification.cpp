@@ -1,7 +1,9 @@
 #include "core/identification.hpp"
 
 #include <algorithm>
+// det-lint: allow(unordered-container) — all uses audited at their declaration sites
 #include <unordered_map>
+// det-lint: allow(unordered-container) — all uses audited at their declaration sites
 #include <unordered_set>
 
 #include "common/assert.hpp"
@@ -110,9 +112,14 @@ IdentificationResult run_identification(const Shared& shared, Network& net,
       uint64_t blue_xor = 0;    // aggregated XOR from playing neighbors
       uint32_t blue_cnt = 0;    // aggregated count from playing neighbors
     };
+    // det-lint: allow(unordered-container) — traversal order is a pure function of the
+    // deterministic per-node insertion sequence (integer keys, no ASLR), and the
+    // peeling decode below is confluent: any peel order yields the same red set.
     std::unordered_map<uint32_t, TrialState> trials;
+    // det-lint: allow(unordered-container) — point lookups by arc id only; never iterated
     std::unordered_map<uint64_t, std::vector<uint32_t>> arc_to_trials;
-    std::unordered_set<uint64_t> remaining;  // candidate arcs not yet decoded
+    // det-lint: allow(unordered-container) — membership guard for undecoded arcs; never iterated
+    std::unordered_set<uint64_t> remaining;
     for (NodeId v : cand) {
       uint64_t arc = arc_id(u, v);
       auto ts = arc_trials(fam, arc, q);
@@ -126,10 +133,9 @@ IdentificationResult run_identification(const Shared& shared, Network& net,
     }
     for (auto& [t, st] : trials) {
       uint64_t group = (static_cast<uint64_t>(u) << kTrialBits) | t;
-      auto it = aggregated.at_target.find(group);
-      if (it != aggregated.at_target.end()) {
-        st.blue_xor = it->second[0];
-        st.blue_cnt = static_cast<uint32_t>(it->second[1]);
+      if (const Val* pv = aggregated.at_target.find(group)) {
+        st.blue_xor = (*pv)[0];
+        st.blue_cnt = static_cast<uint32_t>((*pv)[1]);
       }
     }
 

@@ -1,7 +1,5 @@
 #include "core/matching.hpp"
 
-#include <unordered_map>
-
 #include "common/assert.hpp"
 #include "obs/tracer.hpp"
 #include "primitives/aggregate_broadcast.hpp"
@@ -74,8 +72,10 @@ MatchingResult run_matching(const Shared& shared, Network& net, const Graph& g,
       if (choice[u] != kUnmatched) prob.items.push_back({u, choice[u], Val{u, 0}});
     auto acc = run_aggregation(shared, net, prob, mix64(rng_tag ^ (res.phases * 131 + 2)));
     std::vector<NodeId> accepted(n, kUnmatched);  // a(u): chooser u accepted
-    for (const auto& [grp, v] : acc.at_target)
+    // Group ids are distinct chooser nodes: pure scatter, order-free.
+    acc.at_target.for_each([&](uint64_t grp, const Val& v) {
       accepted[static_cast<NodeId>(grp)] = static_cast<NodeId>(v[0]);
+    });
 
     // The accepting node informs the accepted chooser directly (one message
     // per acceptor; everyone receives at most one confirm).

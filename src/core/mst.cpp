@@ -1,8 +1,8 @@
 #include "core/mst.hpp"
 
 #include <algorithm>
+// det-lint: allow(unordered-container) — all uses audited at their declaration sites
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/assert.hpp"
 #include "common/hash.hpp"
@@ -114,6 +114,8 @@ MstResult run_mst(const Shared& shared, Network& net, const Graph& g,
       bool exists = false;  // an outgoing edge exists at all
       bool done = false;
     };
+    // det-lint: allow(unordered-container) — leaders are inserted in ascending node id,
+    // so traversal order is a fixed function of that sequence (no ASLR/thread input).
     std::unordered_map<NodeId, Search> search;
     for (NodeId l = 0; l < n; ++l)
       if (is_leader[l]) search[l] = Search{key_lo0, key_hi0, false, false};
@@ -135,6 +137,8 @@ MstResult run_mst(const Shared& shared, Network& net, const Graph& g,
       // Leaders multicast the probe range [lo, hi]; nodes derive the A-way
       // split locally (A is a global parameter).
       std::vector<MulticastSend> probes;
+      // det-lint: allow(unordered-container) — drained into the dense per-node array
+      // node_probe, a scatter to distinct slots; traversal order cannot leak.
       std::unordered_map<NodeId, std::pair<uint64_t, uint64_t>> probe_of;
       for (auto& [l, s] : search) {
         if (s.done || (iter > 0 && s.lo >= s.hi)) continue;
@@ -185,11 +189,10 @@ MstResult run_mst(const Shared& shared, Network& net, const Graph& g,
                                      mix64(rng_tag ^ (res.phases * 31 + 101 + iter)));
       for (auto& [l, s] : search) {
         if (s.done || (iter > 0 && s.lo >= s.hi)) continue;
-        auto it = agg_res.at_target.find(l);
         uint64_t up = 0, down = 0;
-        if (it != agg_res.at_target.end()) {
-          up = it->second[0];
-          down = it->second[1];
+        if (const Val* pv = agg_res.at_target.find(l)) {
+          up = (*pv)[0];
+          down = (*pv)[1];
         }
         if (existence) {
           s.exists = up != down;
@@ -258,7 +261,8 @@ MstResult run_mst(const Shared& shared, Network& net, const Graph& g,
                                         mix64(rng_tag ^ (res.phases * 31 + 5)));
     // Tree roots notify the sources that their group is live.
     std::vector<uint64_t> live_groups;
-    for (const auto& [grp, col] : trees2.trees.root_col) live_groups.push_back(grp);
+    trees2.trees.root_col.for_each(
+        [&](uint64_t grp, const NodeId&) { live_groups.push_back(grp); });
     std::sort(live_groups.begin(), live_groups.end());
     std::vector<bool> is_source(n, false);
     for (uint64_t grp : live_groups) {

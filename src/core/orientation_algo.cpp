@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+// det-lint: allow(unordered-container) — all uses audited at their declaration sites
 #include <unordered_map>
+// det-lint: allow(unordered-container) — all uses audited at their declaration sites
 #include <unordered_set>
 
 #include "common/assert.hpp"
@@ -111,9 +113,8 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
       for (NodeId u = 0; u < n; ++u) {
         if (status[u] == St::Inactive) continue;
         uint32_t inactive_nb = 0;
-        auto it = agg_res.at_target.find(u);
-        if (it != agg_res.at_target.end())
-          inactive_nb = static_cast<uint32_t>(it->second[0]);
+        if (const Val* pv = agg_res.at_target.find(u))
+          inactive_nb = static_cast<uint32_t>((*pv)[0]);
         // Clamp: a legitimate count never exceeds the degree, but a byzantine
         // payload mutation can report one — an unclamped value underflows
         // d_i and blows the later round horizons up.
@@ -200,6 +201,7 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
     IdentificationResult ident = run_identification(shared, net, id_in, p1, phase * 131 + 2);
 
     // Collect per-active-node red sets and the unsuccessful split.
+    // det-lint: allow(unordered-container) — point lookups by node id only; never iterated
     std::unordered_map<NodeId, std::vector<NodeId>> red;
     std::vector<NodeId> u_high;
     std::vector<NodeId> u_low;
@@ -233,12 +235,14 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
       for (NodeId w : u_low) sends.push_back({w, w, Val{1, 0}});
       auto mc = run_multicast(shared, net, setup.trees, sends, d_star,
                               phase * 131 + 18 + attempt);
+      // det-lint: allow(unordered-container) — membership test only; never iterated
       std::unordered_set<NodeId> low_set(u_low.begin(), u_low.end());
 
       IdentificationInput in2;
       for (NodeId u : u_low) {
         in2.learning.push_back(u);
         // Remaining candidates: all neighbors minus already-identified reds.
+        // det-lint: allow(unordered-container) — membership test only; never iterated
         std::unordered_set<NodeId> got(red[u].begin(), red[u].end());
         std::vector<NodeId> cand;
         for (NodeId v : g.neighbors(u))
@@ -283,6 +287,7 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
     // a random round from {1..max(|Ru|, d*_i)}.
     if (!u_high.empty()) {
       std::vector<NodeId> uh = broadcast_ids(net, u_high);
+      // det-lint: allow(unordered-container) — membership test only; never iterated
       std::unordered_set<NodeId> uh_set(uh.begin(), uh.end());
       // Every U_high node restarts identification from scratch: red edges are
       // exactly the neighbors that contact it.
@@ -349,6 +354,7 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
     // Rendezvous hashing: both endpoints of an active-active edge send the
     // edge id to the same random node in the same random round; the node
     // answers both.
+    // det-lint: allow(unordered-container) — point lookups by node id only; never iterated
     std::unordered_map<NodeId, std::vector<NodeId>> active_red;
     {
       HashFamily fam = shared.make_family(net, phase * 131 + 53, 2, 2 * logn);
@@ -364,6 +370,9 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
       for (uint32_t r = 0; r < horizon; ++r) {
         // A sender that is its own rendezvous target "delivers" locally in
         // the same round the network messages arrive.
+        // det-lint: allow(unordered-container) — traversal order is fixed by the
+        // deterministic schedule order, and the drain scatters into per-(target,
+        // edge) slots of `seen`, so it commutes.
         std::unordered_map<uint64_t, std::vector<NodeId>> self_seen;
         for (auto [u, e] : schedule[r]) {
           NodeId tgt = static_cast<NodeId>(fam.fn(0).to_range(e, n));
@@ -375,6 +384,9 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
         }
         net.end_round();
         // Match edge messages per receiving node.
+        // det-lint: allow(unordered-container) — traversal order is a fixed function
+        // of the deterministic inbox drain order (integer keys, no ASLR); the
+        // per-edge responses it emits commute within the round.
         std::unordered_map<NodeId, std::unordered_map<uint64_t, std::vector<NodeId>>> seen;
         for (NodeId t = 0; t < n; ++t) {
           for (const Message& m : net.inbox(t)) {
@@ -437,6 +449,7 @@ OrientationRunResult run_orientation(const Shared& shared, Network& net, const G
       res.orientation.orient(u, v);
     };
     for (NodeId u : active) {
+      // det-lint: allow(unordered-container) — membership test only; never iterated
       std::unordered_set<NodeId> act(active_red[u].begin(), active_red[u].end());
       std::vector<NodeId> waiting_red;
       for (NodeId v : red[u]) {

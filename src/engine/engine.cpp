@@ -1,8 +1,10 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+// det-lint: observational — wall-clock feeds span timestamps on the obs side only
 #include <chrono>
 #include <mutex>
+// det-lint: observational — process-local attach registry; never serialized
 #include <unordered_map>
 
 #include "common/assert.hpp"
@@ -13,13 +15,19 @@ namespace {
 
 uint64_t now_ns() {
   return static_cast<uint64_t>(
+      // det-lint: observational — timestamps land in Perfetto spans, outside the
+      // deterministic byte prefix
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // det-lint: observational — same: span timestamps only
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
 
 std::mutex g_registry_mu;
+// det-lint: observational — process-local attach bookkeeping; the pointer keys
+// never leave the process and the map is never iterated
 std::unordered_map<const Network*, Engine*>& registry() {
+  // det-lint: observational — same process-local attach bookkeeping
   static std::unordered_map<const Network*, Engine*> reg;
   return reg;
 }

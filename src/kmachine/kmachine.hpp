@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
 
@@ -60,7 +60,7 @@ class KMachineTracker {
   std::vector<uint32_t> machine_;
   // Per observed NCC round: the max link load (folded incrementally).
   uint64_t current_round_ = UINT64_MAX;
-  std::unordered_map<uint64_t, uint32_t> current_loads_;
+  FlatMap<uint32_t> current_loads_;  // incremental fold, never iterated
   uint32_t current_max_ = 0;
   uint64_t folded_rounds_ = 0;   // sum of per-round maxima for closed rounds
   uint64_t rounds_seen_ = 0;
@@ -92,7 +92,7 @@ class KMachineCcTracker {
   uint32_t k_;
   std::vector<uint32_t> machine_;
   uint64_t current_round_ = UINT64_MAX;
-  std::unordered_map<uint64_t, uint32_t> current_loads_;
+  FlatMap<uint32_t> current_loads_;  // incremental fold, never iterated
   uint32_t current_max_ = 0;
   uint64_t folded_rounds_ = 0;
 };

@@ -1,9 +1,9 @@
 #include "net/network.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/bits.hpp"
+#include "common/flat_map.hpp"
 #include "engine/shard.hpp"
 
 namespace ncc {
@@ -278,7 +278,7 @@ void Network::end_round() {
     }
     MsgHdr* hout = inbox_hdr_.data();
     uint64_t* wout = inbox_words_.data();
-    std::unordered_map<NodeId, Rng> drop_rng;
+    FlatMap<Rng> drop_rng;  // lookup/emplace only, never iterated
     for_dst_shard(s, [&](const MsgHdr& h, const uint64_t* wbase) {
       const NodeId dst = h.dst;
       const uint32_t k = wsum_[dst]++;
@@ -295,10 +295,9 @@ void Network::end_round() {
       } else {
         // Reservoir over arrival order: replace a random survivor with
         // probability rcap/(k+1).
-        auto it = drop_rng.find(dst);
-        if (it == drop_rng.end())
-          it = drop_rng.emplace(dst, Rng(mix64(mix64(drop_seed_ ^ round) ^ dst))).first;
-        uint64_t j = it->second.next_below(k + 1);
+        Rng* r = drop_rng.find(dst);
+        if (!r) r = drop_rng.emplace(dst, Rng(mix64(mix64(drop_seed_ ^ round) ^ dst))).first;
+        uint64_t j = r->next_below(k + 1);
         if (j >= rcap) return;
         slot = inbox_off_[dst] + j;
         woff = word_off_[dst] + j * uint64_t{kMaxMessageWords};

@@ -10,7 +10,10 @@ namespace ncc::obs {
 namespace {
 
 std::mutex g_registry_mu;
+// det-lint: observational — process-local attach bookkeeping; the pointer keys
+// never leave the process and the map is never iterated
 std::unordered_map<const Network*, FlowSampler*>& registry() {
+  // det-lint: observational — same process-local attach bookkeeping
   static std::unordered_map<const Network*, FlowSampler*> reg;
   return reg;
 }

@@ -124,8 +124,11 @@ void write_cell(JsonWriter& w, const TraceCell& cell, uint64_t pid,
   // arrows (a flow chain needs both ends), which keeps begin/end ids
   // matched — the invariant trace_check enforces.
   for (const SampledFlow& f : cell.flows) {
-    std::string label = "g" + std::to_string(f.group) +
-                        (f.up ? " up" : " down");
+    // Built with += (not `"g" + std::to_string(...)`) to sidestep GCC 12's
+    // spurious -Wrestrict on operator+(const char*, string&&).
+    std::string label = "g";
+    label += std::to_string(f.group);
+    label += f.up ? " up" : " down";
     for (size_t h = 0; h < f.hops.size(); ++h) {
       const FlowHop& hop = f.hops[h];
       uint64_t ts = hop.round * kTraceRoundUs;

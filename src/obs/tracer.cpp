@@ -1,6 +1,7 @@
 #include "obs/tracer.hpp"
 
 #include <mutex>
+// det-lint: observational — process-local attach registry; never serialized
 #include <unordered_map>
 
 #include "common/assert.hpp"
@@ -10,7 +11,10 @@ namespace ncc::obs {
 namespace {
 
 std::mutex g_tracer_mu;
+// det-lint: observational — process-local attach bookkeeping; the pointer keys
+// never leave the process and the map is never iterated
 std::unordered_map<const Network*, Tracer*>& tracer_registry() {
+  // det-lint: observational — same process-local attach bookkeeping
   static std::unordered_map<const Network*, Tracer*> reg;
   return reg;
 }

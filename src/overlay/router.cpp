@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <map>
-#include <unordered_set>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -68,13 +67,15 @@ class CongestionTracker {
 
   void visit(uint64_t node_index, uint64_t group) {
     auto& s = seen_[node_index];
-    if (s.insert(group).second)
+    if (s.emplace(group, 1).second)
       max_ = std::max<uint32_t>(max_, static_cast<uint32_t>(s.size()));
   }
   uint32_t max() const { return max_; }
 
  private:
-  std::vector<std::unordered_set<uint64_t>> seen_;
+  // Insert + size only — never iterated, so the membership set is a FlatMap
+  // used as a set (value ignored).
+  std::vector<FlatMap<uint8_t>> seen_;
   uint32_t max_ = 0;
 };
 
@@ -221,10 +222,9 @@ DownResult route_down(const Overlay& topo, Network& net,
     if (cache && record && level < F) {
       if (const Val* pv = cache->lookup_payload(idx, group)) {
         uint64_t mask = 0;
-        auto cit = record->children[idx].find(group);
-        if (cit != record->children[idx].end()) {
-          mask = cit->second;
-          cit->second = 0;
+        if (uint64_t* recorded = record->children[idx].find(group)) {
+          mask = *recorded;
+          *recorded = 0;
         }
         auto [dit, fresh_root] = croot_at.emplace(std::make_pair(idx, group),
                                                   record->cache_roots.size());
@@ -258,9 +258,9 @@ DownResult route_down(const Overlay& topo, Network& net,
         ++result.stats.misrouted;
         return;
       }
-      auto [it, fresh] = result.root_values.emplace(group, v);
+      auto [slot, fresh] = result.root_values.emplace(group, v);
       if (!fresh) {
-        it->second = combine(it->second, v);
+        *slot = combine(*slot, v);
         ++result.stats.combines;
       }
       result.root_col[group] = col;
@@ -545,7 +545,7 @@ DownResult route_down(const Overlay& topo, Network& net,
 }
 
 UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees,
-                  const std::unordered_map<uint64_t, Val>& payloads,
+                  const FlatMap<Val>& payloads,
                   const std::function<uint64_t(uint64_t)>& rank,
                   CombiningCache* cache) {
   obs::Span span(net, "route.up");
@@ -605,8 +605,8 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
       result.at_col[col].push_back({group, v});
       return;
     }
-    auto it = trees.children[idx].find(group);
-    if (it == trees.children[idx].end() || it->second == 0) {
+    const uint64_t* mask = trees.children[idx].find(group);
+    if (!mask || *mask == 0) {
       // Off-tree arrival: on a reliable network packets only follow recorded
       // tree edges, so this stays a hard invariant there; byzantine
       // corruption can rewrite a packet's group id in flight — then it is
@@ -616,7 +616,7 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
       ++result.stats.misrouted;
       return;
     }
-    if (!serving[idx].emplace(group, Serving{v, it->second}).second) {
+    if (!serving[idx].emplace(group, Serving{v, *mask}).second) {
       // Duplicate arrival for a group already being served at this node:
       // same story — only a corrupted group id can collide like this.
       NCC_ASSERT_MSG(net.corruption_possible(),
@@ -625,21 +625,23 @@ UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees
       return;
     }
     if (cache) cache->admit_payload(idx, group, v);  // same admission point
-    edges_remaining += std::popcount(it->second);
+    edges_remaining += std::popcount(*mask);
     active.add(idx);
   };
 
-  for (const auto& [group, val] : payloads) {
-    auto rit = trees.root_col.find(group);
-    if (rit == trees.root_col.end()) {
+  // Slot order — deterministic and thread-invariant because the caller
+  // populates `payloads` sequentially (see FlatMap::for_each).
+  payloads.for_each([&](uint64_t group, const Val& val) {
+    const NodeId* rcol = trees.root_col.find(group);
+    if (!rcol) {
       // A reliable network always records a root (tree invariant); under
       // scenario fault injection a group can lose every membership packet,
       // in which case its multicast is undeliverable — count it, don't abort.
       ++result.stats.lost_groups;
-      continue;
+      return;
     }
-    arrive(F, rit->second, group, val);
-  }
+    arrive(F, *rcol, group, val);
+  });
 
   // Inject the cached payloads at the cache roots route_down recorded: each
   // serves exactly the subtree whose setup requests terminated at that state

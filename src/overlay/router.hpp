@@ -30,9 +30,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "net/network.hpp"
 #include "overlay/overlay.hpp"
 
@@ -70,8 +70,8 @@ struct AggPacket {
 /// column `col`.
 struct MulticastTrees {
   uint32_t levels = 0;  // routing levels of the overlay that recorded them
-  std::vector<std::unordered_map<uint64_t, uint64_t>> children;
-  std::unordered_map<uint64_t, NodeId> root_col;  // group -> final-level column
+  std::vector<FlatMap<uint64_t>> children;
+  FlatMap<NodeId> root_col;  // group -> final-level column
   std::vector<std::vector<std::pair<uint64_t, NodeId>>> leaf_members;
   uint32_t congestion = 0;  // max #groups sharing one overlay node
 
@@ -123,9 +123,12 @@ struct RouteStats {
 
 struct DownResult {
   /// Final aggregate per group, held by the final-level node of column
-  /// root_col[group] (host = that column's real node).
-  std::unordered_map<uint64_t, Val> root_values;
-  std::unordered_map<uint64_t, NodeId> root_col;
+  /// root_col[group] (host = that column's real node). FlatMap so consumers
+  /// either look groups up or drain in slot order, which is a pure function
+  /// of the insertion history — identical across thread counts because the
+  /// deposit loop that populates it runs sequentially per round.
+  FlatMap<Val> root_values;
+  FlatMap<NodeId> root_col;
   RouteStats stats;
 };
 
@@ -158,7 +161,7 @@ struct UpResult {
 /// served by injecting their cached payloads mid-overlay; `cache`, if
 /// non-null, admits every payload arrival so later setup descents can hit.
 UpResult route_up(const Overlay& topo, Network& net, const MulticastTrees& trees,
-                  const std::unordered_map<uint64_t, Val>& payloads,
+                  const FlatMap<Val>& payloads,
                   const std::function<uint64_t(uint64_t)>& rank,
                   CombiningCache* cache = nullptr);
 

@@ -89,7 +89,7 @@ AggregationResult run_aggregation(const Shared& shared, Network& net,
   // Deterministic iteration order over groups for reproducibility.
   std::vector<uint64_t> groups;
   groups.reserve(down.root_values.size());
-  for (const auto& [g, v] : down.root_values) groups.push_back(g);
+  down.root_values.for_each([&](uint64_t g, const Val&) { groups.push_back(g); });
   std::sort(groups.begin(), groups.end());
   for (uint64_t g : groups) {
     NodeId host = topo.host(down.root_col.at(g));

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "overlay/router.hpp"
@@ -42,8 +41,9 @@ struct AggregationProblem {
 };
 
 struct AggregationResult {
-  /// group -> aggregate, as received by target(group).
-  std::unordered_map<uint64_t, Val> at_target;
+  /// group -> aggregate, as received by target(group). FlatMap: consumers
+  /// look groups up or scatter into per-group slots; none depend on order.
+  FlatMap<Val> at_target;
   uint64_t rounds = 0;      // total NCC rounds (all phases + barriers)
   RouteStats route;         // combining-phase internals
   uint64_t global_load = 0; // L

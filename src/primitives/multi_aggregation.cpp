@@ -1,7 +1,6 @@
 #include "primitives/multi_aggregation.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/assert.hpp"
 #include "engine/engine.hpp"
@@ -33,14 +32,14 @@ MultiAggregationResult run_multi_aggregation_impl(
 
   // Phase 1: sources -> tree roots (batched ceil(log n)/round when a node
   // sources several groups; the extension remarked after Theorem 2.6).
-  std::unordered_map<uint64_t, Val> payloads;
+  FlatMap<Val> payloads;
   {
     std::vector<std::vector<const MulticastSend*>> per_source(n);
     for (const MulticastSend& s : sends) {
       NCC_ASSERT(s.source < n);
       NCC_ASSERT_MSG(allow_multi_source || per_source[s.source].empty(),
                      "a node may source at most one multicast");
-      if (trees.root_col.find(s.group) == trees.root_col.end()) continue;
+      if (!trees.root_col.find(s.group)) continue;
       per_source[s.source].push_back(&s);
     }
     uint32_t max_k = 0;
@@ -100,12 +99,12 @@ MultiAggregationResult run_multi_aggregation_impl(
   std::vector<std::vector<AggPacket>> outgoing(cols);  // per leaf column
   engine_for(net, cols, [&](uint64_t ci) {
     NodeId c = static_cast<NodeId>(ci);
-    std::unordered_map<uint64_t, Val> here;
+    FlatMap<Val> here;
     for (const AggPacket& p : up.at_col[c]) here.emplace(p.group, p.val);
     for (const auto& [group, member] : trees.leaf_members[c]) {
-      auto it = here.find(group);
-      if (it == here.end()) continue;
-      Val v = annotate ? annotate(group, member, it->second) : it->second;
+      const Val* pv = here.find(group);
+      if (!pv) continue;
+      Val v = annotate ? annotate(group, member, *pv) : *pv;
       outgoing[c].push_back({member, v});
     }
   });
@@ -159,7 +158,7 @@ MultiAggregationResult run_multi_aggregation_impl(
   // member ids are distinct, so the self-delivery writes are per-item.
   std::vector<uint64_t> members;
   members.reserve(down.root_values.size());
-  for (const auto& [g, v] : down.root_values) members.push_back(g);
+  down.root_values.for_each([&](uint64_t g, const Val&) { members.push_back(g); });
   std::sort(members.begin(), members.end());
   engine_send_loop(net, members.size(), [&](uint64_t i, MsgSink& out) {
     uint64_t g = members[i];

@@ -116,14 +116,14 @@ MulticastResult run_multicast_impl(const Shared& shared, Network& net,
   // Sources send their payloads to the tree roots. In the paper's simplified
   // variant each node sources at most one group (one round); the extension
   // remarked after Theorem 2.5 batches ceil(log n) handoffs per round.
-  std::unordered_map<uint64_t, Val> payloads;
+  FlatMap<Val> payloads;
   {
     std::vector<std::vector<const MulticastSend*>> per_source(n);
     for (const MulticastSend& s : sends) {
       NCC_ASSERT(s.source < n);
       NCC_ASSERT_MSG(allow_multi_source || per_source[s.source].empty(),
                      "a node may source at most one multicast");
-      if (trees.root_col.find(s.group) == trees.root_col.end())
+      if (!trees.root_col.find(s.group))
         continue;  // group with no members, or one served entirely from
                    // cache roots (no request reached the final level)
       per_source[s.source].push_back(&s);
@@ -194,16 +194,16 @@ MulticastResult run_multicast_impl(const Shared& shared, Network& net,
   std::vector<std::vector<Delivery>> schedule(s);
   for (NodeId c = 0; c < cols; ++c) {
     // Payload per group present at this leaf column.
-    std::unordered_map<uint64_t, Val> here;
+    FlatMap<Val> here;
     for (const AggPacket& p : up.at_col[c]) here.emplace(p.group, p.val);
     for (const auto& [group, member] : trees.leaf_members[c]) {
-      auto it = here.find(group);
-      if (it == here.end()) continue;  // no payload multicast for this group
+      const Val* pv = here.find(group);
+      if (!pv) continue;  // no payload multicast for this group
       NodeId host = topo.host(c);
       if (host == member) {
-        res.received[member].push_back({group, it->second});
+        res.received[member].push_back({group, *pv});
       } else {
-        schedule[deliver_rng.next_below(s)].push_back({host, group, it->second, member});
+        schedule[deliver_rng.next_below(s)].push_back({host, group, *pv, member});
       }
     }
   }

@@ -10,7 +10,6 @@
 // finally delivered from the leaves l(i, u) to the members u in random rounds.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "overlay/router.hpp"

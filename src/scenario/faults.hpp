@@ -30,9 +30,9 @@
 namespace ncc::scenario {
 
 struct RoundLimitReached : std::runtime_error {
-  explicit RoundLimitReached(uint64_t round)
-      : std::runtime_error("round limit reached at round " + std::to_string(round)),
-        round(round) {}
+  explicit RoundLimitReached(uint64_t at_round)
+      : std::runtime_error("round limit reached at round " + std::to_string(at_round)),
+        round(at_round) {}
   uint64_t round;
 };
 

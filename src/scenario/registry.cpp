@@ -25,9 +25,9 @@ namespace ncc::scenario {
 
 namespace {
 
-ScenarioRunResult verdict_ok() { return {true, "ok", {}}; }
+ScenarioRunResult verdict_ok() { return {true, "ok", {}, {}}; }
 
-ScenarioRunResult degraded(const std::string& why) { return {false, "degraded:" + why, {}}; }
+ScenarioRunResult degraded(const std::string& why) { return {false, "degraded:" + why, {}, {}}; }
 
 /// Orientation + broadcast-tree setup shared by the Section 5 algorithms.
 struct TreeSetup {
@@ -302,8 +302,8 @@ ScenarioRunResult run_aggregate_scenario(Network& net, const Graph& g,
     AggregationResult res = run_aggregation(shared, net, prob, spec.seed + w,
                                             cache.get());
     for (uint64_t grp = 0; grp < groups; ++grp) {
-      auto it = res.at_target.find(grp);
-      uint64_t got = it == res.at_target.end() ? 0 : it->second[0];
+      const Val* pv = res.at_target.find(grp);
+      uint64_t got = pv ? (*pv)[0] : 0;
       received += got;
       exact += got == count[grp];
     }

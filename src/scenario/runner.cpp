@@ -1,5 +1,7 @@
 #include "scenario/runner.hpp"
 
+// det-lint: observational — wall_ms is an observational field, outside the
+// deterministic byte prefix
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -137,6 +139,7 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   }
 
   ScenarioRunResult result;
+  // det-lint: observational — wall_ms timing only
   auto t0 = std::chrono::steady_clock::now();
   try {
     obs::Span root(net, "run");
@@ -150,7 +153,9 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     out.verdict = std::string("error:") + e.what();
     out.ok = false;
   }
+  // det-lint: observational — wall_ms timing only
   out.wall_ms = std::chrono::duration<double, std::milli>(
+                    // det-lint: observational — wall_ms timing only
                     std::chrono::steady_clock::now() - t0)
                     .count();
   out.ran = true;

@@ -71,9 +71,9 @@ std::optional<SweepSpec> parse_sweep(const std::string& text, std::string* error
         // Every axis value must parse for its key in isolation, so a bad
         // grid fails at parse time, not N cells into a CI run.
         ScenarioSpec scratch;
-        std::string why;
-        if (!apply_spec_key(scratch, axis.key, item, &why))
-          return fail(lineno, "sweep axis `" + axis.key + "`: " + why);
+        std::string axis_why;
+        if (!apply_spec_key(scratch, axis.key, item, &axis_why))
+          return fail(lineno, "sweep axis `" + axis.key + "`: " + axis_why);
         axis.values.push_back(item);
       }
       if (axis.values.empty())
@@ -85,8 +85,8 @@ std::optional<SweepSpec> parse_sweep(const std::string& text, std::string* error
       // Base assignment: checked now (same strictness as parse_spec), stored
       // as the literal pair so cells can re-apply it under axis overrides.
       ScenarioSpec scratch;
-      std::string why;
-      if (!apply_spec_key(scratch, key, val, &why)) return fail(lineno, why);
+      std::string base_why;
+      if (!apply_spec_key(scratch, key, val, &base_why)) return fail(lineno, base_why);
       sweep.base.emplace_back(key, val);
     }
   }

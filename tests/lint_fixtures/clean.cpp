@@ -1,0 +1,43 @@
+// det_lint golden fixture: a deterministic file full of near-misses that must
+// NOT fire — banned tokens in comments, strings, and raw strings; member
+// functions shadowing libc names; identifiers that merely contain a banned
+// stem. Never compiled.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+// Comment mentions std::chrono, rand(), unordered_map, thread_local: inert.
+
+struct Timeline {
+  // Members named like libc facilities are not the global facilities.
+  uint64_t time() const { return ticks; }
+  uint64_t clock() const { return ticks * 2; }
+  uint64_t rand() const { return ticks * 3; }
+  uint64_t ticks = 0;
+};
+
+inline uint64_t wall_time(const Timeline& t) { return t.time(); }
+inline uint64_t hardware_clock(const Timeline& t) { return t.clock(); }
+
+inline const char* describe() {
+  return "uses std::chrono and std::unordered_map and reinterpret_cast";
+}
+
+inline const char* describe_raw() {
+  return R"(thread_local rand() time( clock( mt19937)";
+}
+
+// Digit separators must not open a char literal and swallow the banned
+// token after them.
+inline uint64_t big() { return 1'000'000; }
+
+// An ordered map keyed by a stable integer id is fine; so is a vector of
+// pointers (values, not keys).
+struct Book {
+  std::map<uint64_t, int> by_id;
+  std::vector<const Timeline*> refs;
+};
+
+// `timer`, `randomized`, `settime` only contain banned stems.
+inline int timer(int randomized) { return randomized + 1; }
+inline int settime(int v) { return v; }

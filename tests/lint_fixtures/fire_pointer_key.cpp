@@ -1,0 +1,14 @@
+// det_lint golden fixture: pointer-keyed containers and pointer-to-integer
+// identity fire in deterministic code. Never compiled.
+#include <cstdint>
+#include <map>
+
+struct Network;
+
+struct Registry {
+  std::map<const Network*, int> attached;
+};
+
+uint64_t key_of(const Network* net) {
+  return static_cast<uintptr_t>(0) + reinterpret_cast<uintptr_t>(net);
+}

@@ -1,0 +1,9 @@
+// det_lint golden fixture: nondeterministic randomness fires in
+// deterministic code. Never compiled.
+#include <random>
+
+int draw() {
+  std::random_device dev;
+  std::mt19937 gen(dev());
+  return static_cast<int>(gen()) + rand();
+}

@@ -1,0 +1,13 @@
+// det_lint golden fixture: raw struct byte dumps fire in deterministic code
+// (padding bytes are unspecified — a byte-compare hazard). Never compiled.
+#include <cstring>
+
+struct Header {
+  unsigned id;
+  unsigned short tag;  // 2 bytes of padding follow
+  unsigned long off;
+};
+
+void dump(const Header& h, char* out) {
+  std::memcpy(out, reinterpret_cast<const char*>(&h), sizeof(Header));
+}

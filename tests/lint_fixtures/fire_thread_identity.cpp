@@ -1,0 +1,10 @@
+// det_lint golden fixture: thread identity fires in deterministic code.
+// Never compiled.
+#include <thread>
+
+thread_local int scratch = 0;
+
+unsigned long who() {
+  auto id = std::this_thread::get_id();
+  return scratch + std::hash<std::thread::id>{}(id);
+}

@@ -1,0 +1,13 @@
+// det_lint golden fixture: unordered containers fire in deterministic code
+// (declaration and iteration alike — the type is the hazard). Never compiled.
+#include <unordered_map>
+#include <unordered_set>
+
+unsigned long drain(const std::unordered_map<unsigned long, unsigned long>& m) {
+  std::unordered_set<unsigned long> seen;
+  unsigned long sum = 0;
+  for (const auto& [k, v] : m) {
+    if (seen.insert(k).second) sum += v;
+  }
+  return sum;
+}

@@ -1,0 +1,14 @@
+// det_lint golden fixture: every wall-clock pattern fires in deterministic
+// code. Never compiled — scanned by test_det_lint / the fixture ctest only.
+#include <chrono>
+
+double stamp_now() {
+  auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long stamp_libc() {
+  long a = time(nullptr);
+  long b = clock();
+  return a + b;
+}

@@ -1,0 +1,15 @@
+// det_lint golden fixture: malformed suppressions are themselves findings.
+// Never compiled.
+#include <unordered_map>
+
+// det-lint: observational
+std::unordered_map<int, int> missing_reason;
+
+// det-lint: allow(made-up-rule) — the rule name does not exist
+std::unordered_map<int, int> unknown_rule;
+
+// det-lint: frobnicate — unknown tag
+std::unordered_map<int, int> unknown_tag;
+
+// det-lint: allow(unordered-container) — suppresses nothing: plain vector here
+int unused_target = 0;

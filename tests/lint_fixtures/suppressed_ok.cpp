@@ -1,0 +1,41 @@
+// det_lint golden fixture: every rule fires once and is suppressed by a
+// correctly-formed line-scoped marker, so the file lints clean. Both the
+// trailing and the standalone placement are exercised. Never compiled.
+#include <chrono>         // det-lint: allow(wall-clock) — timing helpers below are observational-side
+#include <unordered_map>  // det-lint: allow(unordered-container) — lookup-only registry below, order never drains
+
+double wall_probe() {
+  // det-lint: observational — shard timing, segregated from compared bytes
+  auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();  // det-lint: observational — ns value stays in the timing section
+}
+
+int entropy_probe() {
+  // Stacked standalone suppressions scope the same next code line.
+  // det-lint: allow(randomness) — seeding a throwaway diagnostic stream
+  // det-lint: allow(wall-clock) — mixing the clock into the diagnostic seed
+  return static_cast<int>(rand() + clock());
+}
+
+unsigned long lookup(const std::unordered_map<unsigned long, unsigned long>& m,  // det-lint: allow(unordered-container) — find() only, no iteration
+                     unsigned long k) {
+  auto it = m.find(k);
+  return it == m.end() ? 0 : it->second;
+}
+
+void pack(const unsigned* v, char* out) {
+  // det-lint: allow(reinterpret-cast) — u32 array has no padding; layout asserted
+  const char* p = reinterpret_cast<const char*>(v);
+  out[0] = p[0];
+}
+
+unsigned long self() {
+  // det-lint: allow(thread-identity) — diagnostic label, never compared
+  return static_cast<unsigned long>(gettid());
+}
+
+struct Network;
+struct Attach {
+  // det-lint: allow(pointer-key) — identity registry, looked up only, never iterated or serialized
+  std::unordered_map<const Network*, int> reg;  // det-lint: allow(unordered-container) — same registry: lookup-only
+};

@@ -69,11 +69,16 @@ INSTANTIATE_TEST_SUITE_P(
                       AggCase{100, 2, 10, 5}, AggCase{128, 16, 32, 6},
                       AggCase{256, 1, 64, 7}, AggCase{256, 8, 4, 8},
                       AggCase{333, 3, 33, 9}, AggCase{512, 2, 128, 10}),
-    [](const ::testing::TestParamInfo<AggCase>& info) {
-      return "n" + std::to_string(info.param.n) + "_k" +
-             std::to_string(info.param.items_per_node) + "_g" +
-             std::to_string(info.param.groups) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<AggCase>& pinfo) {
+      std::string name = "n";
+      name += std::to_string(pinfo.param.n);
+      name += "_k";
+      name += std::to_string(pinfo.param.items_per_node);
+      name += "_g";
+      name += std::to_string(pinfo.param.groups);
+      name += "_s";
+      name += std::to_string(pinfo.param.seed);
+      return name;
     });
 
 TEST(AggregationEdgeCases, EmptyProblem) {

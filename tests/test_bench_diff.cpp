@@ -36,6 +36,20 @@ std::string row(const char* bench, int n, int threads, uint64_t rounds,
   return buf;
 }
 
+// Joins rows into a JSON array with += instead of `"[" + row(...)`, which
+// trips GCC 12's spurious -Wrestrict on operator+(const char*, string&&).
+std::string doc(std::initializer_list<std::string> rows) {
+  std::string d = "[";
+  bool first = true;
+  for (const std::string& r : rows) {
+    if (!first) d += ",";
+    d += r;
+    first = false;
+  }
+  d += "]";
+  return d;
+}
+
 uint64_t count_fails(const BenchDiffResult& r) {
   uint64_t fails = 0;
   for (const BenchDiffIssue& i : r.issues)
@@ -46,10 +60,8 @@ uint64_t count_fails(const BenchDiffResult& r) {
 }  // namespace
 
 TEST(BenchDiff, IdenticalDocumentsPass) {
-  std::string doc = "[" + row("engine_bfs", 512, 1, 2297, 210034, 70.9, 1u << 20, 42) +
-                    "," + row("engine_bfs", 512, 2, 2297, 210034, 78.5, 1u << 21, 57) +
-                    "]";
-  auto base = parse(doc);
+  auto base = parse(doc({row("engine_bfs", 512, 1, 2297, 210034, 70.9, 1u << 20, 42),
+                         row("engine_bfs", 512, 2, 2297, 210034, 78.5, 1u << 21, 57)}));
   BenchDiffResult r = diff_bench(base, base);
   EXPECT_FALSE(r.failed());
   EXPECT_EQ(r.rows_compared, 2u);
@@ -60,8 +72,8 @@ TEST(BenchDiff, InjectedMessageRegressionFails) {
   // The acceptance scenario: a fresh run sending >20% more messages than the
   // committed baseline must exit non-zero. Message counts are deterministic,
   // so ANY drift fails — 25% is well past every threshold.
-  auto base = parse("[" + row("engine_bfs", 512, 1, 2297, 200000, 70.9, 1000, 42) + "]");
-  auto fresh = parse("[" + row("engine_bfs", 512, 1, 2297, 250000, 70.9, 1000, 42) + "]");
+  auto base = parse(doc({row("engine_bfs", 512, 1, 2297, 200000, 70.9, 1000, 42)}));
+  auto fresh = parse(doc({row("engine_bfs", 512, 1, 2297, 250000, 70.9, 1000, 42)}));
   BenchDiffResult r = diff_bench(base, fresh);
   EXPECT_TRUE(r.failed());
   ASSERT_EQ(count_fails(r), 1u);
@@ -70,7 +82,7 @@ TEST(BenchDiff, InjectedMessageRegressionFails) {
 }
 
 TEST(BenchDiff, HardCountersFailOnAnyDrift) {
-  auto base = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "]");
+  auto base = parse(doc({row("b", 64, 1, 100, 5000, 1.0, 4096, 7)}));
   struct Case {
     const char* metric;
     std::string fresh_row;
@@ -81,7 +93,7 @@ TEST(BenchDiff, HardCountersFailOnAnyDrift) {
       {"allocs", row("b", 64, 1, 100, 5000, 1.0, 4096, 8)},
   };
   for (const Case& c : cases) {
-    auto fresh = parse("[" + c.fresh_row + "]");
+    auto fresh = parse(doc({c.fresh_row}));
     BenchDiffResult r = diff_bench(base, fresh);
     EXPECT_TRUE(r.failed()) << c.metric;
     ASSERT_EQ(count_fails(r), 1u) << c.metric;
@@ -90,8 +102,8 @@ TEST(BenchDiff, HardCountersFailOnAnyDrift) {
 }
 
 TEST(BenchDiff, WallClockDriftOnlyWarns) {
-  auto base = parse("[" + row("b", 64, 1, 100, 5000, 10.0, 4096, 7) + "]");
-  auto fresh = parse("[" + row("b", 64, 1, 100, 5000, 19.0, 4096, 7) + "]");
+  auto base = parse(doc({row("b", 64, 1, 100, 5000, 10.0, 4096, 7)}));
+  auto fresh = parse(doc({row("b", 64, 1, 100, 5000, 19.0, 4096, 7)}));
   BenchDiffResult r = diff_bench(base, fresh);
   EXPECT_FALSE(r.failed());  // 90% slower: warn, never fail
   ASSERT_EQ(r.issues.size(), 1u);
@@ -99,16 +111,16 @@ TEST(BenchDiff, WallClockDriftOnlyWarns) {
   EXPECT_EQ(r.issues[0].metric, "wall_ms");
 
   // Within tolerance: silent.
-  auto close_doc = parse("[" + row("b", 64, 1, 100, 5000, 11.0, 4096, 7) + "]");
+  auto close_doc = parse(doc({row("b", 64, 1, 100, 5000, 11.0, 4096, 7)}));
   EXPECT_TRUE(diff_bench(base, close_doc).issues.empty());
 }
 
 TEST(BenchDiff, RowSetChanges) {
-  auto base = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "," +
-                    row("b", 64, 2, 100, 5000, 1.0, 4096, 9) + "]");
+  auto base = parse(doc({row("b", 64, 1, 100, 5000, 1.0, 4096, 7),
+                         row("b", 64, 2, 100, 5000, 1.0, 4096, 9)}));
   // Fresh lost the threads=2 row -> FAIL; gained a threads=4 row -> warn.
-  auto fresh = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "," +
-                     row("b", 64, 4, 100, 5000, 1.0, 4096, 11) + "]");
+  auto fresh = parse(doc({row("b", 64, 1, 100, 5000, 1.0, 4096, 7),
+                          row("b", 64, 4, 100, 5000, 1.0, 4096, 11)}));
   BenchDiffResult r = diff_bench(base, fresh);
   EXPECT_TRUE(r.failed());
   EXPECT_EQ(count_fails(r), 1u);
@@ -120,10 +132,10 @@ TEST(BenchDiff, MissingBigRowOnlyWarns) {
   // runs (CI's perf-gate) never pass --big, so its absence is expected and
   // must not fail the gate — unlike a plain row silently vanishing.
   auto base =
-      parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "," +
-            "{\"bench\": \"b\", \"n\": 1048576, \"threads\": 1, \"rounds\": 2, "
-            "\"wall_ms\": 9000.0, \"messages\": 335000000, \"big\": true}]");
-  auto fresh = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "]");
+      parse(doc({row("b", 64, 1, 100, 5000, 1.0, 4096, 7),
+                 "{\"bench\": \"b\", \"n\": 1048576, \"threads\": 1, \"rounds\": 2, "
+                 "\"wall_ms\": 9000.0, \"messages\": 335000000, \"big\": true}"}));
+  auto fresh = parse(doc({row("b", 64, 1, 100, 5000, 1.0, 4096, 7)}));
   BenchDiffResult r = diff_bench(base, fresh);
   EXPECT_FALSE(r.failed());
   EXPECT_EQ(r.issues.size(), 1u);
@@ -137,7 +149,7 @@ TEST(BenchDiff, MissingBigRowOnlyWarns) {
 TEST(BenchDiff, MetricMissingFromFreshWarns) {
   // Baseline carries the new memory columns, fresh was built by an older
   // binary: downgrade to a warning instead of failing the gate on absence.
-  auto base = parse("[" + row("b", 64, 1, 100, 5000, 1.0, 4096, 7) + "]");
+  auto base = parse(doc({row("b", 64, 1, 100, 5000, 1.0, 4096, 7)}));
   auto fresh = parse(
       "[{\"bench\": \"b\", \"n\": 64, \"threads\": 1, \"rounds\": 100, "
       "\"wall_ms\": 1.0, \"messages\": 5000}]");

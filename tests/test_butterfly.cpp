@@ -141,7 +141,9 @@ TEST(RouteUpOverRecordedTrees, DeliversToAllLeaves) {
   }
   route_down(f.topo, f.net, std::move(at_col), f.dest(), f.rank(), agg::sum, &trees);
 
-  std::unordered_map<uint64_t, Val> payloads{{100, Val{111, 0}}, {200, Val{222, 0}}};
+  FlatMap<Val> payloads;
+  payloads.emplace(100, Val{111, 0});
+  payloads.emplace(200, Val{222, 0});
   auto up = route_up(f.topo, f.net, trees, payloads, f.rank());
   // Every leaf column that injected a packet of group g receives g's payload.
   for (auto& [g, cols] : leaves) {
@@ -166,7 +168,7 @@ TEST(RouteDown, HeavyLoadStaysWithinLinearRounds) {
   }
   auto res = route_down(f.topo, f.net, std::move(at_col), f.dest(), f.rank(), agg::sum);
   uint64_t sum = 0;
-  for (auto& [g, v] : res.root_values) sum += v[0];
+  res.root_values.for_each([&](uint64_t, const Val& v) { sum += v[0]; });
   EXPECT_EQ(sum, total);
   // Theorem B.2-ish: O(C + D log d + log n) with C = O(L/n + log n).
   EXPECT_LE(res.stats.rounds, 8 * (total / 128 + 4 * f.topo.dims()));

@@ -39,11 +39,11 @@ TEST(FailureInjection, StarvedAggregationLosesButNeverInvents) {
   EXPECT_GT(net.stats().messages_dropped, 0u);
   // ...and aggregates may be partial, but never exceed the true sums.
   uint64_t received_total = 0;
-  for (auto& [g, v] : res.at_target) {
+  res.at_target.for_each([&](uint64_t g, const Val& v) {
     ASSERT_TRUE(expect.count(g));
     EXPECT_LE(v[0], expect[g]) << "group " << g;
     received_total += v[0];
-  }
+  });
   EXPECT_LT(received_total, static_cast<uint64_t>(prob.items.size()));
 }
 

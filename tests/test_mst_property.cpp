@@ -84,6 +84,6 @@ INSTANTIATE_TEST_SUITE_P(
                   return with_random_weights(barabasi_albert_graph(48, 2, r), 999, r);
                 },
                 11}),
-    [](const ::testing::TestParamInfo<MstCase>& info) {
-      return info.param.name + "_s" + std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<MstCase>& pinfo) {
+      return pinfo.param.name + "_s" + std::to_string(pinfo.param.seed);
     });

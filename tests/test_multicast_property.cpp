@@ -104,11 +104,16 @@ INSTANTIATE_TEST_SUITE_P(
                       McCase{64, 2, 32, 4}, McCase{100, 10, 5, 5},
                       McCase{128, 16, 16, 6}, McCase{256, 4, 64, 7},
                       McCase{256, 32, 8, 8}, McCase{512, 8, 32, 9}),
-    [](const ::testing::TestParamInfo<McCase>& info) {
-      return "n" + std::to_string(info.param.n) + "_g" +
-             std::to_string(info.param.num_groups) + "_sz" +
-             std::to_string(info.param.group_size) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<McCase>& pinfo) {
+      std::string name = "n";
+      name += std::to_string(pinfo.param.n);
+      name += "_g";
+      name += std::to_string(pinfo.param.num_groups);
+      name += "_sz";
+      name += std::to_string(pinfo.param.group_size);
+      name += "_s";
+      name += std::to_string(pinfo.param.seed);
+      return name;
     });
 
 TEST(MulticastEdgeCases, GroupWithoutMembersIsSkipped) {

@@ -73,8 +73,8 @@ INSTANTIATE_TEST_SUITE_P(
                 12},
         OriCase{"two_seeds_a3_y", [](Rng& r) { return random_forest_union(72, 3, r); },
                 13}),
-    [](const ::testing::TestParamInfo<OriCase>& info) {
-      return info.param.name + "_s" + std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<OriCase>& pinfo) {
+      return pinfo.param.name + "_s" + std::to_string(pinfo.param.seed);
     });
 
 // Coloring quality sweep: colors used stay within the O(a) palette and the

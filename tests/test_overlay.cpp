@@ -149,7 +149,7 @@ TEST(Overlays, UpEdgesInvertDownEdges) {
         for (uint32_t e = 0; e < topo->down_degree(level); ++e) {
           NodeId down = topo->down_column(level, c, e);
           EXPECT_EQ(topo->up_column(level + 1, down, e), c);
-          if (e > 0) EXPECT_EQ(topo->edge_from_delta(level, c ^ down), e);
+          if (e > 0) { EXPECT_EQ(topo->edge_from_delta(level, c ^ down), e); }
         }
       }
     }
@@ -226,8 +226,10 @@ TEST(OverlayRouter, MulticastTreesDeliverOnAugmentedCube) {
   route_down(*f.topo, f.net, std::move(at_col), f.dest(), f.rank(), agg::sum, &trees);
   EXPECT_EQ(trees.levels, f.topo->levels());
 
-  std::unordered_map<uint64_t, Val> payloads{
-      {100, Val{111, 0}}, {200, Val{222, 0}}, {300, Val{333, 0}}};
+  FlatMap<Val> payloads;
+  payloads.emplace(100, Val{111, 0});
+  payloads.emplace(200, Val{222, 0});
+  payloads.emplace(300, Val{333, 0});
   auto up = route_up(*f.topo, f.net, trees, payloads, f.rank());
   for (auto& [g, expect_cols] : leaves) {
     std::set<NodeId> got;
@@ -398,7 +400,7 @@ TEST(AggTree, BarrierFastPathMatchesGeneralPrimitive) {
       };
       auto fast = run(true), general = run(false);
       EXPECT_EQ(fast, general) << overlay_name(kind) << " faulted=" << faulted;
-      if (faulted) EXPECT_GT(std::get<2>(fast), 0u) << overlay_name(kind);
+      if (faulted) { EXPECT_GT(std::get<2>(fast), 0u) << overlay_name(kind); }
     }
   }
 }

@@ -81,8 +81,8 @@ INSTANTIATE_TEST_SUITE_P(
                      [](Rng& r) { return power_law_graph(96, 2.5, 24, r); }, 12},
         PipelineCase{"complete", [](Rng&) { return complete_graph(24); }, 13},
         PipelineCase{"sparse_isolated", [](Rng& r) { return gnm_graph(64, 20, r); }, 14}),
-    [](const ::testing::TestParamInfo<PipelineCase>& info) {
-      return info.param.name + "_s" + std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<PipelineCase>& pinfo) {
+      return pinfo.param.name + "_s" + std::to_string(pinfo.param.seed);
     });
 
 // Determinism: identical seeds give identical executions end to end.

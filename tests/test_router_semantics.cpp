@@ -74,10 +74,10 @@ TEST(RouterSemantics, RecordedTreesAreTrees) {
       uint64_t idx = f.topo.index(level, col);
       EXPECT_TRUE(visited.insert(idx).second) << "node visited twice in tree " << g;
       if (level == 0) continue;
-      auto it = trees.children[idx].find(g);
-      if (it == trees.children[idx].end()) continue;
+      const uint64_t* mask = trees.children[idx].find(g);
+      if (!mask) continue;
       for (uint32_t e = 0; e < f.topo.down_degree(level - 1); ++e)
-        if ((it->second >> e) & 1)
+        if ((*mask >> e) & 1)
           frontier.push_back({level - 1, f.topo.up_column(level, col, e)});
     }
   }
@@ -108,12 +108,13 @@ TEST(RouterSemantics, CombineOrderIndependentForCommutativeOps) {
     Rng rng(13);
     std::vector<std::vector<AggPacket>> at_col(f.topo.columns());
     for (int i = 0; i < 200; ++i)
-      at_col[rng.next_below(64)].push_back({rng.next_below(10), Val{i, 1}});
+      at_col[rng.next_below(64)].push_back(
+          {rng.next_below(10), Val{static_cast<uint64_t>(i), 1}});
     auto dest = [](uint64_t g) { return static_cast<NodeId>((g * 13) % 64); };
     auto rank = [rank_salt](uint64_t g) { return mix64(g ^ rank_salt); };
     auto res = route_down(f.topo, f.net, std::move(at_col), dest, rank, agg::sum);
     std::map<uint64_t, uint64_t> sums;
-    for (auto& [g, v] : res.root_values) sums[g] = v[0];
+    res.root_values.for_each([&](uint64_t g, const Val& v) { sums[g] = v[0]; });
     return sums;
   };
   EXPECT_EQ(run(1), run(999));
@@ -125,7 +126,7 @@ TEST(RouterSemantics, UpRoutingRespectsPerEdgeDiscipline) {
   MulticastTrees trees;
   trees.leaf_members.assign(f.topo.columns(), {});
   std::vector<std::vector<AggPacket>> at_col(f.topo.columns());
-  std::unordered_map<uint64_t, Val> payloads;
+  FlatMap<Val> payloads;
   for (uint64_t g = 100; g < 140; ++g) {
     for (int i = 0; i < 10; ++i)
       at_col[rng.next_below(f.topo.columns())].push_back({g, Val{0, 0}});
